@@ -1,0 +1,4 @@
+//! Regenerates the ablation suite (DESIGN.md §6). See qvr_bench::ablations.
+fn main() {
+    println!("{}", qvr_bench::ablations::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig03 artefact. See qvr_bench::fig03.
+fn main() {
+    println!("{}", qvr_bench::fig03::report());
+}

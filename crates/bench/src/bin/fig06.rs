@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 artefact. See qvr_bench::fig06.
+fn main() {
+    println!("{}", qvr_bench::fig06::report());
+}

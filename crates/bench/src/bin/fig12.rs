@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 artefact. See qvr_bench::fig12.
+fn main() {
+    println!("{}", qvr_bench::fig12::report());
+}

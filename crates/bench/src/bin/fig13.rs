@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 artefact. See qvr_bench::fig13.
+fn main() {
+    println!("{}", qvr_bench::fig13::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 artefact. See qvr_bench::fig14.
+fn main() {
+    println!("{}", qvr_bench::fig14::report());
+}

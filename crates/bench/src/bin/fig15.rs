@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 artefact. See qvr_bench::fig15.
+fn main() {
+    println!("{}", qvr_bench::fig15::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 4.3 overhead analysis. See qvr_bench::overhead.
+fn main() {
+    println!("{}", qvr_bench::overhead::report());
+}

@@ -1,0 +1,25 @@
+//! Regenerates every table and figure in one pass (the EXPERIMENTS.md data).
+//!
+//! ```text
+//! cargo run --release -p qvr-bench --bin run_all
+//! ```
+
+fn main() {
+    let sections: [(&str, fn() -> String); 9] = [
+        ("Fig. 3 (motivation)", qvr_bench::fig03::report),
+        ("Table 1 + Fig. 5 (static characterisation)", qvr_bench::table1::report),
+        ("Fig. 6 (foveal sizing)", qvr_bench::fig06::report),
+        ("Fig. 12 (performance)", qvr_bench::fig12::report),
+        ("Fig. 13 (network)", qvr_bench::fig13::report),
+        ("Fig. 14 (balance)", qvr_bench::fig14::report),
+        ("Table 4 (eccentricity)", qvr_bench::table4::report),
+        ("Fig. 15 (energy)", qvr_bench::fig15::report),
+        ("Sec. 4.3 (overhead)", qvr_bench::overhead::report),
+    ];
+    for (name, f) in sections {
+        println!("{}", "=".repeat(78));
+        println!("== {name}");
+        println!("{}", "=".repeat(78));
+        println!("{}", f());
+    }
+}

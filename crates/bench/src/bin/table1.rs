@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 artefact. See qvr_bench::table1.
+fn main() {
+    println!("{}", qvr_bench::table1::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 artefact. See qvr_bench::table4.
+fn main() {
+    println!("{}", qvr_bench::table4::report());
+}

@@ -1,0 +1,69 @@
+//! Fig. 3: the motivation study — latency breakdown and FPS of local-only
+//! and remote-only rendering for the five characterization apps.
+
+use crate::{TextTable, FRAMES, SEED};
+use qvr::prelude::*;
+
+/// Regenerates both halves of Fig. 3.
+#[must_use]
+pub fn report() -> String {
+    let config = SystemConfig { gpu: GpuConfig::gen9_class(), ..SystemConfig::default() };
+    let mut out = String::new();
+
+    out.push_str("Fig. 3(a) — local-only rendering (Gen9-class mobile GPU)\n");
+    out.push_str("paper: latencies 40-130 ms, FPS 8-17, GPU is the bottleneck\n\n");
+    let mut t = TextTable::new(vec![
+        "app", "tracking", "render", "ATW", "display", "total ms", "FPS",
+    ]);
+    for app in CharacterizationApp::all() {
+        let s = SchemeKind::LocalOnly.run(&config, app.profile(), FRAMES, SEED);
+        let atw = mean(&s, |f| f.t_local_ms) - render_only(&s, &config);
+        t.row(vec![
+            app.label().to_owned(),
+            format!("{:.1}", config.tracking_ms),
+            format!("{:.1}", render_only(&s, &config)),
+            format!("{atw:.1}"),
+            format!("{:.1}", config.display_ms),
+            format!("{:.1}", s.mean_mtp_ms()),
+            format!("{:.0}", s.fps()),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nFig. 3(b) — remote-only rendering (8x MCM server, Wi-Fi)\n");
+    out.push_str("paper: latencies 40-65 ms, transmission ~63% of total\n\n");
+    let mut t = TextTable::new(vec![
+        "app", "tracking", "send+render+transmit+decode", "ATW", "display", "total ms", "FPS",
+        "remote share",
+    ]);
+    for app in CharacterizationApp::all() {
+        let s = SchemeKind::RemoteOnly.run(&config, app.profile(), FRAMES, SEED);
+        let remote = mean(&s, |f| f.t_remote_ms);
+        let atw = mean(&s, |f| f.t_local_ms);
+        let share = remote / s.mean_mtp_ms();
+        t.row(vec![
+            app.label().to_owned(),
+            format!("{:.1}", config.tracking_ms),
+            format!("{remote:.1}"),
+            format!("{atw:.1}"),
+            format!("{:.1}", config.display_ms),
+            format!("{:.1}", s.mean_mtp_ms()),
+            format!("{:.0}", s.fps()),
+            format!("{:.0}%", share * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+fn mean(s: &RunSummary, f: impl Fn(&FrameRecord) -> f64) -> f64 {
+    s.frames.iter().map(f).sum::<f64>() / s.frames.len() as f64
+}
+
+fn render_only(s: &RunSummary, config: &SystemConfig) -> f64 {
+    // t_local for the local scheme is render + ATW; subtract the modelled
+    // ATW pass to split the bar.
+    let atw = GpuTimingModel::new(config.gpu)
+        .fullscreen_pass_ms(1920.0 * 2160.0 * 2.0, 5.0);
+    mean(s, |f| f.t_local_ms) - atw
+}

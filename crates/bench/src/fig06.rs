@@ -1,0 +1,83 @@
+//! Fig. 6: foveal-layer rendering latency vs eccentricity on the Gen9-class
+//! platform, for three Foveated3D scene-complexity variants, plus the
+//! relative (periphery) frame size curve.
+
+use crate::TextTable;
+use qvr::core::FoveationPlan;
+use qvr::prelude::*;
+use qvr::scene::apps::FrameState;
+use qvr::scene::{MotionDelta, MotionSample};
+
+/// The three scene variants annotated in Fig. 6.
+const VARIANTS: [(&str, u64, f64); 3] = [
+    ("400 obj x 4k tri", 1_600_000, 1.0),
+    ("800 obj x 4k tri", 3_200_000, 1.0),
+    ("400 obj x 8k tri", 3_200_000, 1.25), // heavier per-object shading
+];
+
+fn neutral_frame(triangles: u64) -> FrameState {
+    FrameState {
+        frame_id: 0,
+        sample: MotionSample::default(),
+        delta: MotionDelta::default(),
+        triangles,
+        complexity_multiplier: 1.0,
+        interactive_fraction: 0.3,
+        content_detail: 0.75,
+    }
+}
+
+/// Regenerates Fig. 6.
+#[must_use]
+pub fn report() -> String {
+    let gpu = GpuTimingModel::new(GpuConfig::gen9_class());
+    let base_profile = CharacterizationApp::Foveated3D.profile();
+    let display = base_profile.display;
+    let mar = MarModel::default();
+    let size_model = SizeModel::default();
+    let config = SystemConfig::default();
+
+    let mut out = String::new();
+    out.push_str("Fig. 6 — foveal-layer latency vs eccentricity (Foveated3D, Gen9-class)\n");
+    out.push_str("paper: all variants fit the 11 ms budget at e1 <= 15 deg;\n");
+    out.push_str("relative periphery frame size falls ~40% -> ~22% over e1 = 5..35\n\n");
+
+    let mut t = TextTable::new(vec![
+        "e1 (deg)",
+        VARIANTS[0].0,
+        VARIANTS[1].0,
+        VARIANTS[2].0,
+        "rel. frame size",
+    ]);
+    let full_bytes = size_model.frame_bytes(
+        u64::from(display.width_px()) * u64::from(display.height_px()),
+        0.75,
+        1.0,
+    );
+    for e1 in (5..=35).step_by(5) {
+        let mut cells = vec![format!("{e1}")];
+        for (_, tris, shade_mult) in VARIANTS {
+            let mut profile = base_profile.clone();
+            profile.base_triangles = tris;
+            profile.fragment_shader_cycles *= shade_mult;
+            let frame = neutral_frame(tris);
+            let wl = profile.fovea_workload(&frame, f64::from(e1));
+            let ms = gpu.stereo_frame_time(&wl).total_ms();
+            cells.push(format!("{ms:.1} ms"));
+        }
+        let plan = FoveationPlan::resolve(f64::from(e1), &display, &mar, GazePoint::center());
+        let rel =
+            plan.periphery_bytes(&size_model, 0.75, config.periphery_quality) / full_bytes;
+        cells.push(format!("{:.0}%", rel * 100.0));
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+
+    // The paper's (e1, *e2) pairs from the Eq. (1) optimisation.
+    out.push_str("\nEq. (1) optimal middle eccentricities (paper annotates e1=10→e2=50, 20→35, 30→30):\n");
+    for e1 in [10.0, 20.0, 30.0] {
+        let plan = FoveationPlan::resolve(e1, &display, &mar, GazePoint::center());
+        out.push_str(&format!("  e1 = {e1:>4.0}°  →  *e2 = {:.1}°\n", plan.e2_deg));
+    }
+    out
+}

@@ -1,0 +1,83 @@
+//! Table 1: characterisation of static collaborative rendering, plus the
+//! Fig. 5 interaction-latency effect.
+
+use crate::{TextTable, FRAMES, SEED};
+use qvr::prelude::*;
+
+/// Paper reference rows: (app, f range, avg/min/max T_local ms, back KB,
+/// T_remote ms).
+const PAPER: [(&str, &str, f64, f64, f64, f64, f64); 5] = [
+    ("Foveated3D", "16% - 52%", 43.0, 18.0, 75.0, 646.0, 38.0),
+    ("Viking", "10% - 13%", 13.0, 12.0, 16.0, 530.0, 31.0),
+    ("Nature", "10% - 24%", 16.0, 12.0, 26.0, 482.0, 28.0),
+    ("Sponze", "0.1% - 20%", 5.8, 0.5, 12.0, 537.0, 31.0),
+    ("San Miguel", "6% - 15%", 11.0, 5.4, 14.0, 572.0, 33.0),
+];
+
+/// Regenerates Table 1 and the Fig. 5 observation.
+#[must_use]
+pub fn report() -> String {
+    let config = SystemConfig { gpu: GpuConfig::gen9_class(), ..SystemConfig::default() };
+    let mut out = String::new();
+    out.push_str("Table 1 — static collaborative rendering characterisation (90 Hz)\n");
+    out.push_str("measured | paper-reference in brackets\n\n");
+
+    let mut t = TextTable::new(vec![
+        "app", "interactive", "f range", "avg T_local", "min", "max", "back KB", "T_remote",
+    ]);
+    for (app, paper) in CharacterizationApp::all().iter().zip(PAPER) {
+        let profile = app.profile();
+        let s = SchemeKind::StaticCollab.run(&config, profile.clone(), FRAMES, SEED);
+        let locals: Vec<f64> = s.frames.iter().map(|f| f.t_local_ms).collect();
+        let avg = locals.iter().sum::<f64>() / locals.len() as f64;
+        let min = locals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = locals.iter().cloned().fold(0.0, f64::max);
+        let back_kb = config
+            .size_model
+            .frame_bytes(1920 * 2160, profile.content_detail, 1.0)
+            / 1024.0;
+        // Background-fetch latency: average over frames that actually
+        // fetched (cache hits put nothing on the wire).
+        let fetches: Vec<f64> = s
+            .frames
+            .iter()
+            .filter(|f| f.t_remote_ms > 0.0)
+            .map(|f| f.t_remote_ms)
+            .collect();
+        let t_remote = fetches.iter().sum::<f64>() / fetches.len().max(1) as f64;
+        t.row(vec![
+            profile.name.to_owned(),
+            profile.interactive.name().to_owned(),
+            format!(
+                "{:.0}%-{:.0}% [{}]",
+                profile.interactive.f_min() * 100.0,
+                profile.interactive.f_max() * 100.0,
+                paper.1
+            ),
+            format!("{avg:.1} [{:.0}]", paper.2),
+            format!("{min:.1} [{:.1}]", paper.3),
+            format!("{max:.1} [{:.0}]", paper.4),
+            format!("{back_kb:.0} [{:.0}]", paper.5),
+            format!("{t_remote:.1} [{:.0}]", paper.6),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Fig. 5: the Nature tree's rendering latency under interaction.
+    out.push_str("\nFig. 5 — interaction changes single-object latency (Nature tree)\n");
+    out.push_str("paper: 12 ms -> 26 ms as the user approaches the tree\n\n");
+    let profile = CharacterizationApp::Nature.profile();
+    let s = SchemeKind::StaticCollab.run(&config, profile, FRAMES, SEED);
+    let calm: Vec<f64> = s
+        .frames
+        .iter()
+        .filter(|f| !f.misprediction)
+        .map(|f| f.t_local_ms)
+        .collect();
+    let lo = calm.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = calm.iter().cloned().fold(0.0, f64::max);
+    out.push_str(&format!(
+        "measured interactive-object latency range: {lo:.1} ms (far) .. {hi:.1} ms (close-up)\n"
+    ));
+    out
+}

@@ -1,0 +1,118 @@
+//! Encode/decode latency models for hardware video engines.
+//!
+//! Fig. 4 models video decoding (VD) as its own accelerator that overlaps
+//! with network reception and remote rendering. Hardware codecs process
+//! pixels at a rate essentially independent of content; we model throughput
+//! in pixels/ms plus a fixed per-frame setup cost.
+
+use std::fmt;
+
+/// Throughput/latency model for a hardware video encoder + decoder pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecLatencyModel {
+    encode_px_per_ms: f64,
+    decode_px_per_ms: f64,
+    fixed_ms: f64,
+}
+
+impl CodecLatencyModel {
+    /// Creates a model from encode/decode throughputs (pixels per
+    /// millisecond) and fixed per-frame setup latency (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a throughput is non-positive or the fixed cost is negative.
+    #[must_use]
+    pub fn new(encode_px_per_ms: f64, decode_px_per_ms: f64, fixed_ms: f64) -> Self {
+        assert!(
+            encode_px_per_ms > 0.0 && decode_px_per_ms > 0.0,
+            "throughputs must be positive"
+        );
+        assert!(fixed_ms >= 0.0, "fixed cost must be non-negative");
+        CodecLatencyModel { encode_px_per_ms, decode_px_per_ms, fixed_ms }
+    }
+
+    /// A mobile-SoC hardware codec: ~4K@240 decode, 4K@120 encode class
+    /// (server-side NVENC-class encoder assumed symmetric or better).
+    #[must_use]
+    pub fn mobile_soc() -> Self {
+        // 3840*2160 = 8.3 MP; 240 fps decode -> ~2000 px/us = 2.0 M px/ms.
+        CodecLatencyModel::new(1_000_000.0, 2_000_000.0, 0.3)
+    }
+
+    /// Encode latency for `pixels`, ms.
+    #[must_use]
+    pub fn encode_ms(&self, pixels: f64) -> f64 {
+        self.fixed_ms + pixels.max(0.0) / self.encode_px_per_ms
+    }
+
+    /// Decode latency for `pixels`, ms.
+    #[must_use]
+    pub fn decode_ms(&self, pixels: f64) -> f64 {
+        self.fixed_ms + pixels.max(0.0) / self.decode_px_per_ms
+    }
+}
+
+impl Default for CodecLatencyModel {
+    fn default() -> Self {
+        CodecLatencyModel::mobile_soc()
+    }
+}
+
+impl fmt::Display for CodecLatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "enc {:.1} Mpx/ms, dec {:.1} Mpx/ms, +{:.1} ms fixed",
+            self.encode_px_per_ms / 1e6,
+            self.decode_px_per_ms / 1e6,
+            self.fixed_ms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_eye_decodes_within_frame_budget() {
+        // A full 1920x2160 eye must decode well under 11 ms (90 Hz), or the
+        // VD stage would dominate Fig. 4's pipeline, which it does not.
+        let m = CodecLatencyModel::mobile_soc();
+        let t = m.decode_ms(1920.0 * 2160.0);
+        assert!(t < 5.0, "decode {t} ms");
+    }
+
+    #[test]
+    fn decode_faster_than_encode_on_mobile() {
+        let m = CodecLatencyModel::mobile_soc();
+        let px = 1_000_000.0;
+        assert!(m.decode_ms(px) < m.encode_ms(px));
+    }
+
+    #[test]
+    fn latency_monotone_in_pixels() {
+        let m = CodecLatencyModel::default();
+        assert!(m.decode_ms(2e6) > m.decode_ms(1e6));
+        assert!(m.encode_ms(2e6) > m.encode_ms(1e6));
+    }
+
+    #[test]
+    fn zero_pixels_costs_fixed_only() {
+        let m = CodecLatencyModel::new(1e6, 1e6, 0.25);
+        assert!((m.decode_ms(0.0) - 0.25).abs() < 1e-12);
+        assert!((m.encode_ms(-5.0) - 0.25).abs() < 1e-12, "negative clamps to zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_throughput_rejected() {
+        let _ = CodecLatencyModel::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert!(CodecLatencyModel::default().to_string().contains("Mpx/ms"));
+    }
+}

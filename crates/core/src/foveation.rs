@@ -1,0 +1,416 @@
+//! The software-layer foveation framework (paper Sec. 3.2, Fig. 7).
+//!
+//! Q-VR's software layer splits the VR graphics into a local client (the
+//! "Fovea" channel) and a remote server (the "Periphery" channels with VRS
+//! rates), connected by parallel per-layer streams and composed by a
+//! "Display" channel. [`RenderGraph`] mirrors Fig. 7's node/pipe/window/
+//! channel configuration; [`FoveationPlan`] is the per-frame resolved plan
+//! (eccentricities, VRS-quantised layer scales, per-layer pixel and byte
+//! volumes) that both the scheme pipelines and the benchmarks consume.
+
+use qvr_codec::SizeModel;
+use qvr_hvs::{DisplayGeometry, GazePoint, LayerKind, LayerPartition, MarModel};
+use std::fmt;
+
+/// Hardware variable-rate-shading rates available on the server renderer
+/// (the "VRS Graphics" of Fig. 7), expressed as linear resolution scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VrsRate {
+    /// 1×1: native shading.
+    Full,
+    /// 1×2 / 2×1: ~0.71 linear scale.
+    Half,
+    /// 2×2: 0.5 linear scale.
+    Quarter,
+    /// 2×4 / 4×2: ~0.35 linear scale.
+    Eighth,
+    /// 4×4: 0.25 linear scale.
+    Sixteenth,
+}
+
+impl VrsRate {
+    /// All rates, finest first.
+    #[must_use]
+    pub fn all() -> [VrsRate; 5] {
+        [VrsRate::Full, VrsRate::Half, VrsRate::Quarter, VrsRate::Eighth, VrsRate::Sixteenth]
+    }
+
+    /// The linear resolution scale of this rate.
+    #[must_use]
+    pub fn linear_scale(&self) -> f64 {
+        match self {
+            VrsRate::Full => 1.0,
+            VrsRate::Half => std::f64::consts::FRAC_1_SQRT_2,
+            VrsRate::Quarter => 0.5,
+            VrsRate::Eighth => 0.354,
+            VrsRate::Sixteenth => 0.25,
+        }
+    }
+
+    /// The coarsest hardware rate whose scale still satisfies (is at least)
+    /// the MAR-derived target scale.
+    #[must_use]
+    pub fn quantize(target_scale: f64) -> VrsRate {
+        let mut chosen = VrsRate::Full;
+        for rate in VrsRate::all() {
+            if rate.linear_scale() + 1e-12 >= target_scale {
+                chosen = rate;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+}
+
+impl fmt::Display for VrsRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VrsRate::Full => "1x1",
+            VrsRate::Half => "1x2",
+            VrsRate::Quarter => "2x2",
+            VrsRate::Eighth => "2x4",
+            VrsRate::Sixteenth => "4x4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rendering channel of the Fig. 7 graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerChannel {
+    /// Channel name (`"fovea"`, `"mid"`, `"out"`).
+    pub name: &'static str,
+    /// The layer it renders.
+    pub layer: LayerKind,
+    /// Whether it executes on the local GPU or the remote server.
+    pub local: bool,
+    /// The VRS rate it shades at.
+    pub rate: VrsRate,
+    /// Viewport eccentricity bound, degrees (the layer's outer extent).
+    pub extent_deg: f64,
+}
+
+impl fmt::Display for LayerChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel {{ name \"{}\" {} {} viewport ≤{:.1}° }}",
+            self.name,
+            if self.local { "local" } else { "remote" },
+            self.rate,
+            self.extent_deg
+        )
+    }
+}
+
+/// The client/server channel configuration exchanged at setup time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderGraph {
+    channels: Vec<LayerChannel>,
+}
+
+impl RenderGraph {
+    /// Builds the Fig. 7 graph for a resolved plan.
+    #[must_use]
+    pub fn for_plan(plan: &FoveationPlan) -> Self {
+        RenderGraph {
+            channels: vec![
+                LayerChannel {
+                    name: "fovea",
+                    layer: LayerKind::Fovea,
+                    local: true,
+                    rate: VrsRate::Full,
+                    extent_deg: plan.e1_deg,
+                },
+                LayerChannel {
+                    name: "mid",
+                    layer: LayerKind::Middle,
+                    local: false,
+                    rate: plan.middle_rate,
+                    extent_deg: plan.e2_deg,
+                },
+                LayerChannel {
+                    name: "out",
+                    layer: LayerKind::Outer,
+                    local: false,
+                    rate: plan.outer_rate,
+                    extent_deg: plan.max_extent_deg,
+                },
+            ],
+        }
+    }
+
+    /// The channels, fovea first.
+    #[must_use]
+    pub fn channels(&self) -> &[LayerChannel] {
+        &self.channels
+    }
+
+    /// The channels rendered remotely.
+    pub fn remote_channels(&self) -> impl Iterator<Item = &LayerChannel> {
+        self.channels.iter().filter(|c| !c.local)
+    }
+}
+
+impl fmt::Display for RenderGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.channels {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The per-frame resolved foveation plan.
+///
+/// Produced by [`FoveationPlan::resolve`] from an eccentricity choice, a
+/// display, a MAR model, and the gaze point; consumed by the scheme
+/// pipelines (workload + byte volumes) and by the benchmarks (Fig. 6's
+/// relative frame size, Fig. 13's reductions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoveationPlan {
+    /// Fovea eccentricity `e1`, degrees.
+    pub e1_deg: f64,
+    /// Middle eccentricity `*e2` (Eq. 1 optimal), degrees.
+    pub e2_deg: f64,
+    /// Largest on-screen eccentricity, degrees.
+    pub max_extent_deg: f64,
+    /// VRS rate of the middle layer.
+    pub middle_rate: VrsRate,
+    /// VRS rate of the outer layer.
+    pub outer_rate: VrsRate,
+    /// Fraction of the panel covered by the local fovea disc.
+    pub fovea_area_fraction: f64,
+    /// Native pixels of the middle-layer region (rect minus fovea), one eye.
+    pub middle_region_px: f64,
+    /// Native pixels of the outer-layer region (full panel), one eye.
+    pub outer_region_px: f64,
+    /// Rendered pixels, one eye (fovea native + periphery at VRS scales).
+    pub rendered_px: f64,
+    /// Area-weighted mean linear resolution scale across the frame.
+    pub mean_linear_scale: f64,
+}
+
+impl FoveationPlan {
+    /// Resolves a plan for eccentricity `e1` on a display under a MAR model.
+    ///
+    /// The middle eccentricity follows Eq. (1); MAR scales are quantised to
+    /// hardware VRS rates (never coarser than the MAR bound allows, i.e.
+    /// always at least the MAR scale).
+    #[must_use]
+    pub fn resolve(e1_deg: f64, display: &DisplayGeometry, mar: &MarModel, gaze: GazePoint) -> Self {
+        let e1 = e1_deg.clamp(LayerPartition::MIN_E1, LayerPartition::MAX_E1);
+        let part = LayerPartition::with_optimal_middle(e1, display, mar)
+            .expect("clamped e1 is valid");
+        let budget = part.layer_budget(display, mar, gaze);
+        let native = display.pixels_per_eye() as f64;
+
+        let mid_scale_mar = part.layer_scale(LayerKind::Middle, display, mar);
+        let out_scale_mar = part.layer_scale(LayerKind::Outer, display, mar);
+        let middle_rate = VrsRate::quantize(mid_scale_mar);
+        let outer_rate = VrsRate::quantize(out_scale_mar);
+
+        let fovea_area = display.fovea_area_fraction(e1, gaze);
+        // Region extents in native pixels. Q-VR's server transmits only
+        // what the client does not render locally: the middle rectangle
+        // minus the fovea disc, and the remainder of the panel beyond the
+        // middle rectangle (this is what makes transmitted data collapse
+        // when light apps push e1 toward 90°, e.g. Doom3-L's 96 %).
+        let middle_region_px = if mid_scale_mar > 0.0 {
+            budget.middle_px / (mid_scale_mar * mid_scale_mar)
+        } else {
+            0.0
+        };
+        let outer_region_px = (native - middle_region_px - fovea_area * native).max(0.0);
+
+        let rendered_px = budget.fovea_px
+            + middle_region_px * middle_rate.linear_scale().powi(2)
+            + outer_region_px * outer_rate.linear_scale().powi(2);
+
+        // Area-weighted linear scale: fovea at 1, middle annulus at its
+        // rate, remaining outer area at its rate.
+        let mid_area = (middle_region_px / native).clamp(0.0, 1.0 - fovea_area);
+        let outer_area = (outer_region_px / native).clamp(0.0, 1.0 - fovea_area - mid_area);
+        let mean_linear_scale = fovea_area
+            + mid_area * middle_rate.linear_scale()
+            + outer_area * outer_rate.linear_scale();
+
+        FoveationPlan {
+            e1_deg: e1,
+            e2_deg: part.middle_eccentricity(),
+            max_extent_deg: display.max_eccentricity().0,
+            middle_rate,
+            outer_rate,
+            fovea_area_fraction: fovea_area,
+            middle_region_px,
+            outer_region_px,
+            rendered_px,
+            mean_linear_scale: mean_linear_scale.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Compressed bytes for the periphery streams of **one eye** under a
+    /// size model, with `periphery_quality` scaling the encoder quality of
+    /// the remote streams (the Eq. 1 "*Periphery Quality" knob; `1.0` =
+    /// fovea-grade quality).
+    #[must_use]
+    pub fn periphery_bytes(
+        &self,
+        size_model: &SizeModel,
+        content_detail: f64,
+        periphery_quality: f64,
+    ) -> f64 {
+        let q = periphery_quality.clamp(0.05, 1.0);
+        let mid = size_model.frame_bytes(
+            self.middle_region_px.round() as u64,
+            content_detail,
+            self.middle_rate.linear_scale(),
+        );
+        let out = size_model.frame_bytes(
+            self.outer_region_px.round() as u64,
+            content_detail,
+            self.outer_rate.linear_scale(),
+        );
+        (mid + out) * q
+    }
+
+    /// Resolution reduction relative to native rendering (the Fig. 13
+    /// "resolution reduction": one minus the area-weighted linear scale).
+    #[must_use]
+    pub fn resolution_reduction(&self) -> f64 {
+        (1.0 - self.mean_linear_scale).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for FoveationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "e1={:.1}°, e2={:.1}°, mid {} out {}, {:.0}% res reduction",
+            self.e1_deg,
+            self.e2_deg,
+            self.middle_rate,
+            self.outer_rate,
+            self.resolution_reduction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DisplayGeometry, MarModel) {
+        (DisplayGeometry::vive_pro_class(), MarModel::default())
+    }
+
+    #[test]
+    fn vrs_quantize_never_coarser_than_target() {
+        for target in [1.0, 0.9, 0.71, 0.6, 0.5, 0.4, 0.3, 0.25, 0.1, 0.01] {
+            let rate = VrsRate::quantize(target);
+            assert!(
+                rate.linear_scale() + 1e-12 >= target.min(0.25),
+                "target {target} got {rate}"
+            );
+            // And it is the coarsest such rate: the next-coarser rate (if
+            // any) must violate the target.
+            let all = VrsRate::all();
+            if let Some(pos) = all.iter().position(|r| *r == rate) {
+                if pos + 1 < all.len() {
+                    assert!(
+                        all[pos + 1].linear_scale() < target,
+                        "target {target}: {rate} not coarsest"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vrs_floor_is_4x4() {
+        assert_eq!(VrsRate::quantize(0.001), VrsRate::Sixteenth);
+    }
+
+    #[test]
+    fn plan_scales_coarsen_outward() {
+        let (d, m) = setup();
+        let plan = FoveationPlan::resolve(15.0, &d, &m, GazePoint::center());
+        assert!(plan.middle_rate.linear_scale() >= plan.outer_rate.linear_scale());
+        assert!(plan.e2_deg >= plan.e1_deg);
+    }
+
+    #[test]
+    fn bigger_fovea_means_less_periphery_bytes() {
+        let (d, m) = setup();
+        let sm = SizeModel::default();
+        let small = FoveationPlan::resolve(10.0, &d, &m, GazePoint::center());
+        let large = FoveationPlan::resolve(45.0, &d, &m, GazePoint::center());
+        assert!(
+            large.periphery_bytes(&sm, 0.5, 1.0) < small.periphery_bytes(&sm, 0.5, 1.0)
+        );
+    }
+
+    #[test]
+    fn periphery_quality_scales_bytes() {
+        let (d, m) = setup();
+        let sm = SizeModel::default();
+        let plan = FoveationPlan::resolve(15.0, &d, &m, GazePoint::center());
+        let full = plan.periphery_bytes(&sm, 0.5, 1.0);
+        let half = plan.periphery_bytes(&sm, 0.5, 0.5);
+        assert!((half / full - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_reduction_sensible_bounds() {
+        let (d, m) = setup();
+        for e1 in [5.0, 15.0, 30.0, 60.0, 90.0] {
+            let plan = FoveationPlan::resolve(e1, &d, &m, GazePoint::center());
+            let r = plan.resolution_reduction();
+            assert!((0.0..1.0).contains(&r), "e1={e1}: reduction {r}");
+        }
+        // Small fovea: most of the frame is coarse.
+        let small = FoveationPlan::resolve(5.0, &d, &m, GazePoint::center());
+        assert!(small.resolution_reduction() > 0.4);
+        // Huge fovea: almost everything native.
+        let big = FoveationPlan::resolve(90.0, &d, &m, GazePoint::center());
+        assert!(big.resolution_reduction() < 0.25);
+    }
+
+    #[test]
+    fn rendered_pixels_below_native() {
+        let (d, m) = setup();
+        let plan = FoveationPlan::resolve(20.0, &d, &m, GazePoint::center());
+        assert!(plan.rendered_px < d.pixels_per_eye() as f64 * 1.1);
+        assert!(plan.rendered_px > 0.0);
+    }
+
+    #[test]
+    fn render_graph_matches_fig7_shape() {
+        let (d, m) = setup();
+        let plan = FoveationPlan::resolve(15.0, &d, &m, GazePoint::center());
+        let graph = RenderGraph::for_plan(&plan);
+        assert_eq!(graph.channels().len(), 3);
+        assert!(graph.channels()[0].local);
+        assert_eq!(graph.remote_channels().count(), 2);
+        let text = graph.to_string();
+        assert!(text.contains("fovea"));
+        assert!(text.contains("mid"));
+        assert!(text.contains("out"));
+    }
+
+    #[test]
+    fn plan_clamps_eccentricity() {
+        let (d, m) = setup();
+        let plan = FoveationPlan::resolve(2.0, &d, &m, GazePoint::center());
+        assert_eq!(plan.e1_deg, LayerPartition::MIN_E1);
+        let plan = FoveationPlan::resolve(500.0, &d, &m, GazePoint::center());
+        assert_eq!(plan.e1_deg, LayerPartition::MAX_E1);
+    }
+
+    #[test]
+    fn vrs_display_labels() {
+        assert_eq!(VrsRate::Quarter.to_string(), "2x2");
+        assert_eq!(VrsRate::Sixteenth.to_string(), "4x4");
+    }
+}

@@ -1,0 +1,53 @@
+//! Q-VR: software–hardware co-designed collaborative mobile VR rendering.
+//!
+//! This crate is the paper's primary contribution (Xie et al., ASPLOS
+//! 2021), built on the substrate crates of this workspace:
+//!
+//! * [`liwc`] — the **Lightweight Interaction-aware Workload Controller**
+//!   (Sec. 4.1): a Q-learning-flavoured accelerator that picks the per-frame
+//!   fovea eccentricity `e1` from quantised motion deltas and a 2¹⁵-entry
+//!   f16 gradient table, using *intermediate hardware data* (triangle count
+//!   at setup, ACK-observed network throughput) so the decision lands before
+//!   rendering completes.
+//! * [`uca`] — the **Unified Composition and ATW** unit (Sec. 4.2): the
+//!   algebraic fusion of foveated composition and asynchronous timewarp into
+//!   one trilinear filtering pass (Eq. 4), implemented both functionally
+//!   (on real framebuffers, with the equivalence property tested) and as a
+//!   timing/contention model.
+//! * [`foveation`] — the software framework of Fig. 7: layer channels,
+//!   VRS-quantised layer rates, periphery quality, and the render-graph
+//!   configuration the client and server exchange.
+//! * [`schemes`] — end-to-end frame pipelines for every design point the
+//!   evaluation compares: local-only, remote-only, static collaborative,
+//!   FFR, DFR, software-only Q-VR, and full Q-VR.
+//! * [`metrics`] — per-frame records and run summaries (latency breakdowns,
+//!   FPS, transmitted bytes, energy).
+//!
+//! # Example
+//!
+//! ```
+//! use qvr_core::schemes::{SchemeKind, SystemConfig};
+//! use qvr_scene::Benchmark;
+//!
+//! let config = SystemConfig::default();
+//! let summary = SchemeKind::Qvr.run(&config, Benchmark::Doom3H.profile(), 60, 42);
+//! assert!(summary.mean_mtp_ms() > 0.0);
+//! assert!(summary.fps() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod f16;
+pub mod foveation;
+pub mod liwc;
+pub mod metrics;
+pub mod schemes;
+pub mod uca;
+
+pub use f16::F16;
+pub use foveation::{FoveationPlan, LayerChannel, RenderGraph, VrsRate};
+pub use liwc::Liwc;
+pub use metrics::{FrameRecord, RunSummary};
+pub use schemes::{SchemeKind, SystemConfig};
+pub use uca::Uca;

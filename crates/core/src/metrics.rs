@@ -1,0 +1,269 @@
+//! Per-frame records and run summaries for scheme evaluations.
+
+use qvr_energy::{BusyTimes, EnergyBreakdown};
+use std::fmt;
+
+/// Everything recorded about one simulated frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameRecord {
+    /// Frame index.
+    pub frame_id: u64,
+    /// Fovea eccentricity used (degrees); `None` for non-foveated schemes.
+    pub e1_deg: Option<f64>,
+    /// Local GPU rendering latency, ms.
+    pub t_local_ms: f64,
+    /// Remote chain latency (render/transmit/decode critical part), ms.
+    pub t_remote_ms: f64,
+    /// Motion-to-photon latency of this frame, ms.
+    pub mtp_ms: f64,
+    /// Interval between this frame's display and the previous one's, ms.
+    pub frame_interval_ms: f64,
+    /// Bytes transmitted over the downlink for this frame.
+    pub tx_bytes: f64,
+    /// Fraction by which rendered resolution was reduced vs native, `[0,1]`.
+    pub resolution_reduction: f64,
+    /// Whether a prefetch misprediction forced a blocking re-fetch
+    /// (static collaborative scheme only).
+    pub misprediction: bool,
+}
+
+impl FrameRecord {
+    /// Instantaneous achievable FPS from the pipeline's two rate limiters
+    /// (the paper's `FPS = min(1/T_GPU, 1/T_network)`).
+    #[must_use]
+    pub fn instantaneous_fps(&self) -> f64 {
+        let limiter = self.t_local_ms.max(self.t_remote_ms).max(1e-3);
+        1_000.0 / limiter
+    }
+
+    /// The local/remote balance ratio `T_remote / T_local` (Fig. 14a).
+    #[must_use]
+    pub fn latency_ratio(&self) -> f64 {
+        self.t_remote_ms / self.t_local_ms.max(1e-3)
+    }
+}
+
+/// The outcome of one scheme × app × condition run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Scheme label.
+    pub scheme: String,
+    /// App label.
+    pub app: String,
+    /// Per-frame records.
+    pub frames: Vec<FrameRecord>,
+    /// Total simulated wall-clock, ms.
+    pub makespan_ms: f64,
+    /// Per-resource busy times (for energy).
+    pub busy: BusyTimes,
+    /// Per-component energy over the run.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunSummary {
+    /// Number of frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the run recorded no frames.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Mean motion-to-photon latency, ms.
+    #[must_use]
+    pub fn mean_mtp_ms(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.mtp_ms))
+    }
+
+    /// Steady-state frame rate: frames displayed per second of makespan.
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            0.0
+        } else {
+            self.frames.len() as f64 * 1_000.0 / self.makespan_ms
+        }
+    }
+
+    /// Mean downlink bytes per frame.
+    #[must_use]
+    pub fn mean_tx_bytes(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.tx_bytes))
+    }
+
+    /// Mean resolution reduction.
+    #[must_use]
+    pub fn mean_resolution_reduction(&self) -> f64 {
+        mean(self.frames.iter().map(|f| f.resolution_reduction))
+    }
+
+    /// Mean eccentricity over frames that have one, after skipping the
+    /// first `warmup` frames (Table 4 averages steady state only).
+    #[must_use]
+    pub fn mean_e1_deg(&self, warmup: usize) -> Option<f64> {
+        let vals: Vec<f64> =
+            self.frames.iter().skip(warmup).filter_map(|f| f.e1_deg).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Fraction of frames whose instantaneous FPS meets a target.
+    #[must_use]
+    pub fn fraction_meeting_fps(&self, target_fps: f64, warmup: usize) -> f64 {
+        let total = self.frames.len().saturating_sub(warmup);
+        if total == 0 {
+            return 0.0;
+        }
+        let ok = self
+            .frames
+            .iter()
+            .skip(warmup)
+            .filter(|f| f.instantaneous_fps() >= target_fps)
+            .count();
+        ok as f64 / total as f64
+    }
+
+    /// Whether the run sustains a target frame rate in steady state
+    /// (Table 4's underline criterion, inverted).
+    #[must_use]
+    pub fn meets_target_fps(&self, target_fps: f64, warmup: usize) -> bool {
+        self.fraction_meeting_fps(target_fps, warmup) >= 0.9
+    }
+
+    /// Misprediction rate (static collaborative runs).
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.frames.iter().filter(|f| f.misprediction).count() as f64
+                / self.frames.len() as f64
+        }
+    }
+}
+
+fn mean(iter: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in iter {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {} frames, MTP {:.1} ms, {:.0} FPS, {:.0} KB/frame",
+            self.scheme,
+            self.app,
+            self.frames.len(),
+            self.mean_mtp_ms(),
+            self.fps(),
+            self.mean_tx_bytes() / 1024.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t_local: f64, t_remote: f64, mtp: f64) -> FrameRecord {
+        FrameRecord {
+            frame_id: 0,
+            e1_deg: Some(20.0),
+            t_local_ms: t_local,
+            t_remote_ms: t_remote,
+            mtp_ms: mtp,
+            frame_interval_ms: 11.0,
+            tx_bytes: 100_000.0,
+            resolution_reduction: 0.4,
+            misprediction: false,
+        }
+    }
+
+    fn summary(frames: Vec<FrameRecord>, makespan: f64) -> RunSummary {
+        RunSummary {
+            scheme: "test".into(),
+            app: "app".into(),
+            frames,
+            makespan_ms: makespan,
+            busy: BusyTimes::default(),
+            energy: EnergyBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn instantaneous_fps_uses_slowest_limiter() {
+        let r = record(5.0, 10.0, 20.0);
+        assert!((r.instantaneous_fps() - 100.0).abs() < 1e-9);
+        assert!((r.latency_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fps_from_makespan() {
+        let s = summary(vec![record(5.0, 5.0, 15.0); 90], 1_000.0);
+        assert!((s.fps() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_mtp() {
+        let s = summary(vec![record(1.0, 1.0, 10.0), record(1.0, 1.0, 20.0)], 100.0);
+        assert!((s.mean_mtp_ms() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = summary(vec![], 0.0);
+        assert_eq!(s.fps(), 0.0);
+        assert_eq!(s.mean_mtp_ms(), 0.0);
+        assert!(s.mean_e1_deg(0).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn warmup_skipped_in_mean_e1() {
+        let mut frames = vec![record(1.0, 1.0, 10.0); 10];
+        for f in frames.iter_mut().take(5) {
+            f.e1_deg = Some(5.0);
+        }
+        let s = summary(frames, 100.0);
+        assert_eq!(s.mean_e1_deg(5), Some(20.0));
+    }
+
+    #[test]
+    fn target_fps_criterion() {
+        // 10 ms limiter = 100 FPS instantaneous: meets 90, misses 120.
+        let s = summary(vec![record(10.0, 8.0, 20.0); 50], 500.0);
+        assert!(s.meets_target_fps(90.0, 5));
+        assert!(!s.meets_target_fps(120.0, 5));
+    }
+
+    #[test]
+    fn misprediction_rate_counts() {
+        let mut frames = vec![record(1.0, 1.0, 10.0); 4];
+        frames[1].misprediction = true;
+        let s = summary(frames, 100.0);
+        assert!((s.misprediction_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_scheme() {
+        let s = summary(vec![record(1.0, 1.0, 10.0)], 11.0);
+        assert!(s.to_string().contains("test"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The shared pipeline rig: resources, streaming chains, and accounting.
+
+use super::SystemConfig;
+use crate::metrics::{FrameRecord, RunSummary};
+use qvr_energy::BusyTimes;
+use qvr_gpu::GpuTimingModel;
+use qvr_net::NetworkChannel;
+use qvr_scene::AppProfile;
+use qvr_sim::{Engine, ResourceId, TaskId};
+
+/// Shared pipeline state for one scheme run.
+#[derive(Debug)]
+pub struct Rig {
+    /// The discrete-event engine.
+    pub engine: Engine,
+    /// CPU resource (CL, LS, software controller).
+    pub cpu: ResourceId,
+    /// Mobile GPU resource.
+    pub gpu: ResourceId,
+    /// Uplink radio.
+    pub net_up: ResourceId,
+    /// Downlink radio.
+    pub net_down: ResourceId,
+    /// Remote GPU array.
+    pub rgpu: ResourceId,
+    /// Server-side video encoder.
+    pub senc: ResourceId,
+    /// Mobile video decoder.
+    pub vdec: ResourceId,
+    /// UCA units.
+    pub uca: ResourceId,
+    /// LIWC unit.
+    pub liwc: ResourceId,
+    /// Seeded network channel.
+    pub channel: NetworkChannel,
+    /// Mobile GPU timing model.
+    pub mobile: GpuTimingModel,
+    config: SystemConfig,
+    /// Display tasks of recent frames (for render-ahead pacing).
+    display_tasks: Vec<TaskId>,
+    records: Vec<FrameRecord>,
+}
+
+/// Result of one remote render→encode→transmit→decode chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteChain {
+    /// The final decode task; composition depends on it.
+    pub done: TaskId,
+    /// Wall-clock duration from chain issue to last decode as scheduled
+    /// (includes queueing behind earlier frames), ms.
+    pub duration_ms: f64,
+    /// Contention-free chain duration: the chunked-pipeline completion time
+    /// `Σstages/k + max(stage)·(k−1)/k`, ms. This is what one frame costs in
+    /// isolation — the quantity the paper's stacked latency bars report and
+    /// the quantity LIWC balances against local rendering.
+    pub nominal_ms: f64,
+    /// Bytes that crossed the downlink.
+    pub bytes: f64,
+}
+
+impl Rig {
+    /// Builds a rig for a config and seed.
+    #[must_use]
+    pub fn new(config: &SystemConfig, seed: u64) -> Self {
+        let mut engine = Engine::new();
+        let cpu = engine.resource("CPU");
+        let gpu = engine.resource("GPU");
+        let net_up = engine.resource("NET_UP");
+        let net_down = engine.resource("NET_DOWN");
+        let rgpu = engine.resource("RGPU");
+        let senc = engine.resource("SENC");
+        let vdec = engine.resource("VDEC");
+        let uca = engine.resource("UCA");
+        let liwc = engine.resource("LIWC");
+        Rig {
+            engine,
+            cpu,
+            gpu,
+            net_up,
+            net_down,
+            rgpu,
+            senc,
+            vdec,
+            uca,
+            liwc,
+            channel: NetworkChannel::new(config.network, seed),
+            mobile: GpuTimingModel::new(config.gpu),
+            config: *config,
+            display_tasks: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The config this rig runs under.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Render-ahead pacing dependencies for a new frame: at most
+    /// `frames_in_flight` frames may be in the pipe.
+    #[must_use]
+    pub fn pace_deps(&self) -> Vec<TaskId> {
+        let in_flight = self.config.frames_in_flight as usize;
+        if self.display_tasks.len() >= in_flight {
+            vec![self.display_tasks[self.display_tasks.len() - in_flight]]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Time for a full-screen GPU pass over both eyes at `cycles_per_px`.
+    #[must_use]
+    pub fn stereo_pass_ms(&self, profile: &AppProfile, cycles_per_px: f64) -> f64 {
+        let px = f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
+        self.mobile.fullscreen_pass_ms(px * 2.0, cycles_per_px)
+    }
+
+    /// Submits the remote render → encode → transmit → decode chain, split
+    /// into `tx_chunks` streaming chunks so the stages overlap (the paper:
+    /// "remote rendering, network transmission and video codex can be
+    /// streamed in parallel").
+    ///
+    /// * `render_ms` — total remote render time for the frame;
+    /// * `bytes` — total downlink bytes (already stereo-adjusted);
+    /// * `decode_px` — total pixels the mobile decoder reconstructs;
+    /// * `deps` — tasks that must complete before the chain starts (pose
+    ///   upload, setup).
+    pub fn remote_chain(
+        &mut self,
+        label: &str,
+        render_ms: f64,
+        bytes: f64,
+        decode_px: f64,
+        deps: &[TaskId],
+    ) -> RemoteChain {
+        let k = self.config.tx_chunks.max(1);
+        let kf = f64::from(k);
+        let encode_ms = self.config.codec_latency.encode_ms(decode_px);
+        let decode_ms = self.config.codec_latency.decode_ms(decode_px);
+        let mut tx_total_ms = 0.0;
+        let mut issue_time: Option<f64> = None;
+        let mut last_decode: Option<TaskId> = None;
+        let mut prev_tx: Option<TaskId> = None;
+        for i in 0..k {
+            let rr = self.engine.submit(
+                &format!("{label}:rr{i}"),
+                Some(self.rgpu),
+                render_ms / kf,
+                deps,
+            );
+            if issue_time.is_none() {
+                issue_time = Some(self.engine.start_of(rr));
+            }
+            let enc = self.engine.submit(
+                &format!("{label}:enc{i}"),
+                Some(self.senc),
+                encode_ms / kf,
+                &[rr],
+            );
+            // Sample the channel for this chunk's transfer time. The stream
+            // pays its base (propagation) latency once, on the first chunk.
+            let tx_ms = if i == 0 {
+                self.channel.download_ms(bytes / f64::from(k))
+            } else {
+                self.channel.transfer_only_ms(bytes / f64::from(k))
+            };
+            tx_total_ms += tx_ms;
+            let tx_deps: Vec<TaskId> = match prev_tx {
+                Some(p) => vec![enc, p],
+                None => vec![enc],
+            };
+            let tx = self.engine.submit(
+                &format!("{label}:tx{i}"),
+                Some(self.net_down),
+                tx_ms,
+                &tx_deps,
+            );
+            prev_tx = Some(tx);
+            let vd = self.engine.submit(
+                &format!("{label}:vd{i}"),
+                Some(self.vdec),
+                decode_ms / kf,
+                &[tx],
+            );
+            last_decode = Some(vd);
+        }
+        let done = last_decode.expect("k >= 1");
+        let stages = [render_ms, encode_ms, tx_total_ms, decode_ms];
+        let sum: f64 = stages.iter().sum();
+        let max = stages.iter().fold(0.0f64, |a, &b| a.max(b));
+        let nominal_ms = sum / kf + max * (kf - 1.0) / kf;
+        RemoteChain {
+            done,
+            duration_ms: self.engine.end_of(done) - issue_time.unwrap_or(0.0),
+            nominal_ms,
+            bytes,
+        }
+    }
+
+    /// Submits the pose/config upload for a frame; returns the task and its
+    /// sampled duration in ms.
+    pub fn upload(&mut self, label: &str, bytes: f64, deps: &[TaskId]) -> (TaskId, f64) {
+        let t = self.channel.upload_ms(bytes);
+        (self.engine.submit(label, Some(self.net_up), t, deps), t)
+    }
+
+    /// Submits the display scanout as a latency-only stage and registers it
+    /// for pacing. Returns the display task.
+    pub fn display(&mut self, label: &str, deps: &[TaskId]) -> TaskId {
+        let t = self.engine.submit(label, None, self.config.display_ms, deps);
+        self.display_tasks.push(t);
+        t
+    }
+
+    /// End time of the most recent display task (0 before any frame).
+    #[must_use]
+    pub fn last_display_end(&self) -> f64 {
+        self.display_tasks
+            .last()
+            .map_or(0.0, |t| self.engine.end_of(*t))
+    }
+
+    /// The most recent display task, if any (for fully serialised control
+    /// loops that block on present).
+    #[must_use]
+    pub fn last_display_task(&self) -> Option<TaskId> {
+        self.display_tasks.last().copied()
+    }
+
+    /// Records a completed frame.
+    pub fn record(&mut self, record: FrameRecord) {
+        self.records.push(record);
+    }
+
+    /// Motion-to-photon latency from the per-frame critical path: sensor
+    /// transport + CPU stages + the slower of the local/remote branches +
+    /// composition path + display scanout. Queueing behind *other* frames is
+    /// deliberately excluded — real pipelines sample the latest pose at
+    /// render start, so render-ahead depth does not add MTP (the paper's
+    /// stacked latency bars report exactly these per-stage costs).
+    #[must_use]
+    pub fn path_mtp_ms(&self, cpu_ms: f64, branch_ms: f64, compose_ms: f64) -> f64 {
+        self.config.tracking_ms + cpu_ms + branch_ms + compose_ms + self.config.display_ms
+    }
+
+    /// Finalises the run into a summary with energy accounting.
+    #[must_use]
+    pub fn finish(mut self, scheme: &str, app: &str, liwc_always_on: bool) -> RunSummary {
+        let span = self.engine.makespan();
+        let busy = BusyTimes {
+            span_ms: span,
+            gpu_ms: self.engine.busy_ms(self.gpu),
+            radio_ms: self.engine.busy_ms(self.net_down) + self.engine.busy_ms(self.net_up),
+            vdec_ms: self.engine.busy_ms(self.vdec),
+            cpu_ms: self.engine.busy_ms(self.cpu),
+            liwc_ms: if liwc_always_on { span } else { self.engine.busy_ms(self.liwc) },
+            uca_ms: self.engine.busy_ms(self.uca),
+        };
+        let energy = self.config.power.energy(&busy, self.config.gpu.frequency_mhz, self.config.network);
+        // Fill in frame intervals now that all display times are known.
+        let mut prev_end = 0.0;
+        for (record, t) in self.records.iter_mut().zip(&self.display_tasks) {
+            let end = self.engine.end_of(*t);
+            record.frame_interval_ms = end - prev_end;
+            prev_end = end;
+        }
+        RunSummary {
+            scheme: scheme.to_owned(),
+            app: app.to_owned(),
+            frames: self.records,
+            makespan_ms: span,
+            busy,
+            energy,
+        }
+    }
+}

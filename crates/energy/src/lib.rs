@@ -1,0 +1,312 @@
+//! Power, energy, and hardware-overhead models (paper Secs. 4.3 and 6.3).
+//!
+//! The Fig. 15 energy study normalises Q-VR's *system* energy to the local
+//! rendering baseline, counting the mobile GPU, the network radio (power
+//! figures from the LTE/Wi-Fi measurement literature the paper cites), the
+//! video decoder, and the added LIWC/UCA units (McPAT figures from
+//! Sec. 4.3). The display is identical across schemes and excluded, as in
+//! the paper.
+//!
+//! * [`PowerModel`] — active/static power for every component, with a
+//!   DVFS-style frequency scaling law for the GPU: dynamic power scales as
+//!   `(f/f₀)^2.4` (voltage scales with frequency), static power is
+//!   frequency-independent. Energy over a frame therefore has the
+//!   non-monotone frequency behaviour the paper observes (lower clocks
+//!   stretch static energy).
+//! * [`EnergyBreakdown`] — per-component millijoules for a simulated
+//!   interval, built from resource busy times.
+//! * [`overhead`] — the Sec. 4.3 McPAT area/power/latency numbers for LIWC
+//!   and UCA, plus the UCA throughput sufficiency computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod overhead;
+
+pub use overhead::{LiwcOverhead, UcaOverhead};
+
+use qvr_net::NetworkPreset;
+use std::fmt;
+
+/// Component power figures, watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Mobile GPU peak dynamic power at the reference frequency, W.
+    pub gpu_dynamic_peak_w: f64,
+    /// Mobile GPU static/leakage power, W.
+    pub gpu_static_w: f64,
+    /// Reference GPU frequency for the dynamic figure, MHz.
+    pub gpu_ref_mhz: f64,
+    /// DVFS exponent: dynamic power ∝ (f/f₀)^exponent.
+    pub gpu_dvfs_exponent: f64,
+    /// CPU active power during control logic / setup, W.
+    pub cpu_active_w: f64,
+    /// Hardware video decoder active power, W.
+    pub vdec_active_w: f64,
+    /// LIWC active power, W (Sec. 4.3: 25 mW).
+    pub liwc_w: f64,
+    /// Power of one UCA unit, W (Sec. 4.3: 94 mW).
+    pub uca_unit_w: f64,
+    /// Number of UCA units (Table 2: 2).
+    pub uca_units: u32,
+}
+
+impl PowerModel {
+    /// Radio power while actively receiving, W (cited 4G-LTE / Wi-Fi power
+    /// characterisation studies; early-5G figures from early modem reports).
+    #[must_use]
+    pub fn radio_active_w(preset: NetworkPreset) -> f64 {
+        match preset {
+            NetworkPreset::WiFi => 0.9,
+            NetworkPreset::Lte4G => 1.4,
+            NetworkPreset::Early5G => 1.9,
+        }
+    }
+
+    /// GPU dynamic power at a frequency, W.
+    #[must_use]
+    pub fn gpu_dynamic_w(&self, freq_mhz: f64) -> f64 {
+        self.gpu_dynamic_peak_w * (freq_mhz / self.gpu_ref_mhz).powf(self.gpu_dvfs_exponent)
+    }
+
+    /// GPU energy over an interval, mJ: dynamic while busy, static for the
+    /// whole span.
+    #[must_use]
+    pub fn gpu_energy_mj(&self, freq_mhz: f64, busy_ms: f64, span_ms: f64) -> f64 {
+        self.gpu_dynamic_w(freq_mhz) * busy_ms + self.gpu_static_w * span_ms
+    }
+}
+
+impl Default for PowerModel {
+    /// Mobile-SoC figures: ~3 W GPU dynamic peak at 500 MHz + 0.6 W leakage,
+    /// 0.8 W CPU active, 0.3 W video decoder, Sec. 4.3's LIWC/UCA numbers.
+    fn default() -> Self {
+        PowerModel {
+            gpu_dynamic_peak_w: 3.0,
+            gpu_static_w: 0.6,
+            gpu_ref_mhz: 500.0,
+            gpu_dvfs_exponent: 2.4,
+            cpu_active_w: 0.8,
+            vdec_active_w: 0.3,
+            liwc_w: 0.025,
+            uca_unit_w: 0.094,
+            uca_units: 2,
+        }
+    }
+}
+
+impl fmt::Display for PowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GPU {:.1} W dyn @ {:.0} MHz + {:.1} W static, CPU {:.1} W, VDEC {:.1} W",
+            self.gpu_dynamic_peak_w,
+            self.gpu_ref_mhz,
+            self.gpu_static_w,
+            self.cpu_active_w,
+            self.vdec_active_w
+        )
+    }
+}
+
+/// Per-component energy for a simulated interval, millijoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Mobile GPU (dynamic + static).
+    pub gpu_mj: f64,
+    /// Network radio (active reception/transmission).
+    pub radio_mj: f64,
+    /// Hardware video decoder.
+    pub vdec_mj: f64,
+    /// CPU control/setup work.
+    pub cpu_mj: f64,
+    /// LIWC unit.
+    pub liwc_mj: f64,
+    /// UCA units.
+    pub uca_mj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total system energy, mJ.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.gpu_mj + self.radio_mj + self.vdec_mj + self.cpu_mj + self.liwc_mj + self.uca_mj
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} mJ (gpu {:.1}, radio {:.1}, vdec {:.1}, cpu {:.1}, liwc {:.2}, uca {:.2})",
+            self.total_mj(),
+            self.gpu_mj,
+            self.radio_mj,
+            self.vdec_mj,
+            self.cpu_mj,
+            self.liwc_mj,
+            self.uca_mj
+        )
+    }
+}
+
+/// Busy-time inputs for one simulated interval (from the event engine's
+/// per-resource accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BusyTimes {
+    /// Total wall-clock span of the interval, ms.
+    pub span_ms: f64,
+    /// GPU busy, ms.
+    pub gpu_ms: f64,
+    /// Radio active, ms.
+    pub radio_ms: f64,
+    /// Video decoder busy, ms.
+    pub vdec_ms: f64,
+    /// CPU busy, ms.
+    pub cpu_ms: f64,
+    /// LIWC busy, ms.
+    pub liwc_ms: f64,
+    /// UCA busy (per unit), ms.
+    pub uca_ms: f64,
+}
+
+impl PowerModel {
+    /// Converts busy times into a per-component energy breakdown.
+    #[must_use]
+    pub fn energy(
+        &self,
+        busy: &BusyTimes,
+        gpu_freq_mhz: f64,
+        preset: NetworkPreset,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            gpu_mj: self.gpu_energy_mj(gpu_freq_mhz, busy.gpu_ms, busy.span_ms),
+            radio_mj: Self::radio_active_w(preset) * busy.radio_ms,
+            vdec_mj: self.vdec_active_w * busy.vdec_ms,
+            cpu_mj: self.cpu_active_w * busy.cpu_ms,
+            liwc_mj: self.liwc_w * busy.liwc_ms,
+            uca_mj: self.uca_unit_w * f64::from(self.uca_units) * busy.uca_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_power_scales_superlinearly() {
+        let p = PowerModel::default();
+        let at_500 = p.gpu_dynamic_w(500.0);
+        let at_250 = p.gpu_dynamic_w(250.0);
+        assert!(at_250 < at_500 / 2.0, "DVFS must be superlinear: {at_250} vs {at_500}");
+        assert!((at_500 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_vs_frequency_is_non_monotone_for_fixed_work() {
+        // Fixed work: busy time scales inversely with frequency. Sweeping
+        // down in clock, dynamic energy falls but static energy rises — the
+        // paper's "reducing GPU frequency will not always increase the
+        // energy benefit".
+        let p = PowerModel::default();
+        let work_cycles_ms500 = 10.0; // 10 ms of busy time at 500 MHz
+        let energy_at = |f: f64| {
+            let busy = work_cycles_ms500 * 500.0 / f;
+            // Frame span set by a 90 Hz deadline floor or the busy time.
+            let span = busy.max(11.1);
+            p.gpu_energy_mj(f, busy, span)
+        };
+        let e500 = energy_at(500.0);
+        let e300 = energy_at(300.0);
+        let e100 = energy_at(100.0);
+        assert!(e300 < e500, "300 MHz saves energy vs 500 MHz");
+        assert!(e100 > e300, "very low clocks lose to static energy stretch");
+    }
+
+    #[test]
+    fn radio_power_ordering() {
+        assert!(
+            PowerModel::radio_active_w(NetworkPreset::Lte4G)
+                > PowerModel::radio_active_w(NetworkPreset::WiFi)
+        );
+        assert!(
+            PowerModel::radio_active_w(NetworkPreset::Early5G)
+                > PowerModel::radio_active_w(NetworkPreset::Lte4G)
+        );
+    }
+
+    #[test]
+    fn breakdown_totals_add_up() {
+        let p = PowerModel::default();
+        let busy = BusyTimes {
+            span_ms: 11.1,
+            gpu_ms: 5.0,
+            radio_ms: 8.0,
+            vdec_ms: 2.0,
+            cpu_ms: 1.0,
+            liwc_ms: 11.1,
+            uca_ms: 3.0,
+        };
+        let e = p.energy(&busy, 500.0, NetworkPreset::WiFi);
+        let manual =
+            e.gpu_mj + e.radio_mj + e.vdec_mj + e.cpu_mj + e.liwc_mj + e.uca_mj;
+        assert!((e.total_mj() - manual).abs() < 1e-12);
+        assert!(e.total_mj() > 0.0);
+    }
+
+    #[test]
+    fn liwc_uca_are_small_overheads() {
+        // Sec. 4.3's point: the added units cost milliwatts against a
+        // multi-watt GPU. Over a full frame their energy must be <5% of a
+        // busy GPU's.
+        let p = PowerModel::default();
+        let busy = BusyTimes {
+            span_ms: 11.1,
+            gpu_ms: 8.0,
+            liwc_ms: 11.1,
+            uca_ms: 4.0,
+            ..BusyTimes::default()
+        };
+        let e = p.energy(&busy, 500.0, NetworkPreset::WiFi);
+        assert!((e.liwc_mj + e.uca_mj) < 0.05 * e.gpu_mj);
+    }
+
+    #[test]
+    fn local_rendering_dominated_by_gpu() {
+        // A local-only frame: GPU busy most of a long frame, no radio.
+        let p = PowerModel::default();
+        let busy = BusyTimes { span_ms: 50.0, gpu_ms: 45.0, cpu_ms: 3.0, ..Default::default() };
+        let e = p.energy(&busy, 500.0, NetworkPreset::WiFi);
+        assert!(e.gpu_mj > 0.9 * e.total_mj());
+    }
+
+    #[test]
+    fn collaborative_saves_energy_vs_local_when_gpu_shrinks() {
+        // The Fig. 15 effect: rendering only the fovea slashes GPU busy
+        // time; radio/decoder overheads are smaller than the saving.
+        let p = PowerModel::default();
+        let local = BusyTimes { span_ms: 50.0, gpu_ms: 45.0, cpu_ms: 3.0, ..Default::default() };
+        let qvr = BusyTimes {
+            span_ms: 12.0,
+            gpu_ms: 6.0,
+            radio_ms: 7.0,
+            vdec_ms: 2.0,
+            cpu_ms: 1.0,
+            liwc_ms: 12.0,
+            uca_ms: 3.0,
+        };
+        let e_local = p.energy(&local, 500.0, NetworkPreset::WiFi).total_mj();
+        let e_qvr = p.energy(&qvr, 500.0, NetworkPreset::WiFi).total_mj();
+        assert!(
+            e_qvr < 0.5 * e_local,
+            "Q-VR-like frame {e_qvr} mJ vs local {e_local} mJ"
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(PowerModel::default().to_string().contains("GPU"));
+        assert!(EnergyBreakdown::default().to_string().contains("mJ"));
+    }
+}

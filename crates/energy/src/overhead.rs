@@ -1,0 +1,172 @@
+//! Sec. 4.3 hardware-overhead figures (McPAT, 45 nm, 500 MHz).
+//!
+//! The paper evaluates its two added units with McPAT and reports area,
+//! power, and latency. We ship those published figures as data, plus the
+//! derived quantities the section argues from: LIWC's table fits in a 64 KB
+//! SRAM and its lookup latency hides entirely; two UCA units sustain
+//! real-time composition+ATW at 532 cycles per 32×32 tile.
+
+use std::fmt;
+
+/// LIWC implementation figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiwcOverhead {
+    /// Mapping-table entries (2¹⁵).
+    pub table_depth: u32,
+    /// Bits per entry (half-precision float).
+    pub entry_bits: u32,
+    /// Total SRAM, bytes.
+    pub sram_bytes: u64,
+    /// Die area, mm² (45 nm).
+    pub area_mm2: f64,
+    /// Peak power, mW, at 500 MHz.
+    pub power_mw: f64,
+}
+
+impl LiwcOverhead {
+    /// The paper's published figures.
+    #[must_use]
+    pub fn published() -> Self {
+        LiwcOverhead {
+            table_depth: 32_768,
+            entry_bits: 16,
+            sram_bytes: 64 * 1024,
+            area_mm2: 0.66,
+            power_mw: 25.0,
+        }
+    }
+
+    /// Consistency check: depth × entry size equals the SRAM size.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        u64::from(self.table_depth) * u64::from(self.entry_bits) / 8 == self.sram_bytes
+    }
+}
+
+impl fmt::Display for LiwcOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LIWC: {} KB SRAM ({} x f16), {:.2} mm2, {:.0} mW",
+            self.sram_bytes / 1024,
+            self.table_depth,
+            self.area_mm2,
+            self.power_mw
+        )
+    }
+}
+
+/// UCA implementation figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UcaOverhead {
+    /// Cycles to process one tile.
+    pub cycles_per_tile: u32,
+    /// Tile edge, pixels.
+    pub tile_px: u32,
+    /// Unit count (Table 2: 2).
+    pub units: u32,
+    /// Clock, MHz.
+    pub frequency_mhz: f64,
+    /// Die area per unit, mm².
+    pub area_mm2: f64,
+    /// Runtime power per unit, mW.
+    pub power_mw: f64,
+}
+
+impl UcaOverhead {
+    /// The paper's published figures.
+    #[must_use]
+    pub fn published() -> Self {
+        UcaOverhead {
+            cycles_per_tile: 532,
+            tile_px: 32,
+            units: 2,
+            frequency_mhz: 500.0,
+            area_mm2: 1.6,
+            power_mw: 94.0,
+        }
+    }
+
+    /// Tiles needed for a stereo frame at `width`×`height` per eye.
+    #[must_use]
+    pub fn tiles_per_stereo_frame(&self, width: u32, height: u32) -> u64 {
+        let per_eye =
+            u64::from(width.div_ceil(self.tile_px)) * u64::from(height.div_ceil(self.tile_px));
+        per_eye * 2
+    }
+
+    /// Time for all units to process a stereo frame, ms.
+    #[must_use]
+    pub fn stereo_frame_ms(&self, width: u32, height: u32) -> f64 {
+        let tiles = self.tiles_per_stereo_frame(width, height) as f64;
+        tiles * f64::from(self.cycles_per_tile)
+            / (f64::from(self.units) * self.frequency_mhz * 1_000.0)
+    }
+
+    /// Whether the configuration sustains a refresh rate at a resolution.
+    #[must_use]
+    pub fn sustains(&self, width: u32, height: u32, refresh_hz: f64) -> bool {
+        self.stereo_frame_ms(width, height) <= 1_000.0 / refresh_hz
+    }
+}
+
+impl fmt::Display for UcaOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "UCA: {} units @ {:.0} MHz, {} cyc/{}x{} tile, {:.1} mm2, {:.0} mW each",
+            self.units,
+            self.frequency_mhz,
+            self.cycles_per_tile,
+            self.tile_px,
+            self.tile_px,
+            self.area_mm2,
+            self.power_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liwc_published_figures_are_consistent() {
+        let l = LiwcOverhead::published();
+        assert!(l.is_consistent(), "2^15 x 16 bit = 64 KB");
+        assert_eq!(l.table_depth, 1 << 15);
+        assert!((l.area_mm2 - 0.66).abs() < 1e-12);
+        assert!((l.power_mw - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uca_sustains_realtime_vr() {
+        // Sec. 4.3's claim: "with 2 UCAs operating at 500 MHz, we are able
+        // to achieve sufficient performance for realtime VR."
+        let u = UcaOverhead::published();
+        let t = u.stereo_frame_ms(1920, 2160);
+        assert!(t < 1_000.0 / 90.0, "stereo UCA pass {t} ms exceeds 90 Hz budget");
+        assert!(u.sustains(1920, 2160, 90.0));
+    }
+
+    #[test]
+    fn one_uca_unit_takes_twice_as_long() {
+        let two = UcaOverhead::published();
+        let one = UcaOverhead { units: 1, ..two };
+        let ratio = one.stereo_frame_ms(1920, 2160) / two.stereo_frame_ms(1920, 2160);
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tile_count_rounds_up() {
+        let u = UcaOverhead::published();
+        // 1920/32 = 60 exact; 2160/32 = 67.5 -> 68.
+        assert_eq!(u.tiles_per_stereo_frame(1920, 2160), 60 * 68 * 2);
+    }
+
+    #[test]
+    fn displays_mention_units() {
+        assert!(LiwcOverhead::published().to_string().contains("64 KB"));
+        assert!(UcaOverhead::published().to_string().contains("532"));
+    }
+}

@@ -1,0 +1,202 @@
+//! GPU hardware configurations (paper Table 2).
+
+use std::fmt;
+
+/// Configuration of one simulated GPU.
+///
+/// Defaults reproduce the paper's Table 2 mobile configuration: 500 MHz,
+/// 8 unified shaders of SIMD4 ALUs, 16 KB L1 per shader, one texture unit
+/// with 4× anisotropic filtering, 16×16 tiled rasterization, 256 KB 8-way
+/// L2, and DRAM sustaining 16 bytes/cycle over 8 channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuConfig {
+    /// Core clock in MHz.
+    pub frequency_mhz: f64,
+    /// Number of unified shader cores.
+    pub unified_shaders: u32,
+    /// SIMD lanes per shader core.
+    pub simd_width: u32,
+    /// L1 cache per shader core, bytes.
+    pub l1_bytes: u64,
+    /// Texture units (shared).
+    pub texture_units: u32,
+    /// Peak bilinear texture samples per texture unit per cycle.
+    pub texels_per_cycle: f64,
+    /// Anisotropic filtering tap multiplier (4× AF ⇒ up to 4 extra taps).
+    pub anisotropy: f64,
+    /// Raster tile edge in pixels (16 ⇒ 16×16 binning tiles).
+    pub raster_tile_px: u32,
+    /// Total L2 cache, bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity (ways).
+    pub l2_ways: u32,
+    /// Sustained DRAM bytes per core cycle (all channels combined).
+    pub dram_bytes_per_cycle: f64,
+    /// DRAM channel count.
+    pub dram_channels: u32,
+    /// Triangle setup throughput of the fixed-function rasterizer,
+    /// triangles per cycle.
+    pub triangles_per_cycle: f64,
+    /// Fixed cost per draw batch (state change + kernel issue), cycles.
+    pub batch_overhead_cycles: f64,
+    /// Fixed per-frame pipeline overhead (flush, swap), cycles.
+    pub frame_overhead_cycles: f64,
+}
+
+impl GpuConfig {
+    /// The paper's Table 2 mobile GPU: an ARM Mali-G76-class part at 500 MHz.
+    #[must_use]
+    pub fn mali_g76_class() -> Self {
+        GpuConfig {
+            frequency_mhz: 500.0,
+            unified_shaders: 8,
+            simd_width: 4,
+            l1_bytes: 16 * 1024,
+            texture_units: 1,
+            texels_per_cycle: 4.0,
+            anisotropy: 4.0,
+            raster_tile_px: 16,
+            l2_bytes: 256 * 1024,
+            l2_ways: 8,
+            dram_bytes_per_cycle: 16.0,
+            dram_channels: 8,
+            triangles_per_cycle: 0.5,
+            batch_overhead_cycles: 2_000.0,
+            frame_overhead_cycles: 50_000.0,
+        }
+    }
+
+    /// An Intel-Gen9-class integrated GPU, used for the motivation study
+    /// (Sec. 2.3: Core i7 + mobile GPU, calibrated against an Apple A10).
+    ///
+    /// Slightly wider than the Mali config but clocked similarly; the paper
+    /// treats both as "wimpy mobile hardware" of comparable class.
+    #[must_use]
+    pub fn gen9_class() -> Self {
+        GpuConfig {
+            frequency_mhz: 600.0,
+            unified_shaders: 12,
+            simd_width: 4,
+            l1_bytes: 32 * 1024,
+            texture_units: 2,
+            ..GpuConfig::mali_g76_class()
+        }
+    }
+
+    /// One GPU of the remote rendering server: an NVIDIA-Pascal-class
+    /// discrete part (Sec. 2.3's "high-performance gaming system").
+    #[must_use]
+    pub fn pascal_class() -> Self {
+        GpuConfig {
+            frequency_mhz: 1_400.0,
+            unified_shaders: 40,
+            simd_width: 8,
+            l1_bytes: 48 * 1024,
+            texture_units: 8,
+            texels_per_cycle: 4.0,
+            anisotropy: 4.0,
+            raster_tile_px: 16,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 16,
+            dram_bytes_per_cycle: 256.0,
+            dram_channels: 8,
+            triangles_per_cycle: 4.0,
+            batch_overhead_cycles: 1_000.0,
+            frame_overhead_cycles: 30_000.0,
+        }
+    }
+
+    /// Returns a copy clocked at a different core frequency (the Table 4 /
+    /// Fig. 15 sensitivity axis: 500 / 400 / 300 MHz).
+    #[must_use]
+    pub fn with_frequency_mhz(mut self, mhz: f64) -> Self {
+        self.frequency_mhz = mhz;
+        self
+    }
+
+    /// Total SIMD lanes across all shader cores.
+    #[must_use]
+    pub fn total_lanes(&self) -> f64 {
+        f64::from(self.unified_shaders) * f64::from(self.simd_width)
+    }
+
+    /// Core cycles per millisecond at the configured frequency.
+    #[must_use]
+    pub fn cycles_per_ms(&self) -> f64 {
+        self.frequency_mhz * 1_000.0
+    }
+
+    /// Converts a cycle count into milliseconds at this clock.
+    #[must_use]
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / self.cycles_per_ms()
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::mali_g76_class()
+    }
+}
+
+impl fmt::Display for GpuConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} MHz, {} shaders x SIMD{}, {} KB L2, {} B/cyc DRAM",
+            self.frequency_mhz,
+            self.unified_shaders,
+            self.simd_width,
+            self.l2_bytes / 1024,
+            self.dram_bytes_per_cycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let c = GpuConfig::default();
+        assert_eq!(c.frequency_mhz, 500.0);
+        assert_eq!(c.unified_shaders, 8);
+        assert_eq!(c.simd_width, 4);
+        assert_eq!(c.l1_bytes, 16 * 1024);
+        assert_eq!(c.l2_bytes, 256 * 1024);
+        assert_eq!(c.l2_ways, 8);
+        assert_eq!(c.dram_bytes_per_cycle, 16.0);
+        assert_eq!(c.dram_channels, 8);
+        assert_eq!(c.raster_tile_px, 16);
+    }
+
+    #[test]
+    fn lanes_and_cycles() {
+        let c = GpuConfig::default();
+        assert_eq!(c.total_lanes(), 32.0);
+        assert_eq!(c.cycles_per_ms(), 500_000.0);
+        assert!((c.cycles_to_ms(1_000_000.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_override() {
+        let c = GpuConfig::default().with_frequency_mhz(300.0);
+        assert_eq!(c.frequency_mhz, 300.0);
+        assert_eq!(c.unified_shaders, 8);
+    }
+
+    #[test]
+    fn pascal_is_much_faster() {
+        let mobile = GpuConfig::mali_g76_class();
+        let server = GpuConfig::pascal_class();
+        let mobile_rate = mobile.total_lanes() * mobile.frequency_mhz;
+        let server_rate = server.total_lanes() * server.frequency_mhz;
+        assert!(server_rate > 10.0 * mobile_rate);
+    }
+
+    #[test]
+    fn display_mentions_frequency() {
+        assert!(GpuConfig::default().to_string().contains("500"));
+    }
+}

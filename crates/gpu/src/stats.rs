@@ -1,0 +1,135 @@
+//! Ground-truth workload statistics collected by the functional rasterizer.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated while rendering one frame (or one draw batch).
+///
+/// These are the "intermediate hardware data" the paper's LIWC observes:
+/// triangle counts are visible at rendering setup, fragments and texture
+/// samples during shading. The timing model consumes the same quantities,
+/// which lets tests cross-validate analytic estimates against measured
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenderStats {
+    /// Triangles submitted to the pipeline.
+    pub triangles_in: u64,
+    /// Triangles rejected by back-face or off-screen culling.
+    pub triangles_culled: u64,
+    /// Triangles rejected because they cross the near plane.
+    pub triangles_clipped: u64,
+    /// Fragments that passed the depth test and were shaded.
+    pub fragments_shaded: u64,
+    /// Fragments that failed the depth test (overdraw casualties).
+    pub fragments_rejected: u64,
+    /// Bilinear texture lookups issued by shaded fragments.
+    pub texture_samples: u64,
+    /// Distinct raster tiles touched by at least one triangle.
+    pub tiles_touched: u64,
+    /// Draw batches processed.
+    pub batches: u64,
+}
+
+impl RenderStats {
+    /// Triangles that survived culling and were rasterized.
+    #[must_use]
+    pub fn triangles_rasterized(&self) -> u64 {
+        self.triangles_in
+            .saturating_sub(self.triangles_culled)
+            .saturating_sub(self.triangles_clipped)
+    }
+
+    /// Total fragments generated (shaded + rejected).
+    #[must_use]
+    pub fn fragments_total(&self) -> u64 {
+        self.fragments_shaded + self.fragments_rejected
+    }
+
+    /// Overdraw factor: fragments generated per shaded fragment.
+    ///
+    /// Returns `1.0` when nothing was shaded.
+    #[must_use]
+    pub fn overdraw(&self) -> f64 {
+        if self.fragments_shaded == 0 {
+            1.0
+        } else {
+            self.fragments_total() as f64 / self.fragments_shaded as f64
+        }
+    }
+}
+
+impl AddAssign for RenderStats {
+    fn add_assign(&mut self, o: RenderStats) {
+        self.triangles_in += o.triangles_in;
+        self.triangles_culled += o.triangles_culled;
+        self.triangles_clipped += o.triangles_clipped;
+        self.fragments_shaded += o.fragments_shaded;
+        self.fragments_rejected += o.fragments_rejected;
+        self.texture_samples += o.texture_samples;
+        self.tiles_touched += o.tiles_touched;
+        self.batches += o.batches;
+    }
+}
+
+impl fmt::Display for RenderStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tris in ({} rasterized), {} frags shaded ({:.2}x overdraw), {} tex samples, {} batches",
+            self.triangles_in,
+            self.triangles_rasterized(),
+            self.fragments_shaded,
+            self.overdraw(),
+            self.texture_samples,
+            self.batches
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rasterized_subtracts_rejections() {
+        let s = RenderStats {
+            triangles_in: 100,
+            triangles_culled: 30,
+            triangles_clipped: 10,
+            ..RenderStats::default()
+        };
+        assert_eq!(s.triangles_rasterized(), 60);
+    }
+
+    #[test]
+    fn overdraw_of_empty_frame_is_one() {
+        assert_eq!(RenderStats::default().overdraw(), 1.0);
+    }
+
+    #[test]
+    fn overdraw_counts_rejected() {
+        let s = RenderStats {
+            fragments_shaded: 100,
+            fragments_rejected: 50,
+            ..RenderStats::default()
+        };
+        assert!((s.overdraw() - 1.5).abs() < 1e-12);
+        assert_eq!(s.fragments_total(), 150);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = RenderStats { triangles_in: 1, fragments_shaded: 2, ..Default::default() };
+        let b = RenderStats { triangles_in: 10, texture_samples: 5, ..Default::default() };
+        a += b;
+        assert_eq!(a.triangles_in, 11);
+        assert_eq!(a.fragments_shaded, 2);
+        assert_eq!(a.texture_samples, 5);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = RenderStats { triangles_in: 7, ..Default::default() };
+        assert!(s.to_string().contains("7 tris"));
+    }
+}

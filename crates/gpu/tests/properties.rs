@@ -1,0 +1,141 @@
+//! Property-based tests for the GPU substrate.
+
+use proptest::prelude::*;
+use qvr_gpu::{
+    Framebuffer, FrameWorkload, GpuConfig, GpuTimingModel, Mat4, RasterPipeline, Rgba, Triangle,
+    Vec3, Vertex,
+};
+
+fn workload_strategy() -> impl Strategy<Value = FrameWorkload> {
+    (
+        640u32..2560,
+        640u32..2560,
+        0u64..5_000_000,
+        0.0f64..1.0,
+        1.0f64..4.0,
+        1.0f64..128.0,
+        0.0f64..8.0,
+        1u64..5_000,
+    )
+        .prop_map(|(w, h, tris, cov, od, fsc, tpf, batches)| {
+            FrameWorkload::builder(w, h)
+                .triangles(tris)
+                .coverage(cov)
+                .overdraw(od)
+                .fragment_shader_cycles(fsc)
+                .texture_samples_per_fragment(tpf)
+                .batches(batches)
+                .build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn frame_time_is_positive_and_finite(w in workload_strategy()) {
+        let m = GpuTimingModel::new(GpuConfig::mali_g76_class());
+        let t = m.frame_time(&w);
+        prop_assert!(t.total_ms().is_finite());
+        prop_assert!(t.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn frequency_scaling_is_exactly_inverse(w in workload_strategy(), f in 100.0f64..2000.0) {
+        let base = GpuTimingModel::new(GpuConfig::mali_g76_class().with_frequency_mhz(500.0));
+        let other = GpuTimingModel::new(GpuConfig::mali_g76_class().with_frequency_mhz(f));
+        let ratio = other.frame_time(&w).total_ms() / base.frame_time(&w).total_ms();
+        prop_assert!((ratio - 500.0 / f).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_triangles(w in workload_strategy(), extra in 1u64..1_000_000) {
+        let m = GpuTimingModel::new(GpuConfig::mali_g76_class());
+        let more = FrameWorkload::builder(w.width(), w.height())
+            .triangles(w.triangles() + extra)
+            .coverage(w.coverage())
+            .overdraw(w.overdraw())
+            .fragment_shader_cycles(w.fragment_shader_cycles())
+            .texture_samples_per_fragment(w.texture_samples_per_fragment())
+            .batches(w.batches())
+            .build();
+        prop_assert!(m.frame_time(&more).total_cycles() >= m.frame_time(&w).total_cycles());
+    }
+
+    #[test]
+    fn stereo_never_cheaper_than_mono(w in workload_strategy()) {
+        let m = GpuTimingModel::new(GpuConfig::mali_g76_class());
+        prop_assert!(m.stereo_frame_time(&w).total_ms() >= m.frame_time(&w).total_ms());
+        prop_assert!(m.stereo_frame_time(&w).total_ms() <= 2.0 * m.frame_time(&w).total_ms() + 1e-9);
+    }
+
+    #[test]
+    fn scaled_region_never_costs_more(w in workload_strategy(), area in 0.0f64..1.0, tris in 0.0f64..1.0) {
+        let m = GpuTimingModel::new(GpuConfig::mali_g76_class());
+        let sub = w.scaled_region(area, tris);
+        prop_assert!(m.frame_time(&sub).total_cycles() <= m.frame_time(&w).total_cycles() + 1e-6);
+    }
+
+    #[test]
+    fn bilinear_sample_stays_in_hull(
+        px in proptest::collection::vec(0.0f32..1.0, 16),
+        x in 0.0f32..3.0,
+        y in 0.0f32..3.0,
+    ) {
+        // Build a 4x4 grayscale buffer; bilinear samples must stay within
+        // [min, max] of the texel values.
+        let mut fb = Framebuffer::new(4, 4, Rgba::BLACK);
+        for (i, v) in px.iter().enumerate() {
+            fb.set_pixel((i % 4) as u32, (i / 4) as u32, Rgba::new(*v, *v, *v, 1.0));
+        }
+        let lo = px.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = px.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let s = fb.sample_bilinear(x, y);
+        prop_assert!(s.r() >= lo - 1e-5 && s.r() <= hi + 1e-5);
+    }
+
+    #[test]
+    fn raster_fragments_bounded_by_viewport(
+        ax in -2.0f32..2.0, ay in -2.0f32..2.0,
+        bx in -2.0f32..2.0, by in -2.0f32..2.0,
+        cx in -2.0f32..2.0, cy in -2.0f32..2.0,
+        z in -1.5f32..1.5,
+    ) {
+        let mut rp = RasterPipeline::new(48, 48, Rgba::BLACK, 16);
+        let mvp = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 10.0)
+            * Mat4::translate(Vec3::new(0.0, 0.0, -3.0));
+        let tri = Triangle::new(
+            Vertex::colored(Vec3::new(ax, ay, z), [1.0, 0.0, 0.0, 1.0]),
+            Vertex::colored(Vec3::new(bx, by, z), [0.0, 1.0, 0.0, 1.0]),
+            Vertex::colored(Vec3::new(cx, cy, z), [0.0, 0.0, 1.0, 1.0]),
+        );
+        rp.draw_batch(&mvp, &[tri], None);
+        let s = rp.stats();
+        // A single triangle can never shade more fragments than the target.
+        prop_assert!(s.fragments_shaded <= 48 * 48);
+        prop_assert!(s.triangles_in == 1);
+        // Conservation: the triangle was either culled, clipped, or rasterized.
+        let outcome = s.triangles_culled + s.triangles_clipped;
+        prop_assert!(outcome <= 1);
+    }
+
+    #[test]
+    fn analytic_fragments_match_measured(
+        size in 2.0f32..3.0,
+        z in -1.0f32..1.0,
+    ) {
+        // Cross-validation: render a triangle, derive a workload from the
+        // measured stats, and check the workload's fragment count equals the
+        // measured count.
+        let mut rp = RasterPipeline::new(64, 64, Rgba::BLACK, 16);
+        let mvp = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 10.0)
+            * Mat4::translate(Vec3::new(0.0, 0.0, -3.0));
+        let tri = Triangle::new(
+            Vertex::colored(Vec3::new(-size, -size, z), [1.0, 0.0, 0.0, 1.0]),
+            Vertex::colored(Vec3::new(size, -size, z), [0.0, 1.0, 0.0, 1.0]),
+            Vertex::colored(Vec3::new(0.0, size, z), [0.0, 0.0, 1.0, 1.0]),
+        );
+        rp.draw_batch(&mvp, &[tri], None);
+        let stats = rp.stats();
+        let w = FrameWorkload::from_stats(64, 64, &stats, 12.0, 24.0);
+        prop_assert!((w.fragments() - stats.fragments_shaded as f64 * stats.overdraw()).abs() < 2.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for vision-model construction and queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the vision models in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HvsError {
+    /// An eccentricity was negative, non-finite, or beyond the visual field.
+    InvalidEccentricity {
+        /// The offending value, in degrees.
+        value: f64,
+        /// The largest eccentricity accepted by the callee, in degrees.
+        max: f64,
+    },
+    /// A layer partition was requested with `e1 > e2`.
+    InvertedPartition {
+        /// Fovea eccentricity `e1` in degrees.
+        e1: f64,
+        /// Middle eccentricity `e2` in degrees.
+        e2: f64,
+    },
+    /// A MAR model parameter was out of its physical range.
+    InvalidMarParameter {
+        /// Name of the offending parameter (`"slope"` or `"omega0"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A display geometry dimension was zero or non-finite.
+    InvalidDisplay {
+        /// Human-readable description of the invalid field.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for HvsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HvsError::InvalidEccentricity { value, max } => {
+                write!(f, "eccentricity {value} degrees outside [0, {max}]")
+            }
+            HvsError::InvertedPartition { e1, e2 } => {
+                write!(f, "fovea eccentricity {e1} exceeds middle eccentricity {e2}")
+            }
+            HvsError::InvalidMarParameter { name, value } => {
+                write!(f, "non-physical value {value} for MAR parameter {name}")
+            }
+            HvsError::InvalidDisplay { what } => {
+                write!(f, "invalid display geometry: {what}")
+            }
+        }
+    }
+}
+
+impl Error for HvsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_nonempty_and_lowercase() {
+        let errs = [
+            HvsError::InvalidEccentricity { value: -1.0, max: 90.0 },
+            HvsError::InvertedPartition { e1: 30.0, e2: 10.0 },
+            HvsError::InvalidMarParameter { name: "slope", value: -0.5 },
+            HvsError::InvalidDisplay { what: "zero width" },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<HvsError>();
+    }
+}

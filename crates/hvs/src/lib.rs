@@ -1,0 +1,46 @@
+//! Human-visual-system models for foveated collaborative rendering.
+//!
+//! This crate provides the vision-science substrate of the Q-VR
+//! reproduction (Xie et al., ASPLOS 2021, Section 3):
+//!
+//! * [`angles`] — angular display geometry: fields of view, eccentricity,
+//!   pixels-per-degree conversions for a head-mounted display.
+//! * [`mar`] — the *minimum angle of resolution* (MAR) acuity model
+//!   `ω(e) = m·e + ω₀` used by foveated renderers to decide how coarsely a
+//!   region at eccentricity `e` may be sampled without perceptible loss.
+//! * [`layers`] — the fovea / middle / outer layer partition, including the
+//!   paper's Eq. (1): the re-partition into a *local fovea* layer and a
+//!   *remote periphery* (middle + outer) with the periphery-pixel-minimising
+//!   second eccentricity `*e₂`.
+//! * [`perception`] — a synthetic stand-in for the paper's 50-participant
+//!   image-quality survey: a configuration is imperceptibly degraded exactly
+//!   when every displayed layer satisfies the MAR bound at its eccentricity.
+//!
+//! # Example
+//!
+//! ```
+//! use qvr_hvs::{DisplayGeometry, MarModel, LayerPartition};
+//!
+//! let display = DisplayGeometry::per_eye(1920, 2160, 110.0, 110.0);
+//! let mar = MarModel::default();
+//! // Partition a frame with a 15-degree local fovea.
+//! let part = LayerPartition::with_optimal_middle(15.0, &display, &mar).unwrap();
+//! assert!(part.middle_eccentricity() >= part.fovea_eccentricity());
+//! // The periphery is subsampled, so it needs fewer pixels than the display.
+//! assert!(part.periphery_pixels(&display, &mar) < display.pixels_per_eye() as f64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angles;
+pub mod error;
+pub mod layers;
+pub mod mar;
+pub mod perception;
+
+pub use angles::{Degrees, DisplayGeometry, GazePoint};
+pub use error::HvsError;
+pub use layers::{LayerBudget, LayerKind, LayerPartition};
+pub use mar::MarModel;
+pub use perception::{PerceptionModel, PerceptionScore, SurveyOutcome};

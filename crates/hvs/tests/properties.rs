@@ -1,0 +1,118 @@
+//! Property-based tests for the vision models.
+
+use proptest::prelude::*;
+use qvr_hvs::{DisplayGeometry, GazePoint, LayerKind, LayerPartition, MarModel, PerceptionModel};
+
+fn display_strategy() -> impl Strategy<Value = DisplayGeometry> {
+    (640u32..4096, 640u32..4096, 60.0f64..160.0, 60.0f64..160.0)
+        .prop_map(|(w, h, fh, fv)| DisplayGeometry::per_eye(w, h, fh, fv))
+}
+
+fn mar_strategy() -> impl Strategy<Value = MarModel> {
+    (0.005f64..0.08, 0.005f64..0.05).prop_map(|(m, w0)| MarModel::new(m, w0).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn mar_monotonic_in_eccentricity(mar in mar_strategy(), a in 0.0f64..90.0, b in 0.0f64..90.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(mar.mar_at(lo) <= mar.mar_at(hi) + 1e-12);
+    }
+
+    #[test]
+    fn resolution_scale_bounded(mar in mar_strategy(), d in display_strategy(), e in 0.0f64..90.0) {
+        let s = mar.resolution_scale(e, d.native_mar());
+        prop_assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn mar_derived_scale_always_satisfies(mar in mar_strategy(), d in display_strategy(), e in 0.0f64..90.0) {
+        let s = mar.resolution_scale(e, d.native_mar());
+        prop_assert!(mar.satisfies(e, s, d.native_mar()));
+    }
+
+    #[test]
+    fn fovea_area_fraction_in_unit_interval(
+        d in display_strategy(),
+        e in 0.0f64..200.0,
+        gx in -1.0f64..1.0,
+        gy in -1.0f64..1.0,
+    ) {
+        let f = d.fovea_area_fraction(e, GazePoint::clamped(gx, gy));
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn fovea_area_monotone_in_radius(
+        d in display_strategy(),
+        e in 1.0f64..80.0,
+        delta in 0.1f64..20.0,
+        gx in -1.0f64..1.0,
+        gy in -1.0f64..1.0,
+    ) {
+        let g = GazePoint::clamped(gx, gy);
+        prop_assert!(d.fovea_area_fraction(e + delta, g) + 1e-9 >= d.fovea_area_fraction(e, g));
+    }
+
+    #[test]
+    fn partition_layers_are_ordered(e1 in 1.0f64..89.0, span in 0.0f64..40.0) {
+        let e2 = (e1 + span).min(90.0);
+        let p = LayerPartition::new(e1, e2).unwrap();
+        // Walking outward never moves to an inner layer.
+        let rank = |k: LayerKind| match k {
+            LayerKind::Fovea => 0,
+            LayerKind::Middle => 1,
+            LayerKind::Outer => 2,
+        };
+        let mut last = 0;
+        for i in 0..=90 {
+            let r = rank(p.layer_at(f64::from(i)));
+            prop_assert!(r >= last);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn optimal_partition_is_minimal(
+        d in display_strategy(),
+        mar in mar_strategy(),
+        e1 in 5.0f64..60.0,
+        probe in 0.0f64..1.0,
+    ) {
+        let opt = LayerPartition::with_optimal_middle(e1, &d, &mar).unwrap();
+        let e_max = d.max_eccentricity().0.min(90.0);
+        let e2_probe = e1 + probe * (e_max - e1).max(0.0);
+        if e2_probe >= e1 && e2_probe <= 90.0 {
+            if let Ok(alt) = LayerPartition::new(e1, e2_probe) {
+                prop_assert!(
+                    opt.periphery_pixels(&d, &mar) <= alt.periphery_pixels(&d, &mar) + 1.0,
+                    "optimal middle must not lose to probe"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perception_never_flags_mar_constrained(
+        d in display_strategy(),
+        mar in mar_strategy(),
+        e1 in 5.0f64..89.0,
+    ) {
+        let model = PerceptionModel::new(d, mar);
+        let p = LayerPartition::with_optimal_middle(e1, &d, &mar).unwrap();
+        prop_assert!(model.score(&p).is_lossless());
+    }
+
+    #[test]
+    fn budget_total_never_exceeds_native_by_much(
+        d in display_strategy(),
+        mar in mar_strategy(),
+        e1 in 5.0f64..89.0,
+    ) {
+        // Rendered pixels may slightly exceed native (layer overlap) but must
+        // stay within a small constant factor.
+        let p = LayerPartition::with_optimal_middle(e1, &d, &mar).unwrap();
+        let b = p.layer_budget(&d, &mar, GazePoint::center());
+        prop_assert!(b.total() <= 1.3 * d.pixels_per_eye() as f64);
+    }
+}

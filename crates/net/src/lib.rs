@@ -1,0 +1,355 @@
+//! Wireless network channel models for the Q-VR reproduction.
+//!
+//! The paper computes network latency by dividing compressed frame size by
+//! downlink bandwidth, inserts white noise at 20 dB SNR "to better reflect
+//! reality", and validates against netcat channels (Sec. 5). Table 2 lists
+//! the three technologies: Wi-Fi 200 Mbps, 4G LTE 100 Mbps, early 5G
+//! 500 Mbps. This crate implements exactly that model, plus the ACK-derived
+//! throughput observability that LIWC's latency predictor reads (Sec. 4.1).
+//!
+//! # Example
+//!
+//! ```
+//! use qvr_net::{NetworkChannel, NetworkPreset};
+//!
+//! let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 42);
+//! // A 550 KB compressed background at ~200 Mbps takes ~22 ms.
+//! let t = ch.download_ms(550.0 * 1024.0);
+//! assert!((15.0..35.0).contains(&t));
+//! // LIWC reads a smoothed throughput estimate off the ACK stream.
+//! assert!(ch.observed_download_mbps() > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// The network technologies of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkPreset {
+    /// Wi-Fi: 200 Mbps downlink.
+    WiFi,
+    /// 4G LTE: 100 Mbps downlink.
+    Lte4G,
+    /// Early 5G: 500 Mbps downlink.
+    Early5G,
+}
+
+impl NetworkPreset {
+    /// All presets in Table 2 order.
+    #[must_use]
+    pub fn all() -> [NetworkPreset; 3] {
+        [NetworkPreset::WiFi, NetworkPreset::Lte4G, NetworkPreset::Early5G]
+    }
+
+    /// Downlink (download) bandwidth in Mbps (Table 2).
+    #[must_use]
+    pub fn download_mbps(&self) -> f64 {
+        match self {
+            NetworkPreset::WiFi => 200.0,
+            NetworkPreset::Lte4G => 100.0,
+            NetworkPreset::Early5G => 500.0,
+        }
+    }
+
+    /// Uplink bandwidth in Mbps (pose/input upload; small traffic).
+    #[must_use]
+    pub fn upload_mbps(&self) -> f64 {
+        match self {
+            NetworkPreset::WiFi => 80.0,
+            NetworkPreset::Lte4G => 30.0,
+            NetworkPreset::Early5G => 150.0,
+        }
+    }
+
+    /// One-way base propagation + queueing latency, ms.
+    #[must_use]
+    pub fn base_latency_ms(&self) -> f64 {
+        match self {
+            NetworkPreset::WiFi => 2.0,
+            NetworkPreset::Lte4G => 8.0,
+            NetworkPreset::Early5G => 1.5,
+        }
+    }
+
+    /// The paper's display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkPreset::WiFi => "Wi-Fi",
+            NetworkPreset::Lte4G => "4G LTE",
+            NetworkPreset::Early5G => "Early 5G",
+        }
+    }
+}
+
+impl fmt::Display for NetworkPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A stateful, seeded channel with SNR-derived throughput jitter and
+/// ACK-based throughput observation.
+#[derive(Debug, Clone)]
+pub struct NetworkChannel {
+    preset: NetworkPreset,
+    snr_db: f64,
+    rng: StdRng,
+    /// EMA of effective downlink throughput, Mbps (the "ACK monitor").
+    observed_mbps: f64,
+    /// EMA smoothing factor.
+    alpha: f64,
+    transfers: u64,
+}
+
+impl NetworkChannel {
+    /// Creates a channel at the paper's default 20 dB SNR.
+    #[must_use]
+    pub fn new(preset: NetworkPreset, seed: u64) -> Self {
+        Self::with_snr(preset, 20.0, seed)
+    }
+
+    /// Creates a channel with an explicit SNR in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snr_db` is non-finite.
+    #[must_use]
+    pub fn with_snr(preset: NetworkPreset, snr_db: f64, seed: u64) -> Self {
+        assert!(snr_db.is_finite(), "SNR must be finite");
+        NetworkChannel {
+            preset,
+            snr_db,
+            rng: StdRng::seed_from_u64(seed),
+            observed_mbps: preset.download_mbps(),
+            alpha: 0.25,
+            transfers: 0,
+        }
+    }
+
+    /// The configured preset.
+    #[must_use]
+    pub fn preset(&self) -> NetworkPreset {
+        self.preset
+    }
+
+    /// Number of downlink transfers performed.
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Relative throughput jitter (σ of the multiplicative factor) implied
+    /// by the SNR: noise amplitude is `10^(−SNR/20)` of the signal.
+    #[must_use]
+    pub fn jitter_sigma(&self) -> f64 {
+        10f64.powf(-self.snr_db / 20.0)
+    }
+
+    /// Samples this transfer's effective throughput factor in `(0.5, 1.0]`-
+    /// ish territory: AWGN reduces effective capacity; deep fades hurt more
+    /// than lucky frames help.
+    fn throughput_factor(&mut self) -> f64 {
+        let sigma = self.jitter_sigma();
+        // Two-sided Gaussian jitter with a slight downward bias (noise can
+        // only destroy capacity on average).
+        let g: f64 = {
+            // Box-Muller from two uniforms (StdRng has no normal sampler
+            // without rand_distr; this keeps dependencies lean).
+            let u1: f64 = self.rng.gen_range(1e-9..1.0);
+            let u2: f64 = self.rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        };
+        (1.0 - sigma * (0.5 + 0.8 * g).abs()).clamp(0.3, 1.0)
+    }
+
+    /// Downloads `bytes` over the channel; returns latency in ms and updates
+    /// the ACK-observed throughput estimate.
+    pub fn download_ms(&mut self, bytes: f64) -> f64 {
+        self.preset.base_latency_ms() + self.transfer_only_ms(bytes)
+    }
+
+    /// Pure transfer time for `bytes` with throughput jitter but **without**
+    /// the base propagation latency — for follow-on chunks of an already
+    /// open stream (the connection pays its RTT once).
+    pub fn transfer_only_ms(&mut self, bytes: f64) -> f64 {
+        let factor = self.throughput_factor();
+        let mbps = self.preset.download_mbps() * factor;
+        let transfer = bytes.max(0.0) * 8.0 / (mbps * 1_000.0);
+        self.observed_mbps = (1.0 - self.alpha) * self.observed_mbps + self.alpha * mbps;
+        self.transfers += 1;
+        transfer
+    }
+
+    /// Uploads `bytes` (pose/input stream); returns latency in ms.
+    pub fn upload_ms(&mut self, bytes: f64) -> f64 {
+        let factor = self.throughput_factor();
+        let mbps = self.preset.upload_mbps() * factor;
+        self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (mbps * 1_000.0)
+    }
+
+    /// The ACK-monitor's smoothed downlink throughput estimate, Mbps.
+    ///
+    /// This is the "network's ACK packets" channel LIWC taps to assess
+    /// remote latency without waiting for software counters.
+    #[must_use]
+    pub fn observed_download_mbps(&self) -> f64 {
+        self.observed_mbps
+    }
+
+    /// Deterministic latency estimate (no noise sampling, no state change)
+    /// for planning: `bytes` at the observed throughput.
+    #[must_use]
+    pub fn predict_download_ms(&self, bytes: f64) -> f64 {
+        self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (self.observed_mbps * 1_000.0)
+    }
+}
+
+impl fmt::Display for NetworkChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} Mbps nominal, {:.0} Mbps observed, {:.0} dB SNR)",
+            self.preset,
+            self.preset.download_mbps(),
+            self.observed_mbps,
+            self.snr_db
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_bandwidths() {
+        assert_eq!(NetworkPreset::WiFi.download_mbps(), 200.0);
+        assert_eq!(NetworkPreset::Lte4G.download_mbps(), 100.0);
+        assert_eq!(NetworkPreset::Early5G.download_mbps(), 500.0);
+    }
+
+    #[test]
+    fn full_background_latency_matches_table1() {
+        // Table 1: ~530-650 KB backgrounds cost ~28-38 ms over Wi-Fi.
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 1);
+        let mut sum = 0.0;
+        let n = 100;
+        for _ in 0..n {
+            sum += ch.download_ms(590.0 * 1024.0);
+        }
+        let avg = sum / f64::from(n);
+        assert!((24.0..40.0).contains(&avg), "avg Wi-Fi background fetch {avg} ms");
+    }
+
+    #[test]
+    fn faster_preset_is_faster() {
+        let bytes = 500_000.0;
+        let mut wifi = NetworkChannel::new(NetworkPreset::WiFi, 2);
+        let mut lte = NetworkChannel::new(NetworkPreset::Lte4G, 2);
+        let mut five_g = NetworkChannel::new(NetworkPreset::Early5G, 2);
+        let avg = |ch: &mut NetworkChannel| -> f64 {
+            (0..50).map(|_| ch.download_ms(bytes)).sum::<f64>() / 50.0
+        };
+        let (w, l, g) = (avg(&mut wifi), avg(&mut lte), avg(&mut five_g));
+        assert!(g < w && w < l, "5G {g} < WiFi {w} < LTE {l}");
+    }
+
+    #[test]
+    fn channel_is_deterministic_per_seed() {
+        let mut a = NetworkChannel::new(NetworkPreset::WiFi, 9);
+        let mut b = NetworkChannel::new(NetworkPreset::WiFi, 9);
+        for _ in 0..20 {
+            assert_eq!(a.download_ms(123_456.0), b.download_ms(123_456.0));
+        }
+    }
+
+    #[test]
+    fn noise_produces_jitter_but_not_chaos() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 3);
+        let times: Vec<f64> = (0..200).map(|_| ch.download_ms(400_000.0)).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "jitter must exist");
+        assert!(max < 2.0 * mean, "20 dB SNR must not double latency");
+        assert!(min > 0.5 * mean);
+    }
+
+    #[test]
+    fn higher_snr_means_less_jitter() {
+        let spread = |snr: f64| -> f64 {
+            let mut ch = NetworkChannel::with_snr(NetworkPreset::WiFi, snr, 4);
+            let times: Vec<f64> = (0..300).map(|_| ch.download_ms(400_000.0)).collect();
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let var =
+                times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(spread(40.0) < spread(10.0));
+    }
+
+    #[test]
+    fn observed_throughput_tracks_nominal() {
+        let mut ch = NetworkChannel::new(NetworkPreset::Early5G, 5);
+        for _ in 0..50 {
+            ch.download_ms(1_000_000.0);
+        }
+        let obs = ch.observed_download_mbps();
+        assert!(
+            (0.6..=1.01).contains(&(obs / 500.0)),
+            "observed {obs} Mbps should sit near (below) nominal"
+        );
+    }
+
+    #[test]
+    fn prediction_close_to_measurement_mean() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 6);
+        for _ in 0..30 {
+            ch.download_ms(500_000.0);
+        }
+        let predicted = ch.predict_download_ms(500_000.0);
+        let mut sum = 0.0;
+        for _ in 0..50 {
+            sum += ch.download_ms(500_000.0);
+        }
+        let measured = sum / 50.0;
+        assert!(
+            (predicted - measured).abs() / measured < 0.15,
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn upload_is_cheap_for_pose_data() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 7);
+        // A pose + input packet is well under 2 KB.
+        let t = ch.upload_ms(2_048.0);
+        assert!(t < 5.0, "pose upload {t} ms");
+    }
+
+    #[test]
+    fn zero_bytes_costs_base_latency() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 8);
+        let t = ch.download_ms(0.0);
+        assert!((t - NetworkPreset::WiFi.base_latency_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_counter_increments() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 10);
+        ch.download_ms(1.0);
+        ch.download_ms(1.0);
+        assert_eq!(ch.transfers(), 2);
+    }
+
+    #[test]
+    fn display_mentions_preset() {
+        let ch = NetworkChannel::new(NetworkPreset::Lte4G, 11);
+        assert!(ch.to_string().contains("4G LTE"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Radial scene-complexity fields.
+//!
+//! How much of a scene's geometry lands inside a fovea disc of radius `e1`
+//! determines the local rendering cost in Q-VR (Eq. 2's `#triangles ×
+//! %fovea`). Game scenes are not uniform: detail concentrates where users
+//! look (interactive objects, focal architecture). We model triangle
+//! density as a radial profile around the gaze point,
+//!
+//! ```text
+//! density(e) = 1 + k · exp(−e² / 2σ²)
+//! ```
+//!
+//! with `k` the *center concentration* and `σ` its angular extent. The
+//! fraction of frame triangles within eccentricity `e1` is the ring-
+//! integrated density, where ring weights come from the display's clipped
+//! disc geometry (so off-screen parts of the disc never count).
+
+use qvr_hvs::{DisplayGeometry, GazePoint};
+use std::fmt;
+
+/// A radial triangle-density field around the gaze point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComplexityField {
+    concentration: f64,
+    sigma_deg: f64,
+}
+
+impl ComplexityField {
+    /// Integration step in degrees.
+    const STEP: f64 = 0.5;
+
+    /// Creates a field with center concentration `k ≥ 0` and angular extent
+    /// `σ > 0` degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concentration` is negative or `sigma_deg` is not positive.
+    #[must_use]
+    pub fn new(concentration: f64, sigma_deg: f64) -> Self {
+        assert!(concentration >= 0.0, "concentration must be non-negative");
+        assert!(sigma_deg > 0.0, "sigma must be positive");
+        ComplexityField { concentration, sigma_deg }
+    }
+
+    /// A uniform field: triangles spread evenly over the view.
+    #[must_use]
+    pub fn uniform() -> Self {
+        ComplexityField { concentration: 0.0, sigma_deg: 30.0 }
+    }
+
+    /// The center concentration `k`.
+    #[must_use]
+    pub fn concentration(&self) -> f64 {
+        self.concentration
+    }
+
+    /// The angular extent `σ` in degrees.
+    #[must_use]
+    pub fn sigma_deg(&self) -> f64 {
+        self.sigma_deg
+    }
+
+    /// Relative triangle density at eccentricity `e` degrees from gaze.
+    #[must_use]
+    pub fn density(&self, e_deg: f64) -> f64 {
+        1.0 + self.concentration * (-0.5 * (e_deg / self.sigma_deg).powi(2)).exp()
+    }
+
+    /// Fraction of the frame's triangles inside the eccentricity disc of
+    /// radius `e1` centred at `gaze`, in `[0, 1]`.
+    ///
+    /// Ring weights are the derivative of the clipped disc area, so gaze
+    /// points near the panel edge integrate correctly.
+    #[must_use]
+    pub fn triangle_fraction(
+        &self,
+        e1_deg: f64,
+        display: &DisplayGeometry,
+        gaze: GazePoint,
+    ) -> f64 {
+        if e1_deg <= 0.0 {
+            return 0.0;
+        }
+        let e_max = display.max_eccentricity().0 * 1.5;
+        let num = self.integrate(e1_deg.min(e_max), display, gaze);
+        let den = self.integrate(e_max, display, gaze);
+        if den <= 0.0 {
+            0.0
+        } else {
+            (num / den).clamp(0.0, 1.0)
+        }
+    }
+
+    fn integrate(&self, upto_deg: f64, display: &DisplayGeometry, gaze: GazePoint) -> f64 {
+        let mut sum = 0.0;
+        let mut prev_area = 0.0;
+        let mut e = Self::STEP;
+        while e <= upto_deg + 1e-9 {
+            let area = display.fovea_area_fraction(e, gaze);
+            let ring = (area - prev_area).max(0.0);
+            sum += ring * self.density(e - Self::STEP / 2.0);
+            prev_area = area;
+            e += Self::STEP;
+        }
+        // Partial last ring.
+        let rem = upto_deg - (e - Self::STEP);
+        if rem > 1e-9 {
+            let area = display.fovea_area_fraction(upto_deg, gaze);
+            let ring = (area - prev_area).max(0.0);
+            sum += ring * self.density(upto_deg - rem / 2.0);
+        }
+        sum
+    }
+}
+
+impl Default for ComplexityField {
+    fn default() -> Self {
+        ComplexityField::new(3.0, 20.0)
+    }
+}
+
+impl fmt::Display for ComplexityField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "density(e) = 1 + {:.1}·exp(-e²/2·{:.0}²)", self.concentration, self.sigma_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn display() -> DisplayGeometry {
+        DisplayGeometry::vive_pro_class()
+    }
+
+    #[test]
+    fn density_peaks_at_center() {
+        let f = ComplexityField::new(4.0, 15.0);
+        assert!(f.density(0.0) > f.density(10.0));
+        assert!(f.density(10.0) > f.density(40.0));
+        assert!((f.density(0.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_density_is_flat() {
+        let f = ComplexityField::uniform();
+        assert_eq!(f.density(0.0), f.density(50.0));
+    }
+
+    #[test]
+    fn fraction_monotone_in_radius() {
+        let f = ComplexityField::default();
+        let d = display();
+        let g = GazePoint::center();
+        let mut last = 0.0;
+        for e in 1..=90 {
+            let frac = f.triangle_fraction(f64::from(e), &d, g);
+            assert!(frac + 1e-9 >= last, "fraction must grow with e1");
+            assert!((0.0..=1.0).contains(&frac));
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn full_disc_captures_everything() {
+        let f = ComplexityField::default();
+        let frac = f.triangle_fraction(120.0, &display(), GazePoint::center());
+        assert!(frac > 0.999, "whole view must contain all triangles, got {frac}");
+    }
+
+    #[test]
+    fn zero_radius_captures_nothing() {
+        let f = ComplexityField::default();
+        assert_eq!(f.triangle_fraction(0.0, &display(), GazePoint::center()), 0.0);
+    }
+
+    #[test]
+    fn concentrated_field_front_loads_triangles() {
+        let d = display();
+        let g = GazePoint::center();
+        let uniform = ComplexityField::uniform();
+        let concentrated = ComplexityField::new(8.0, 10.0);
+        let e1 = 15.0;
+        let fu = uniform.triangle_fraction(e1, &d, g);
+        let fc = concentrated.triangle_fraction(e1, &d, g);
+        assert!(
+            fc > 1.5 * fu,
+            "concentration must front-load triangles: uniform {fu}, concentrated {fc}"
+        );
+    }
+
+    #[test]
+    fn uniform_fraction_tracks_area() {
+        let d = display();
+        let g = GazePoint::center();
+        let f = ComplexityField::uniform();
+        for e1 in [10.0, 25.0, 45.0] {
+            let frac = f.triangle_fraction(e1, &d, g);
+            // With a flat density, triangle share equals (visible) area
+            // share of the whole extended view; compare against the ratio of
+            // clipped disc areas.
+            let area_ratio = d.fovea_area_fraction(e1, g)
+                / d.fovea_area_fraction(d.max_eccentricity().0 * 1.5, g);
+            assert!((frac - area_ratio).abs() < 0.02, "e1={e1}: {frac} vs {area_ratio}");
+        }
+    }
+
+    #[test]
+    fn off_center_gaze_still_integrates() {
+        let f = ComplexityField::default();
+        let frac = f.triangle_fraction(20.0, &display(), GazePoint::clamped(0.8, -0.7));
+        assert!(frac > 0.0 && frac < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn zero_sigma_rejected() {
+        let _ = ComplexityField::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = ComplexityField::default().to_string();
+        assert!(s.contains("density"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Seeded 6-DoF head and gaze motion traces.
+//!
+//! VR user motion alternates between calm viewing and active phases (head
+//! sweeps, gaze saccades, object interaction). LIWC's whole premise
+//! (Sec. 4.1) is that these motions correlate with scene-complexity change,
+//! so the trace generator produces *correlated* channels: head angular
+//! velocity, gaze movement, and an interaction intensity that the scene
+//! model turns into workload variation.
+//!
+//! Traces are generated up-front from a seed and are exactly reproducible.
+
+use qvr_hvs::GazePoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// How agitated a user is while playing one app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionProfile {
+    /// Overall activity level in `[0, 1]`: scales head velocity, saccade
+    /// frequency, and interaction probability.
+    pub activity: f64,
+    /// Mean length of a calm/active segment, frames.
+    pub segment_len: u32,
+    /// Peak head angular velocity during active segments, degrees/frame.
+    pub peak_head_velocity: f64,
+    /// Probability per frame of a gaze saccade during active segments.
+    pub saccade_rate: f64,
+}
+
+impl MotionProfile {
+    /// A seated, slow-viewing profile.
+    #[must_use]
+    pub fn calm() -> Self {
+        MotionProfile {
+            activity: 0.25,
+            segment_len: 120,
+            peak_head_velocity: 0.8,
+            saccade_rate: 0.02,
+        }
+    }
+
+    /// A typical gaming profile (default).
+    #[must_use]
+    pub fn typical() -> Self {
+        MotionProfile {
+            activity: 0.5,
+            segment_len: 75,
+            peak_head_velocity: 1.6,
+            saccade_rate: 0.05,
+        }
+    }
+
+    /// A fast, highly interactive profile (racing, shooters).
+    #[must_use]
+    pub fn frantic() -> Self {
+        MotionProfile {
+            activity: 0.8,
+            segment_len: 45,
+            peak_head_velocity: 2.8,
+            saccade_rate: 0.10,
+        }
+    }
+}
+
+impl Default for MotionProfile {
+    fn default() -> Self {
+        MotionProfile::typical()
+    }
+}
+
+/// One frame's absolute head pose and gaze.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MotionSample {
+    /// Head yaw in degrees.
+    pub yaw: f64,
+    /// Head pitch in degrees.
+    pub pitch: f64,
+    /// Head roll in degrees.
+    pub roll: f64,
+    /// Head position in metres (x, y, z).
+    pub position: [f64; 3],
+    /// Gaze point on the panel (eye tracker output).
+    pub gaze: GazePoint,
+    /// Interaction intensity in `[0, 1]` (0 = observing, 1 = manipulating
+    /// a nearby object, the Fig. 5 "close to the tree" situation).
+    pub interaction: f64,
+}
+
+/// Frame-over-frame motion change: what LIWC's motion codec consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MotionDelta {
+    /// Changes of the six degrees of freedom:
+    /// `[Δyaw, Δpitch, Δroll, Δx, Δy, Δz]` (degrees / metres).
+    pub dof: [f64; 6],
+    /// Gaze movement in NDC units `(Δx, Δy)`.
+    pub gaze: (f64, f64),
+    /// Change in interaction intensity.
+    pub interaction: f64,
+}
+
+impl MotionDelta {
+    /// The change between two consecutive samples.
+    #[must_use]
+    pub fn between(prev: &MotionSample, next: &MotionSample) -> Self {
+        MotionDelta {
+            dof: [
+                next.yaw - prev.yaw,
+                next.pitch - prev.pitch,
+                next.roll - prev.roll,
+                next.position[0] - prev.position[0],
+                next.position[1] - prev.position[1],
+                next.position[2] - prev.position[2],
+            ],
+            gaze: (next.gaze.x - prev.gaze.x, next.gaze.y - prev.gaze.y),
+            interaction: next.interaction - prev.interaction,
+        }
+    }
+
+    /// Magnitude of the rotational change, degrees.
+    #[must_use]
+    pub fn rotation_magnitude(&self) -> f64 {
+        (self.dof[0].powi(2) + self.dof[1].powi(2) + self.dof[2].powi(2)).sqrt()
+    }
+
+    /// Magnitude of the gaze movement, NDC units.
+    #[must_use]
+    pub fn gaze_magnitude(&self) -> f64 {
+        (self.gaze.0.powi(2) + self.gaze.1.powi(2)).sqrt()
+    }
+}
+
+/// A pre-generated, seed-deterministic sequence of motion samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MotionTrace {
+    samples: Vec<MotionSample>,
+}
+
+impl MotionTrace {
+    /// Generates `frames` samples for a profile and seed.
+    #[must_use]
+    pub fn generate(profile: &MotionProfile, frames: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(frames);
+
+        let mut sample = MotionSample {
+            gaze: GazePoint::center(),
+            ..MotionSample::default()
+        };
+        // Segment state machine: calm <-> active. Starting at zero makes the
+        // first frame draw a segment, so traces are stationary from frame 0.
+        let mut active = false;
+        let mut segment_left = 0u32;
+        // Current smooth velocities.
+        let mut vel_yaw = 0.0f64;
+        let mut vel_pitch = 0.0f64;
+        let mut gaze_target = GazePoint::center();
+        let mut interaction_target = 0.0f64;
+
+        for _ in 0..frames {
+            if segment_left == 0 {
+                // Active segments are more likely at higher activity.
+                active = rng.gen_bool(profile.activity.clamp(0.05, 0.95));
+                let jitter = rng.gen_range(0.6..1.4);
+                segment_left =
+                    ((f64::from(profile.segment_len) * jitter).round() as u32).max(10);
+                if active {
+                    vel_yaw = rng.gen_range(-1.0..1.0) * profile.peak_head_velocity;
+                    vel_pitch = rng.gen_range(-0.5..0.5) * profile.peak_head_velocity;
+                    interaction_target = rng.gen_range(0.45..1.0);
+                } else {
+                    vel_yaw = rng.gen_range(-0.1..0.1);
+                    vel_pitch = rng.gen_range(-0.05..0.05);
+                    interaction_target = rng.gen_range(0.05..0.4);
+                }
+            }
+            segment_left -= 1;
+
+            // Head: smooth integration with small noise.
+            sample.yaw += vel_yaw + rng.gen_range(-0.05..0.05);
+            sample.pitch = (sample.pitch + vel_pitch + rng.gen_range(-0.03..0.03))
+                .clamp(-60.0, 60.0);
+            sample.roll += rng.gen_range(-0.02..0.02);
+            for p in &mut sample.position {
+                *p += rng.gen_range(-0.002..0.002) * (1.0 + profile.activity);
+            }
+
+            // Gaze: smooth pursuit toward a target; saccades jump the target.
+            let saccade_p = if active { profile.saccade_rate } else { profile.saccade_rate * 0.3 };
+            if rng.gen_bool(saccade_p.clamp(0.0, 1.0)) {
+                gaze_target = GazePoint::clamped(rng.gen_range(-0.7..0.7), rng.gen_range(-0.6..0.6));
+            }
+            let pursuit = 0.15;
+            sample.gaze = GazePoint::clamped(
+                sample.gaze.x + (gaze_target.x - sample.gaze.x) * pursuit,
+                sample.gaze.y + (gaze_target.y - sample.gaze.y) * pursuit,
+            );
+
+            // Interaction: first-order lag toward the segment target.
+            sample.interaction += (interaction_target - sample.interaction) * 0.08;
+            sample.interaction = sample.interaction.clamp(0.0, 1.0);
+
+            samples.push(sample);
+        }
+        MotionTrace { samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample at `frame`, or the last sample if past the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn sample(&self, frame: usize) -> MotionSample {
+        assert!(!self.samples.is_empty(), "trace must be non-empty");
+        self.samples[frame.min(self.samples.len() - 1)]
+    }
+
+    /// The motion delta feeding frame `frame` (zero for frame 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    #[must_use]
+    pub fn delta(&self, frame: usize) -> MotionDelta {
+        assert!(!self.samples.is_empty(), "trace must be non-empty");
+        if frame == 0 {
+            MotionDelta::default()
+        } else {
+            MotionDelta::between(&self.sample(frame - 1), &self.sample(frame))
+        }
+    }
+
+    /// Iterator over all samples.
+    pub fn iter(&self) -> impl Iterator<Item = &MotionSample> {
+        self.samples.iter()
+    }
+}
+
+impl fmt::Display for MotionTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-frame motion trace", self.samples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = MotionProfile::typical();
+        let a = MotionTrace::generate(&p, 300, 7);
+        let b = MotionTrace::generate(&p, 300, 7);
+        assert_eq!(a, b);
+        let c = MotionTrace::generate(&p, 300, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn requested_length_produced() {
+        let t = MotionTrace::generate(&MotionProfile::calm(), 123, 0);
+        assert_eq!(t.len(), 123);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn sample_clamps_past_end() {
+        let t = MotionTrace::generate(&MotionProfile::calm(), 10, 0);
+        assert_eq!(t.sample(9), t.sample(1000));
+    }
+
+    #[test]
+    fn first_delta_is_zero() {
+        let t = MotionTrace::generate(&MotionProfile::typical(), 10, 0);
+        assert_eq!(t.delta(0), MotionDelta::default());
+    }
+
+    #[test]
+    fn deltas_link_consecutive_samples() {
+        let t = MotionTrace::generate(&MotionProfile::typical(), 50, 3);
+        for i in 1..50 {
+            let d = t.delta(i);
+            let expect = MotionDelta::between(&t.sample(i - 1), &t.sample(i));
+            assert_eq!(d, expect);
+        }
+    }
+
+    #[test]
+    fn frantic_moves_more_than_calm() {
+        let frames = 600;
+        let calm = MotionTrace::generate(&MotionProfile::calm(), frames, 11);
+        let frantic = MotionTrace::generate(&MotionProfile::frantic(), frames, 11);
+        let total_rotation = |t: &MotionTrace| -> f64 {
+            (1..frames).map(|i| t.delta(i).rotation_magnitude()).sum()
+        };
+        assert!(
+            total_rotation(&frantic) > 1.5 * total_rotation(&calm),
+            "frantic {:.1} vs calm {:.1}",
+            total_rotation(&frantic),
+            total_rotation(&calm)
+        );
+    }
+
+    #[test]
+    fn gaze_stays_in_panel() {
+        let t = MotionTrace::generate(&MotionProfile::frantic(), 1000, 5);
+        for s in t.iter() {
+            assert!(s.gaze.x.abs() <= 1.0 && s.gaze.y.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn interaction_stays_in_unit_range() {
+        let t = MotionTrace::generate(&MotionProfile::frantic(), 1000, 5);
+        for s in t.iter() {
+            assert!((0.0..=1.0).contains(&s.interaction));
+        }
+    }
+
+    #[test]
+    fn interaction_varies_over_time() {
+        let t = MotionTrace::generate(&MotionProfile::typical(), 1000, 9);
+        let max = t.iter().map(|s| s.interaction).fold(0.0, f64::max);
+        let min = t.iter().map(|s| s.interaction).fold(1.0, f64::min);
+        assert!(max - min > 0.2, "interaction must vary, got [{min}, {max}]");
+    }
+
+    #[test]
+    fn pitch_is_clamped() {
+        let t = MotionTrace::generate(&MotionProfile::frantic(), 5000, 13);
+        for s in t.iter() {
+            assert!(s.pitch.abs() <= 60.0);
+        }
+    }
+
+    #[test]
+    fn delta_magnitudes() {
+        let d = MotionDelta {
+            dof: [3.0, 4.0, 0.0, 0.0, 0.0, 0.0],
+            gaze: (0.3, 0.4),
+            interaction: 0.0,
+        };
+        assert!((d.rotation_magnitude() - 5.0).abs() < 1e-12);
+        assert!((d.gaze_magnitude() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trace_sample_panics() {
+        let t = MotionTrace { samples: vec![] };
+        let _ = t.sample(0);
+    }
+}

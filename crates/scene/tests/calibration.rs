@@ -1,0 +1,106 @@
+//! Coarse calibration checks: baseline local rendering latencies of the
+//! profiles must land in the bands the paper publishes (Fig. 3a, Table 1).
+//!
+//! Run with `--nocapture` to see the fitted values.
+
+use qvr_gpu::{GpuConfig, GpuTimingModel};
+use qvr_scene::{AppSession, Benchmark, CharacterizationApp};
+
+/// Mean stereo render time over a few hundred frames.
+fn mean_stereo_ms(model: &GpuTimingModel, mut session: AppSession, frames: usize) -> f64 {
+    let mut sum = 0.0;
+    for _ in 0..frames {
+        let f = session.advance();
+        let w = session.profile().full_workload(&f);
+        sum += model.stereo_frame_time(&w).total_ms();
+    }
+    sum / frames as f64
+}
+
+#[test]
+fn benchmarks_land_in_mobile_band() {
+    let model = GpuTimingModel::new(GpuConfig::mali_g76_class());
+    for b in Benchmark::all() {
+        let t = mean_stereo_ms(&model, AppSession::start(b.profile(), 42), 200);
+        println!("{:10} baseline local stereo render: {t:7.1} ms", b.label());
+        // Fig. 3a band: heavy apps run at 8–25 FPS on mobile silicon, i.e.
+        // roughly 15–140 ms of GPU time per frame.
+        assert!((12.0..150.0).contains(&t), "{b}: {t} ms out of band");
+    }
+}
+
+#[test]
+fn grid_is_the_heaviest_benchmark() {
+    let model = GpuTimingModel::new(GpuConfig::mali_g76_class());
+    let grid = mean_stereo_ms(&model, AppSession::start(Benchmark::Grid.profile(), 42), 200);
+    for b in Benchmark::all() {
+        if b != Benchmark::Grid {
+            let t = mean_stereo_ms(&model, AppSession::start(b.profile(), 42), 200);
+            assert!(grid >= t, "{b} ({t} ms) heavier than GRID ({grid} ms)");
+        }
+    }
+}
+
+#[test]
+fn low_res_variants_are_lighter() {
+    let model = GpuTimingModel::new(GpuConfig::mali_g76_class());
+    let d3h = mean_stereo_ms(&model, AppSession::start(Benchmark::Doom3H.profile(), 1), 200);
+    let d3l = mean_stereo_ms(&model, AppSession::start(Benchmark::Doom3L.profile(), 1), 200);
+    let h2h = mean_stereo_ms(&model, AppSession::start(Benchmark::Hl2H.profile(), 1), 200);
+    let h2l = mean_stereo_ms(&model, AppSession::start(Benchmark::Hl2L.profile(), 1), 200);
+    assert!(d3l < d3h);
+    assert!(h2l < h2h);
+}
+
+#[test]
+fn characterization_apps_match_table1_full_frame_times() {
+    // Table 1 implies full-frame latencies via T_local / f: Foveated3D
+    // ≈ 126 ms, Viking ≈ 113 ms, Nature ≈ 94 ms, Sponza ≈ 58 ms, San Miguel
+    // ≈ 105 ms on the Gen9-class platform.
+    let model = GpuTimingModel::new(GpuConfig::gen9_class());
+    let expect = [
+        (CharacterizationApp::Foveated3D, 126.0),
+        (CharacterizationApp::Viking, 113.0),
+        (CharacterizationApp::Nature, 94.0),
+        (CharacterizationApp::Sponza, 58.0),
+        (CharacterizationApp::SanMiguel, 105.0),
+    ];
+    for (app, target) in expect {
+        let t = mean_stereo_ms(&model, AppSession::start(app.profile(), 42), 200);
+        println!("{:12} full-frame: {t:7.1} ms (target = {target} ms)", app.label());
+        assert!(
+            (t - target).abs() / target < 0.35,
+            "{app}: {t:.1} ms vs target {target} ms (>35% off)"
+        );
+    }
+}
+
+#[test]
+fn static_interactive_latencies_match_table1() {
+    // Table 1's Avg. T_local column: Foveated3D 43 ms, Viking 13 ms,
+    // Nature 16 ms, Sponza 5.8 ms, San Miguel 11 ms.
+    let model = GpuTimingModel::new(GpuConfig::gen9_class());
+    let expect = [
+        (CharacterizationApp::Foveated3D, 43.0, 2.0),
+        (CharacterizationApp::Viking, 13.0, 2.0),
+        (CharacterizationApp::Nature, 16.0, 2.0),
+        (CharacterizationApp::Sponza, 5.8, 2.5),
+        (CharacterizationApp::SanMiguel, 11.0, 2.0),
+    ];
+    for (app, target, tolerance_factor) in expect {
+        let mut session = AppSession::start(app.profile(), 42);
+        let mut sum = 0.0;
+        let frames = 300;
+        for _ in 0..frames {
+            let f = session.advance();
+            let w = session.profile().interactive_workload(&f);
+            sum += model.stereo_frame_time(&w).total_ms();
+        }
+        let t = sum / frames as f64;
+        println!("{:12} static T_local: {t:6.1} ms (target = {target} ms)", app.label());
+        assert!(
+            t < target * tolerance_factor && t > target / tolerance_factor,
+            "{app}: {t:.1} ms vs target {target} ms"
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! Discrete-event pipeline engine for multi-accelerator frame simulation.
+//!
+//! Fig. 4 of the paper draws a VR frame as a task graph spread over
+//! accelerators — CPU (control logic, local setup), mobile GPU (local
+//! rendering, and composition/ATW when no UCA exists), the network, the
+//! video decoder, the remote GPUs, and Q-VR's LIWC and UCA units. Frames
+//! overlap: while frame *N* streams its periphery, frame *N+1* already
+//! renders locally, and the exact interleaving (including the GPU
+//! contention of Fig. 4-③) decides FPS.
+//!
+//! [`Engine`] models this with *incremental greedy FIFO scheduling*: tasks
+//! are submitted in program order; each task starts at the later of (a) its
+//! dependencies' completion and (b) its resource becoming free, exactly like
+//! work issued to a real in-order accelerator queue. Submission order on a
+//! shared resource therefore *is* the arbitration order, which lets scheme
+//! code express contention (e.g. composition delaying the next frame's
+//! rendering) simply by submitting in pipeline order.
+//!
+//! Per-resource busy time is tracked for the energy model, and the full
+//! task timeline can be dumped as a text Gantt chart for inspection.
+//!
+//! # Example
+//!
+//! ```
+//! use qvr_sim::Engine;
+//!
+//! let mut sim = Engine::new();
+//! let gpu = sim.resource("GPU");
+//! let net = sim.resource("NET");
+//! // Frame: render 4 ms in parallel with a 6 ms download, then 1 ms compose.
+//! let render = sim.submit("LR", Some(gpu), 4.0, &[]);
+//! let fetch = sim.submit("RR+net", Some(net), 6.0, &[]);
+//! let compose = sim.submit("C", Some(gpu), 1.0, &[render, fetch]);
+//! assert_eq!(sim.end_of(compose), 7.0); // starts when the download lands
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Identifies a resource within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceId(usize);
+
+/// Identifies a submitted task within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+#[derive(Debug, Clone)]
+struct Resource {
+    name: String,
+    free_at: f64,
+    busy_ms: f64,
+    intervals: Vec<(f64, f64)>,
+}
+
+/// A scheduled task record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledTask {
+    /// Human-readable label (used by the timeline dump).
+    pub label: String,
+    /// Executing resource, if any (`None` = pure delay, e.g. sensor wait).
+    pub resource: Option<ResourceId>,
+    /// Start time, ms.
+    pub start: f64,
+    /// End time, ms.
+    pub end: f64,
+}
+
+/// The incremental discrete-event engine.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    resources: Vec<Resource>,
+    tasks: Vec<ScheduledTask>,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Returns the resource with this name, creating it if needed.
+    pub fn resource(&mut self, name: &str) -> ResourceId {
+        if let Some(i) = self.resources.iter().position(|r| r.name == name) {
+            return ResourceId(i);
+        }
+        self.resources.push(Resource {
+            name: name.to_owned(),
+            free_at: 0.0,
+            busy_ms: 0.0,
+            intervals: Vec::new(),
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Submits a task and schedules it immediately.
+    ///
+    /// The task starts at the later of its dependencies' ends and its
+    /// resource's free time; the resource is then busy until the task ends.
+    /// `duration_ms` must be non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_ms` is negative/NaN or a dependency id is stale.
+    pub fn submit(
+        &mut self,
+        label: &str,
+        resource: Option<ResourceId>,
+        duration_ms: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        assert!(
+            duration_ms.is_finite() && duration_ms >= 0.0,
+            "duration must be finite and non-negative, got {duration_ms}"
+        );
+        let deps_ready = deps
+            .iter()
+            .map(|d| {
+                self.tasks
+                    .get(d.0)
+                    .unwrap_or_else(|| panic!("unknown dependency task id {}", d.0))
+                    .end
+            })
+            .fold(0.0f64, f64::max);
+        let start = match resource {
+            Some(rid) => deps_ready.max(self.resources[rid.0].free_at),
+            None => deps_ready,
+        };
+        let end = start + duration_ms;
+        if let Some(rid) = resource {
+            let r = &mut self.resources[rid.0];
+            r.free_at = end;
+            r.busy_ms += duration_ms;
+            r.intervals.push((start, end));
+        }
+        self.tasks.push(ScheduledTask {
+            label: label.to_owned(),
+            resource,
+            start,
+            end,
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Submits a task that becomes ready at an absolute time (e.g. a sensor
+    /// sample arriving at the start of a frame interval).
+    pub fn submit_at(
+        &mut self,
+        label: &str,
+        resource: Option<ResourceId>,
+        ready_at_ms: f64,
+        duration_ms: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        // Model the release time as a zero-resource delay task.
+        let gate = self.submit(&format!("{label}:release"), None, ready_at_ms.max(0.0), &[]);
+        let mut all_deps = Vec::with_capacity(deps.len() + 1);
+        all_deps.extend_from_slice(deps);
+        all_deps.push(gate);
+        self.submit(label, resource, duration_ms, &all_deps)
+    }
+
+    /// Start time of a task.
+    #[must_use]
+    pub fn start_of(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].start
+    }
+
+    /// End time of a task.
+    #[must_use]
+    pub fn end_of(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].end
+    }
+
+    /// The time the resource becomes free under the current schedule.
+    #[must_use]
+    pub fn free_at(&self, id: ResourceId) -> f64 {
+        self.resources[id.0].free_at
+    }
+
+    /// Accumulated busy time of a resource, ms.
+    #[must_use]
+    pub fn busy_ms(&self, id: ResourceId) -> f64 {
+        self.resources[id.0].busy_ms
+    }
+
+    /// Resource name.
+    #[must_use]
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        &self.resources[id.0].name
+    }
+
+    /// Latest task end across the whole schedule (0 when empty).
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.tasks.iter().map(|t| t.end).fold(0.0, f64::max)
+    }
+
+    /// Utilisation of a resource over the makespan, `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, id: ResourceId) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 {
+            0.0
+        } else {
+            (self.busy_ms(id) / span).clamp(0.0, 1.0)
+        }
+    }
+
+    /// All scheduled tasks in submission order.
+    #[must_use]
+    pub fn tasks(&self) -> &[ScheduledTask] {
+        &self.tasks
+    }
+
+    /// Verifies that no resource ever runs two tasks at once.
+    ///
+    /// Exclusivity holds by construction; this is a checkable invariant for
+    /// tests and debugging.
+    #[must_use]
+    pub fn verify_exclusivity(&self) -> bool {
+        for r in &self.resources {
+            let mut iv = r.intervals.clone();
+            iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for pair in iv.windows(2) {
+                if pair[1].0 < pair[0].1 - 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders a text Gantt chart of the last `max_tasks` tasks.
+    #[must_use]
+    pub fn timeline(&self, max_tasks: usize) -> String {
+        let span = self.makespan().max(1e-9);
+        const COLS: usize = 72;
+        let mut out = String::new();
+        let skip = self.tasks.len().saturating_sub(max_tasks);
+        for t in &self.tasks[skip..] {
+            if t.resource.is_none() && t.label.ends_with(":release") {
+                continue;
+            }
+            let s = ((t.start / span) * COLS as f64).floor() as usize;
+            let e = (((t.end / span) * COLS as f64).ceil() as usize).clamp(s + 1, COLS);
+            let rname = t.resource.map_or("-", |r| self.resource_name(r));
+            out.push_str(&format!("{:18} {:8}|", truncate(&t.label, 18), truncate(rname, 8)));
+            for c in 0..COLS {
+                out.push(if c >= s && c < e { '#' } else { '.' });
+            }
+            out.push_str(&format!("| {:.2}..{:.2} ms\n", t.start, t.end));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks over {} resources, makespan {:.2} ms",
+            self.tasks.len(),
+            self.resources.len(),
+            self.makespan()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_tasks_on_distinct_resources_overlap() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let net = sim.resource("NET");
+        let a = sim.submit("a", Some(gpu), 5.0, &[]);
+        let b = sim.submit("b", Some(net), 3.0, &[]);
+        assert_eq!(sim.start_of(a), 0.0);
+        assert_eq!(sim.start_of(b), 0.0);
+        assert_eq!(sim.makespan(), 5.0);
+    }
+
+    #[test]
+    fn same_resource_serializes_in_submission_order() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let a = sim.submit("a", Some(gpu), 5.0, &[]);
+        let b = sim.submit("b", Some(gpu), 2.0, &[]);
+        assert_eq!(sim.end_of(a), 5.0);
+        assert_eq!(sim.start_of(b), 5.0);
+        assert_eq!(sim.end_of(b), 7.0);
+        assert!(sim.verify_exclusivity());
+    }
+
+    #[test]
+    fn dependencies_gate_start() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let net = sim.resource("NET");
+        let render = sim.submit("LR", Some(gpu), 4.0, &[]);
+        let fetch = sim.submit("RR", Some(net), 9.0, &[]);
+        let compose = sim.submit("C", Some(gpu), 1.0, &[render, fetch]);
+        assert_eq!(sim.start_of(compose), 9.0);
+        assert_eq!(sim.end_of(compose), 10.0);
+    }
+
+    #[test]
+    fn delay_tasks_consume_no_resource() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let wait = sim.submit("sensor", None, 2.0, &[]);
+        let render = sim.submit("LR", Some(gpu), 3.0, &[wait]);
+        assert_eq!(sim.start_of(render), 2.0);
+        assert_eq!(sim.busy_ms(gpu), 3.0);
+    }
+
+    #[test]
+    fn submit_at_releases_at_absolute_time() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let t = sim.submit_at("frame2:LR", Some(gpu), 11.1, 4.0, &[]);
+        assert_eq!(sim.start_of(t), 11.1);
+        assert_eq!(sim.end_of(t), 15.1);
+    }
+
+    #[test]
+    fn cross_frame_contention_delays_next_frame() {
+        // Fig. 4-(3): composition on the GPU delays the next frame's local
+        // rendering; a UCA (separate resource) would not.
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let lr1 = sim.submit("f1:LR", Some(gpu), 6.0, &[]);
+        let c1 = sim.submit("f1:C+ATW", Some(gpu), 3.0, &[lr1]);
+        let lr2 = sim.submit("f2:LR", Some(gpu), 6.0, &[]);
+        assert_eq!(sim.start_of(lr2), sim.end_of(c1), "contention must delay frame 2");
+
+        let mut sim2 = Engine::new();
+        let gpu2 = sim2.resource("GPU");
+        let uca = sim2.resource("UCA");
+        let lr1 = sim2.submit("f1:LR", Some(gpu2), 6.0, &[]);
+        let _c1 = sim2.submit("f1:UCA", Some(uca), 3.0, &[lr1]);
+        let lr2 = sim2.submit("f2:LR", Some(gpu2), 6.0, &[]);
+        assert_eq!(sim2.start_of(lr2), 6.0, "UCA removes the contention");
+    }
+
+    #[test]
+    fn busy_and_utilization_accumulate() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        sim.submit("a", Some(gpu), 4.0, &[]);
+        let wait = sim.submit("idle", None, 6.0, &[]);
+        sim.submit("b", Some(gpu), 2.0, &[wait]);
+        assert_eq!(sim.busy_ms(gpu), 6.0);
+        assert_eq!(sim.makespan(), 8.0);
+        assert!((sim.utilization(gpu) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_lookup_is_idempotent() {
+        let mut sim = Engine::new();
+        let a = sim.resource("GPU");
+        let b = sim.resource("GPU");
+        assert_eq!(a, b);
+        assert_eq!(sim.resource_name(a), "GPU");
+    }
+
+    #[test]
+    fn empty_engine_is_sane() {
+        let sim = Engine::new();
+        assert_eq!(sim.makespan(), 0.0);
+        assert!(sim.verify_exclusivity());
+        assert!(sim.tasks().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn negative_duration_rejected() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        sim.submit("bad", Some(gpu), -1.0, &[]);
+    }
+
+    #[test]
+    fn timeline_renders_bars() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let a = sim.submit("render", Some(gpu), 5.0, &[]);
+        sim.submit("compose", Some(gpu), 5.0, &[a]);
+        let chart = sim.timeline(10);
+        assert!(chart.contains("render"));
+        assert!(chart.contains('#'));
+        assert!(chart.contains("GPU"));
+    }
+
+    #[test]
+    fn long_pipeline_stays_causal() {
+        // 100 frames of a 3-stage pipeline over 3 resources; steady-state
+        // throughput must be set by the slowest stage.
+        let mut sim = Engine::new();
+        let cpu = sim.resource("CPU");
+        let gpu = sim.resource("GPU");
+        let net = sim.resource("NET");
+        let mut prev_end = None;
+        for i in 0..100 {
+            let setup = sim.submit(&format!("f{i}:setup"), Some(cpu), 1.0, &[]);
+            let render = sim.submit(&format!("f{i}:render"), Some(gpu), 4.0, &[setup]);
+            let deps: Vec<TaskId> = match prev_end {
+                Some(p) => vec![render, p],
+                None => vec![render],
+            };
+            let tx = sim.submit(&format!("f{i}:tx"), Some(net), 2.0, &deps);
+            prev_end = Some(tx);
+        }
+        assert!(sim.verify_exclusivity());
+        // Slowest stage is the 4 ms GPU stage; 100 frames ≥ ~400 ms.
+        let span = sim.makespan();
+        assert!((400.0..420.0).contains(&span), "makespan {span}");
+    }
+}

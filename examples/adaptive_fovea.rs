@@ -1,0 +1,56 @@
+//! Watch LIWC balance local and remote latency in real time (Fig. 14).
+//!
+//! Runs Q-VR on two very different games and across the three network
+//! technologies, printing the per-frame eccentricity and latency ratio as
+//! the controller converges from its cold start at e1 = 5°.
+//!
+//! ```text
+//! cargo run --release --example adaptive_fovea
+//! ```
+
+use qvr::prelude::*;
+
+fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|v| {
+            let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+            BARS[(t * 7.0).round() as usize]
+        })
+        .collect()
+}
+
+fn main() {
+    let frames = 300;
+
+    println!("LIWC convergence from a cold start (e1 = 5°), 300 frames\n");
+    for bench in [Benchmark::Doom3L, Benchmark::Grid] {
+        println!("== {} ==", bench.label());
+        for preset in NetworkPreset::all() {
+            let config = SystemConfig::default().with_network(preset);
+            let s = SchemeKind::Qvr.run(&config, bench.profile(), frames, 42);
+            let e1: Vec<f64> = s.frames.iter().filter_map(|f| f.e1_deg).collect();
+            let ratio: Vec<f64> = s.frames.iter().map(|f| f.latency_ratio()).collect();
+            let every_5th: Vec<f64> = e1.iter().step_by(5).copied().collect();
+            println!(
+                "  {:<9} e1 {} (steady {:.1}°)",
+                preset.label(),
+                sparkline(&every_5th, 0.0, 90.0),
+                s.mean_e1_deg(frames / 2).unwrap()
+            );
+            let ratio_5th: Vec<f64> = ratio.iter().step_by(5).copied().collect();
+            println!(
+                "  {:<9} T_r/T_l {} (first {:.1} → steady {:.2}, FPS {:.0})",
+                "",
+                sparkline(&ratio_5th, 0.0, 4.0),
+                ratio.first().copied().unwrap_or(0.0),
+                ratio[frames - 50..].iter().sum::<f64>() / 50.0,
+                s.fps()
+            );
+        }
+        println!();
+    }
+    println!("Faster downlinks shift work to the server (smaller e1);");
+    println!("lighter scenes pull it back to the headset (larger e1).");
+}

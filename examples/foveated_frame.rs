@@ -1,0 +1,94 @@
+//! Render, compose, warp, and compress one real foveated frame.
+//!
+//! Exercises the *functional* half of the substrate end to end:
+//! rasterize three layers with the software renderer, compose+timewarp them
+//! with both the sequential path and the UCA unified path (verifying the
+//! Eq. 4 equivalence numerically), and push the periphery through the DCT
+//! transform codec to see real compressed sizes.
+//!
+//! ```text
+//! cargo run --release --example foveated_frame
+//! ```
+
+use qvr::core::uca::{FoveatedFrame, Uca, WarpParams};
+use qvr::gpu::{Mat4, RasterPipeline, Rgba, Texture, Triangle, Vec3, Vertex};
+use qvr::prelude::*;
+
+/// Renders a little textured scene at the given resolution.
+fn render_layer(size: u32, detail: f64, tint: [f32; 4]) -> qvr::gpu::Framebuffer {
+    let mut rp = RasterPipeline::new(size, size, Rgba::new(0.05, 0.05, 0.1, 1.0), 16);
+    let tex = Texture::value_noise(64, 7, detail);
+    let mvp = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 50.0)
+        * Mat4::translate(Vec3::new(0.0, 0.0, -4.0));
+    // A fan of overlapping triangles at varying depths.
+    let mut tris = Vec::new();
+    for k in 0..12 {
+        let a = k as f32 * 0.55;
+        let z = -1.0 + 0.15 * k as f32;
+        let mut t = Triangle::new(
+            Vertex::colored(Vec3::new(a.cos() * 2.5, a.sin() * 2.5, z), tint),
+            Vertex::colored(Vec3::new((a + 0.9).cos() * 2.5, (a + 0.9).sin() * 2.5, z), tint),
+            Vertex::colored(Vec3::new(0.0, 0.0, z - 0.5), [1.0, 1.0, 1.0, 1.0]),
+        );
+        t.vertices[0].uv = [0.0, 0.0];
+        t.vertices[1].uv = [1.0, 0.0];
+        t.vertices[2].uv = [0.5, 1.0];
+        tris.push(t);
+    }
+    rp.draw_batch(&mvp, &tris, Some(&tex));
+    println!("    raster stats: {}", rp.stats());
+    rp.into_color()
+}
+
+fn main() {
+    let size = 256;
+    println!("Rendering three layers at {size}x{size} output:");
+    println!("  fovea (native), middle (1/2 res), outer (1/4 res)");
+    let fovea = render_layer(size, 0.5, [1.0, 0.6, 0.4, 1.0]);
+    let middle = render_layer(size / 2, 0.4, [0.4, 1.0, 0.6, 1.0]);
+    let outer = render_layer(size / 4, 0.3, [0.4, 0.6, 1.0, 1.0]);
+
+    let frame = FoveatedFrame::new(
+        size,
+        size,
+        (size as f32 / 2.0, size as f32 / 2.0),
+        fovea,
+        size as f32 / 6.0,
+        middle.clone(),
+        size as f32 / 3.0,
+        outer.clone(),
+    );
+
+    // Compare the two composition paths under a realistic warp.
+    let warp = WarpParams { dx_ndc: 0.02, dy_ndc: -0.015, ..WarpParams::lens_only() };
+    let sequential = Uca::compose_then_atw(&frame, &warp);
+    let unified = Uca::unified(&frame, &warp);
+    println!("\nEq. (4) check — sequential composition∘ATW vs unified trilinear pass:");
+    println!("  mean abs diff: {:.5}", sequential.mean_abs_diff(&unified));
+    println!("  PSNR:          {:.1} dB", unified.psnr(&sequential));
+
+    let (border, total) = frame.classify_tiles(32);
+    println!("  border tiles:  {border}/{total} (trilinear path; rest plain bilinear)");
+
+    // Compress the periphery layers like the server would.
+    let codec = TransformCodec::default();
+    for (name, layer) in [("middle", &middle), ("outer", &outer)] {
+        let enc = codec.encode_intra(layer);
+        let raw = layer.len() * 4;
+        let decoded = codec.decode(&enc).expect("own bitstream decodes");
+        println!(
+            "  {name:>6} layer: {} -> {} bytes ({:.1}x), PSNR {:.1} dB",
+            raw,
+            enc.size_bytes(),
+            raw as f64 / enc.size_bytes() as f64,
+            decoded.psnr(layer)
+        );
+    }
+
+    // What the size model predicts for a real HMD frame.
+    let sm = SizeModel::default();
+    println!(
+        "\nClosed-form model: a 1920x2160 background at detail 0.55 ≈ {:.0} KB (Table 1: ~530 KB)",
+        sm.frame_bytes(1920 * 2160, 0.55, 1.0) / 1024.0
+    );
+}

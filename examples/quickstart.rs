@@ -1,0 +1,47 @@
+//! Quickstart: compare Q-VR against the commercial baselines on one game.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qvr::prelude::*;
+
+fn main() {
+    let config = SystemConfig::default();
+    let frames = 300;
+    let seed = 42;
+
+    println!("Q-VR quickstart — GRID @ 1920x2160/eye, Mali-G76-class @ 500 MHz, Wi-Fi\n");
+    println!(
+        "{:<10} {:>9} {:>8} {:>12} {:>12} {:>10}",
+        "scheme", "MTP (ms)", "FPS", "TX KB/frame", "energy (mJ)", "mean e1"
+    );
+
+    let mut baseline_mtp = None;
+    for kind in SchemeKind::all() {
+        let summary = kind.run(&config, Benchmark::Grid.profile(), frames, seed);
+        let e1 = summary
+            .mean_e1_deg(frames / 2)
+            .map_or("-".to_owned(), |e| format!("{e:.1}°"));
+        println!(
+            "{:<10} {:>9.1} {:>8.0} {:>12.0} {:>12.0} {:>10}",
+            kind.label(),
+            summary.mean_mtp_ms(),
+            summary.fps(),
+            summary.mean_tx_bytes() / 1024.0,
+            summary.energy.total_mj() / frames as f64,
+            e1
+        );
+        if kind == SchemeKind::LocalOnly {
+            baseline_mtp = Some(summary.mean_mtp_ms());
+        }
+        if kind == SchemeKind::Qvr {
+            if let Some(base) = baseline_mtp {
+                println!(
+                    "\nQ-VR end-to-end speedup over the local baseline: {:.1}x",
+                    base / summary.mean_mtp_ms()
+                );
+            }
+        }
+    }
+}
