@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qvr::core::liwc::{LatencyPredictor, Liwc, MotionCodec};
 use qvr::core::uca::{FoveatedFrame, Uca, WarpParams};
 use qvr::core::FoveationPlan;
-use qvr::prelude::*;
 use qvr::gpu::{Framebuffer, Mat4, RasterPipeline, Rgba, Triangle, Vec3, Vertex};
+use qvr::prelude::*;
 use qvr::scene::MotionDelta;
 
 fn bench_liwc(c: &mut Criterion) {
@@ -35,8 +35,15 @@ fn bench_liwc(c: &mut Criterion) {
                 200.0,
                 2.0,
             );
-            liwc.observe(1_500_000, 0.2, d.predicted_local_ms, d.predicted_remote_ms,
-                100_000.0, 200.0, 2.0);
+            liwc.observe(
+                1_500_000,
+                0.2,
+                d.predicted_local_ms,
+                d.predicted_remote_ms,
+                100_000.0,
+                200.0,
+                2.0,
+            );
             black_box(d.e1_deg)
         })
     });
@@ -97,7 +104,10 @@ fn bench_rasterizer(c: &mut Criterion) {
             let a = k as f32 * 0.4;
             Triangle::new(
                 Vertex::colored(Vec3::new(a.cos(), a.sin(), -0.5), [1.0, 0.0, 0.0, 1.0]),
-                Vertex::colored(Vec3::new((a + 1.0).cos(), (a + 1.0).sin(), 0.0), [0.0, 1.0, 0.0, 1.0]),
+                Vertex::colored(
+                    Vec3::new((a + 1.0).cos(), (a + 1.0).sin(), 0.0),
+                    [0.0, 1.0, 0.0, 1.0],
+                ),
                 Vertex::colored(Vec3::new(0.0, 0.0, 0.5), [0.0, 0.0, 1.0, 1.0]),
             )
         })
@@ -143,14 +153,10 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     let config = SystemConfig::default();
     group.bench_function("qvr_30_frames_grid", |b| {
-        b.iter(|| {
-            black_box(SchemeKind::Qvr.run(&config, Benchmark::Grid.profile(), 30, 42))
-        })
+        b.iter(|| black_box(SchemeKind::Qvr.run(&config, Benchmark::Grid.profile(), 30, 42)))
     });
     group.bench_function("baseline_30_frames_grid", |b| {
-        b.iter(|| {
-            black_box(SchemeKind::LocalOnly.run(&config, Benchmark::Grid.profile(), 30, 42))
-        })
+        b.iter(|| black_box(SchemeKind::LocalOnly.run(&config, Benchmark::Grid.profile(), 30, 42)))
     });
     group.finish();
 }

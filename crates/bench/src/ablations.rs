@@ -20,7 +20,10 @@ pub fn report() -> String {
 fn alpha_sweep() -> String {
     let alphas = [0.05, 0.15, 0.3, 0.6, 0.9];
     let results = parallel_map(alphas.to_vec(), |alpha| {
-        let config = SystemConfig { liwc_reward_alpha: *alpha, ..SystemConfig::default() };
+        let config = SystemConfig {
+            liwc_reward_alpha: *alpha,
+            ..SystemConfig::default()
+        };
         let s = SchemeKind::Qvr.run(&config, Benchmark::Hl2H.profile(), FRAMES, SEED);
         // Convergence: first frame whose ratio enters [0.8, 1.25] for good.
         let converged = (0..s.frames.len())
@@ -31,16 +34,23 @@ fn alpha_sweep() -> String {
                     .all(|f| (0.7..1.4).contains(&f.latency_ratio()))
             })
             .unwrap_or(s.frames.len());
-        let tail: Vec<f64> =
-            s.frames.iter().skip(WARMUP).map(|f| f.latency_ratio()).collect();
+        let tail: Vec<f64> = s
+            .frames
+            .iter()
+            .skip(WARMUP)
+            .map(|f| f.latency_ratio())
+            .collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let sd = (tail.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / tail.len() as f64)
-            .sqrt();
+        let sd = (tail.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / tail.len() as f64).sqrt();
         (converged, mean, sd, s.fps())
     });
 
     let mut t = TextTable::new(vec![
-        "reward α", "frames to converge", "steady ratio", "ratio σ", "FPS",
+        "reward α",
+        "frames to converge",
+        "steady ratio",
+        "ratio σ",
+        "FPS",
     ]);
     for (alpha, (conv, mean, sd, fps)) in alphas.iter().zip(results) {
         t.row(vec![
@@ -67,9 +77,18 @@ fn uca_units() -> String {
         ("4 units".into(), with_uca_units(4)),
     ];
     let results = parallel_map(configs, |(name, config)| {
-        let scheme = if name.starts_with("no UCA") { SchemeKind::Dfr } else { SchemeKind::Qvr };
+        let scheme = if name.starts_with("no UCA") {
+            SchemeKind::Dfr
+        } else {
+            SchemeKind::Qvr
+        };
         let s = scheme.run(config, Benchmark::Wolf.profile(), FRAMES, SEED);
-        (name.clone(), s.mean_mtp_ms(), s.fps(), s.busy.gpu_ms / s.makespan_ms)
+        (
+            name.clone(),
+            s.mean_mtp_ms(),
+            s.fps(),
+            s.busy.gpu_ms / s.makespan_ms,
+        )
     });
     let mut t = TextTable::new(vec!["configuration", "MTP ms", "FPS", "GPU util"]);
     for (name, mtp, fps, util) in results {
@@ -99,7 +118,10 @@ fn with_uca_units(units: u32) -> SystemConfig {
 fn prefetch_lookahead() -> String {
     let lookaheads = [1u32, 3, 5, 8];
     let results = parallel_map(lookaheads.to_vec(), |l| {
-        let config = SystemConfig { prefetch_lookahead: *l, ..SystemConfig::default() };
+        let config = SystemConfig {
+            prefetch_lookahead: *l,
+            ..SystemConfig::default()
+        };
         let s = SchemeKind::StaticCollab.run(&config, Benchmark::Ut3.profile(), FRAMES, SEED);
         (s.mean_mtp_ms(), s.misprediction_rate(), s.fps())
     });

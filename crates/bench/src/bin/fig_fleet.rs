@@ -1,0 +1,9 @@
+//! Regenerates the fleet scaling sweep (multi-tenant extension).
+//!
+//! ```text
+//! cargo run --release -p qvr-bench --bin fig_fleet
+//! ```
+
+fn main() {
+    println!("{}", qvr_bench::fig_fleet::report());
+}

@@ -4,10 +4,15 @@
 //! cargo run --release -p qvr-bench --bin run_all
 //! ```
 
+type Section = (&'static str, fn() -> String);
+
 fn main() {
-    let sections: [(&str, fn() -> String); 9] = [
+    let sections: [Section; 10] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
-        ("Table 1 + Fig. 5 (static characterisation)", qvr_bench::table1::report),
+        (
+            "Table 1 + Fig. 5 (static characterisation)",
+            qvr_bench::table1::report,
+        ),
         ("Fig. 6 (foveal sizing)", qvr_bench::fig06::report),
         ("Fig. 12 (performance)", qvr_bench::fig12::report),
         ("Fig. 13 (network)", qvr_bench::fig13::report),
@@ -15,6 +20,10 @@ fn main() {
         ("Table 4 (eccentricity)", qvr_bench::table4::report),
         ("Fig. 15 (energy)", qvr_bench::fig15::report),
         ("Sec. 4.3 (overhead)", qvr_bench::overhead::report),
+        (
+            "Fleet scaling (multi-tenant extension)",
+            qvr_bench::fig_fleet::report,
+        ),
     ];
     for (name, f) in sections {
         println!("{}", "=".repeat(78));

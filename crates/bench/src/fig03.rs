@@ -7,7 +7,10 @@ use qvr::prelude::*;
 /// Regenerates both halves of Fig. 3.
 #[must_use]
 pub fn report() -> String {
-    let config = SystemConfig { gpu: GpuConfig::gen9_class(), ..SystemConfig::default() };
+    let config = SystemConfig {
+        gpu: GpuConfig::gen9_class(),
+        ..SystemConfig::default()
+    };
     let mut out = String::new();
 
     out.push_str("Fig. 3(a) — local-only rendering (Gen9-class mobile GPU)\n");
@@ -33,7 +36,13 @@ pub fn report() -> String {
     out.push_str("\nFig. 3(b) — remote-only rendering (8x MCM server, Wi-Fi)\n");
     out.push_str("paper: latencies 40-65 ms, transmission ~63% of total\n\n");
     let mut t = TextTable::new(vec![
-        "app", "tracking", "send+render+transmit+decode", "ATW", "display", "total ms", "FPS",
+        "app",
+        "tracking",
+        "send+render+transmit+decode",
+        "ATW",
+        "display",
+        "total ms",
+        "FPS",
         "remote share",
     ]);
     for app in CharacterizationApp::all() {
@@ -63,7 +72,6 @@ fn mean(s: &RunSummary, f: impl Fn(&FrameRecord) -> f64) -> f64 {
 fn render_only(s: &RunSummary, config: &SystemConfig) -> f64 {
     // t_local for the local scheme is render + ATW; subtract the modelled
     // ATW pass to split the bar.
-    let atw = GpuTimingModel::new(config.gpu)
-        .fullscreen_pass_ms(1920.0 * 2160.0 * 2.0, 5.0);
+    let atw = GpuTimingModel::new(config.gpu).fullscreen_pass_ms(1920.0 * 2160.0 * 2.0, 5.0);
     mean(s, |f| f.t_local_ms) - atw
 }

@@ -66,18 +66,22 @@ pub fn report() -> String {
             cells.push(format!("{ms:.1} ms"));
         }
         let plan = FoveationPlan::resolve(f64::from(e1), &display, &mar, GazePoint::center());
-        let rel =
-            plan.periphery_bytes(&size_model, 0.75, config.periphery_quality) / full_bytes;
+        let rel = plan.periphery_bytes(&size_model, 0.75, config.periphery_quality) / full_bytes;
         cells.push(format!("{:.0}%", rel * 100.0));
         t.row(cells);
     }
     out.push_str(&t.render());
 
     // The paper's (e1, *e2) pairs from the Eq. (1) optimisation.
-    out.push_str("\nEq. (1) optimal middle eccentricities (paper annotates e1=10→e2=50, 20→35, 30→30):\n");
+    out.push_str(
+        "\nEq. (1) optimal middle eccentricities (paper annotates e1=10→e2=50, 20→35, 30→30):\n",
+    );
     for e1 in [10.0, 20.0, 30.0] {
         let plan = FoveationPlan::resolve(e1, &display, &mar, GazePoint::center());
-        out.push_str(&format!("  e1 = {e1:>4.0}°  →  *e2 = {:.1}°\n", plan.e2_deg));
+        out.push_str(&format!(
+            "  e1 = {e1:>4.0}°  →  *e2 = {:.1}°\n",
+            plan.e2_deg
+        ));
     }
     out
 }

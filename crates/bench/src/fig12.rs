@@ -28,7 +28,10 @@ pub fn report() -> String {
         scheme.run(&config, bench.profile(), FRAMES, SEED)
     });
     let get = |bench: Benchmark, scheme: SchemeKind| -> &RunSummary {
-        let idx = jobs.iter().position(|j| j.0 == bench && j.1 == scheme).expect("job exists");
+        let idx = jobs
+            .iter()
+            .position(|j| j.0 == bench && j.1 == scheme)
+            .expect("job exists");
         &results[idx]
     };
 
@@ -38,7 +41,14 @@ pub fn report() -> String {
     out.push_str("Q-VR 3.4x avg (up to 6.7x); FPS: Q-VR = 4.1x Static, 2.8x SW\n\n");
 
     let mut t = TextTable::new(vec![
-        "benchmark", "Static", "FFR", "DFR", "Q-VR-SW", "Q-VR", "SW-FPS", "Q-VR-FPS",
+        "benchmark",
+        "Static",
+        "FFR",
+        "DFR",
+        "Q-VR-SW",
+        "Q-VR",
+        "SW-FPS",
+        "Q-VR-FPS",
     ]);
     let mut sums = [0.0f64; 7];
     let mut qvr_max: f64 = 0.0;

@@ -23,7 +23,10 @@ pub fn report() -> String {
         scheme.run(&config, bench.profile(), FRAMES, SEED)
     });
     let get = |bench: Benchmark, scheme: SchemeKind| -> &RunSummary {
-        let idx = jobs.iter().position(|j| j.0 == bench && j.1 == scheme).expect("job exists");
+        let idx = jobs
+            .iter()
+            .position(|j| j.0 == bench && j.1 == scheme)
+            .expect("job exists");
         &results[idx]
     };
 
@@ -33,7 +36,12 @@ pub fn report() -> String {
     out.push_str("overall resolution reduction avg 41%; Doom3-L: 96% data cut, 7% res cut\n\n");
 
     let mut t = TextTable::new(vec![
-        "benchmark", "Static", "FFR", "Q-VR", "Q-VR res. reduction", "mean e1",
+        "benchmark",
+        "Static",
+        "FFR",
+        "Q-VR",
+        "Q-VR res. reduction",
+        "mean e1",
     ]);
     let mut static_sum = 0.0;
     let mut ffr_sum = 0.0;

@@ -53,8 +53,7 @@ pub fn report() -> String {
     out.push_str("\nsummary (steady state = frames 100..300):\n");
     for (bench, run) in TRACKED.iter().zip(&runs) {
         let tail: Vec<&FrameRecord> = run.frames.iter().skip(100).collect();
-        let mean_ratio =
-            tail.iter().map(|f| f.latency_ratio()).sum::<f64>() / tail.len() as f64;
+        let mean_ratio = tail.iter().map(|f| f.latency_ratio()).sum::<f64>() / tail.len() as f64;
         let min_fps = tail
             .iter()
             .map(|f| f.instantaneous_fps())

@@ -20,6 +20,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig_fleet;
 pub mod overhead;
 pub mod table1;
 pub mod table4;
@@ -34,32 +35,15 @@ pub const WARMUP: usize = 100;
 pub const SEED: u64 = 42;
 
 /// Runs `f` over `items` on up to `std::thread::available_parallelism`
-/// workers, preserving order.
+/// workers, preserving order (thin wrapper over [`qvr::sim::parallel_map`],
+/// the workspace's one bounded worker pool).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    let n = items.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    qvr::sim::parallel_map(&items, f)
 }
 
 /// A minimal fixed-width text table.
@@ -73,7 +57,10 @@ impl TextTable {
     /// Creates a table with column headers.
     #[must_use]
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (padded/truncated to the header width).

@@ -17,13 +17,23 @@ const PAPER: [(&str, &str, f64, f64, f64, f64, f64); 5] = [
 /// Regenerates Table 1 and the Fig. 5 observation.
 #[must_use]
 pub fn report() -> String {
-    let config = SystemConfig { gpu: GpuConfig::gen9_class(), ..SystemConfig::default() };
+    let config = SystemConfig {
+        gpu: GpuConfig::gen9_class(),
+        ..SystemConfig::default()
+    };
     let mut out = String::new();
     out.push_str("Table 1 — static collaborative rendering characterisation (90 Hz)\n");
     out.push_str("measured | paper-reference in brackets\n\n");
 
     let mut t = TextTable::new(vec![
-        "app", "interactive", "f range", "avg T_local", "min", "max", "back KB", "T_remote",
+        "app",
+        "interactive",
+        "f range",
+        "avg T_local",
+        "min",
+        "max",
+        "back KB",
+        "T_remote",
     ]);
     for (app, paper) in CharacterizationApp::all().iter().zip(PAPER) {
         let profile = app.profile();

@@ -32,7 +32,10 @@ pub fn report() -> String {
             .with_gpu_frequency_mhz(*f)
             .with_network(*p);
         let s = SchemeKind::Qvr.run(&config, b.profile(), FRAMES, SEED);
-        (s.mean_e1_deg(WARMUP).unwrap_or(0.0), s.meets_target_fps(90.0, WARMUP))
+        (
+            s.mean_e1_deg(WARMUP).unwrap_or(0.0),
+            s.meets_target_fps(90.0, WARMUP),
+        )
     });
 
     let mut out = String::new();

@@ -1,0 +1,233 @@
+//! Offline stand-in for the subset of the `bytes` crate API this workspace
+//! uses: `Bytes` (cheaply cloneable immutable view with a read cursor),
+//! `BytesMut` (growable buffer), and the `Buf`/`BufMut` traits' `get_u8` /
+//! `put_u8` / `remaining` methods.
+//!
+//! The build environment has no registry access, so the real `bytes` cannot
+//! be fetched; this crate keeps the call sites source-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read-side buffer operations.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte and advances the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Write-side buffer operations.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+}
+
+/// A cheaply cloneable immutable byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Copies a slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data.to_vec()),
+            start: 0,
+            end: data.len(),
+        }
+    }
+
+    /// Unread length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no unread bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of the unread bytes (indices relative to the current view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The unread bytes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.start < self.end, "get_u8 past end of buffer");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+}
+
+/// A growable write buffer convertible into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Written length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        let end = self.data.len();
+        Bytes {
+            data: Arc::from(self.data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = BytesMut::with_capacity(4);
+        for v in [1u8, 2, 3] {
+            w.put_u8(v);
+        }
+        let mut r = w.freeze();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 2);
+        assert_eq!(r.get_u8(), 3);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clone_keeps_cursor_independent() {
+        let mut w = BytesMut::new();
+        w.put_u8(9);
+        w.put_u8(8);
+        let a = w.freeze();
+        let mut b = a.clone();
+        assert_eq!(b.get_u8(), 9);
+        assert_eq!(a.len(), 2, "clone advances independently");
+        assert_eq!(a, Bytes::copy_from_slice(&[9, 8]));
+    }
+
+    #[test]
+    fn slice_is_relative_to_view() {
+        let src = Bytes::copy_from_slice(&[0, 1, 2, 3, 4, 5]);
+        let half = src.slice(0..3);
+        assert_eq!(half.as_slice(), &[0, 1, 2]);
+        let mut inner = half.slice(1..3);
+        assert_eq!(inner.get_u8(), 1);
+        assert_eq!(inner.get_u8(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_slice_rejected() {
+        let src = Bytes::copy_from_slice(&[1, 2]);
+        let _ = src.slice(0..3);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overread_rejected() {
+        let mut b = Bytes::new();
+        let _ = b.get_u8();
+    }
+}

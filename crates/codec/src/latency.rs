@@ -29,7 +29,11 @@ impl CodecLatencyModel {
             "throughputs must be positive"
         );
         assert!(fixed_ms >= 0.0, "fixed cost must be non-negative");
-        CodecLatencyModel { encode_px_per_ms, decode_px_per_ms, fixed_ms }
+        CodecLatencyModel {
+            encode_px_per_ms,
+            decode_px_per_ms,
+            fixed_ms,
+        }
     }
 
     /// A mobile-SoC hardware codec: ~4K@240 decode, 4K@120 encode class
@@ -102,7 +106,10 @@ mod tests {
     fn zero_pixels_costs_fixed_only() {
         let m = CodecLatencyModel::new(1e6, 1e6, 0.25);
         assert!((m.decode_ms(0.0) - 0.25).abs() < 1e-12);
-        assert!((m.encode_ms(-5.0) - 0.25).abs() < 1e-12, "negative clamps to zero");
+        assert!(
+            (m.encode_ms(-5.0) - 0.25).abs() < 1e-12,
+            "negative clamps to zero"
+        );
     }
 
     #[test]

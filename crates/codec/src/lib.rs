@@ -43,6 +43,10 @@ pub mod latency;
 pub mod size_model;
 pub mod transform;
 
+pub use latency::CodecLatencyModel;
+pub use size_model::SizeModel;
+pub use transform::{CodecError, EncodedFrame, TransformCodec};
+
 /// Shared synthetic content for tests: game-like frames (smooth regions,
 /// hard edges, correlated mild noise) rather than incompressible white
 /// noise.
@@ -97,7 +101,3 @@ pub(crate) mod test_content {
         out
     }
 }
-
-pub use latency::CodecLatencyModel;
-pub use size_model::SizeModel;
-pub use transform::{CodecError, EncodedFrame, TransformCodec};

@@ -37,9 +37,16 @@ impl SizeModel {
     /// Panics if any parameter is non-positive or `gamma > 2`.
     #[must_use]
     pub fn new(bpp_base: f64, bpp_detail: f64, gamma: f64) -> Self {
-        assert!(bpp_base > 0.0 && bpp_detail > 0.0, "bpp parameters must be positive");
+        assert!(
+            bpp_base > 0.0 && bpp_detail > 0.0,
+            "bpp parameters must be positive"
+        );
         assert!(gamma > 0.0 && gamma <= 2.0, "gamma must be in (0, 2]");
-        SizeModel { bpp_base, bpp_detail, gamma }
+        SizeModel {
+            bpp_base,
+            bpp_detail,
+            gamma,
+        }
     }
 
     /// The resolution-scaling exponent γ.
@@ -160,8 +167,9 @@ mod tests {
         let codec = TransformCodec::default();
         let master = crate::test_content::game_frame(128, 0.3, 23);
         let b_full = codec.encode_intra(&master).size_bytes() as f64;
-        let b_quarter =
-            codec.encode_intra(&crate::test_content::box_down(&master, 4)).size_bytes() as f64;
+        let b_quarter = codec
+            .encode_intra(&crate::test_content::box_down(&master, 4))
+            .size_bytes() as f64;
         // bytes(s) = bytes(1) * s^gamma  =>  gamma = ln(ratio)/ln(scale).
         let gamma = (b_quarter / b_full).ln() / (0.25f64).ln();
         let model_gamma = SizeModel::default().gamma();

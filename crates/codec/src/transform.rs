@@ -90,9 +90,9 @@ const QUANT_BASE: [f32; 64] = [
 
 /// Zigzag scan order for an 8×8 block.
 const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 impl TransformCodec {
@@ -100,7 +100,9 @@ impl TransformCodec {
     /// detail and produces larger bitstreams.
     #[must_use]
     pub fn new(quality: f64) -> Self {
-        TransformCodec { quality: quality.clamp(0.01, 1.0) }
+        TransformCodec {
+            quality: quality.clamp(0.01, 1.0),
+        }
     }
 
     /// The quality setting.
@@ -222,7 +224,11 @@ struct Plane {
 
 impl Plane {
     fn new(w: u32, h: u32) -> Self {
-        Plane { w, h, data: vec![0.0; (w as usize) * (h as usize)] }
+        Plane {
+            w,
+            h,
+            data: vec![0.0; (w as usize) * (h as usize)],
+        }
     }
 
     fn at(&self, x: u32, y: u32) -> f32 {
@@ -239,7 +245,11 @@ impl Plane {
 }
 
 fn plane_dims(w: u32, h: u32) -> [(u32, u32); 3] {
-    [(w, h), (w.div_ceil(2), h.div_ceil(2)), (w.div_ceil(2), h.div_ceil(2))]
+    [
+        (w, h),
+        (w.div_ceil(2), h.div_ceil(2)),
+        (w.div_ceil(2), h.div_ceil(2)),
+    ]
 }
 
 /// RGB → Y'CbCr with 4:2:0 chroma subsampling.
@@ -292,7 +302,11 @@ fn from_ycbcr_420(w: u32, h: u32, planes: &[Plane]) -> Framebuffer {
             let r = y + 1.403 * cr;
             let g = y - 0.344 * cb - 0.714 * cr;
             let b = y + 1.773 * cb;
-            fb.set_pixel(px, py, Rgba::new(r.clamp(0.0, 1.0), g.clamp(0.0, 1.0), b.clamp(0.0, 1.0), 1.0));
+            fb.set_pixel(
+                px,
+                py,
+                Rgba::new(r.clamp(0.0, 1.0), g.clamp(0.0, 1.0), b.clamp(0.0, 1.0), 1.0),
+            );
         }
     }
     fb
@@ -303,8 +317,16 @@ fn dct8x8(block: &[f32; 64]) -> [f32; 64] {
     let mut out = [0.0f32; 64];
     for v in 0..8 {
         for u in 0..8 {
-            let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
-            let cv = if v == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                std::f32::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
+            let cv = if v == 0 {
+                std::f32::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             let mut sum = 0.0;
             for y in 0..8 {
                 for x in 0..8 {
@@ -327,8 +349,16 @@ fn idct8x8(coeff: &[f32; 64]) -> [f32; 64] {
             let mut sum = 0.0;
             for v in 0..8 {
                 for u in 0..8 {
-                    let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
-                    let cv = if v == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cu = if u == 0 {
+                        std::f32::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
+                    let cv = if v == 0 {
+                        std::f32::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
                     sum += cu
                         * cv
                         * coeff[v * 8 + u]
@@ -360,8 +390,7 @@ fn encode_plane(plane: &Plane, reference: Option<&Plane>, scale: f32, out: &mut 
             for y in 0..8 {
                 for x in 0..8 {
                     let (px, py) = (bx * 8 + x, by * 8 + y);
-                    let v = plane.at(px, py)
-                        - reference.map_or(0.0, |r| r.at(px, py));
+                    let v = plane.at(px, py) - reference.map_or(0.0, |r| r.at(px, py));
                     block[(y * 8 + x) as usize] = v;
                     energy += v * v;
                 }
@@ -557,8 +586,7 @@ mod tests {
         let rough = textured_frame(64, 0.9, 3);
         let codec = TransformCodec::default();
         assert!(
-            codec.encode_intra(&rough).size_bytes()
-                > 2 * codec.encode_intra(&smooth).size_bytes()
+            codec.encode_intra(&rough).size_bytes() > 2 * codec.encode_intra(&smooth).size_bytes()
         );
     }
 
@@ -569,7 +597,11 @@ mod tests {
         let enc = codec.encode_intra(&frame);
         // 64x64 RGBA floats are 64 KB as RGBA8; flat content must compress
         // by >40x.
-        assert!(enc.size_bytes() < 1_000, "flat frame {} bytes", enc.size_bytes());
+        assert!(
+            enc.size_bytes() < 1_000,
+            "flat frame {} bytes",
+            enc.size_bytes()
+        );
     }
 
     #[test]

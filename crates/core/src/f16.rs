@@ -133,7 +133,10 @@ mod tests {
     fn overflow_saturates_to_infinity() {
         assert!(F16::from_f32(1e9).to_f32().is_infinite());
         assert!(F16::from_f32(-1e9).to_f32().is_infinite());
-        assert!(F16::from_f32(65504.0).to_f32().is_finite(), "max half is finite");
+        assert!(
+            F16::from_f32(65504.0).to_f32().is_finite(),
+            "max half is finite"
+        );
     }
 
     #[test]

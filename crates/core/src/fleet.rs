@@ -1,0 +1,633 @@
+//! Multi-tenant fleets: N collaborative-VR sessions contending for one
+//! remote multi-GPU server and one wireless link.
+//!
+//! This is the regime the paper is actually pitched at — "future mobile
+//! collaborative VR" with many headsets behind one server — and the regime
+//! where the LIWC/UCA co-design earns its keep: as the shared link's
+//! per-session share shrinks and the server pool saturates, each session's
+//! controller independently grows its fovea to absorb the loss.
+//!
+//! A [`Fleet`] steps its sessions round-robin (one frame per session per
+//! round) against a shared [`qvr_sim::SharedEngine`], a shared
+//! [`ServerPool`] of per-frame GPU units, and (by default) one shared
+//! [`qvr_net::SharedChannel`] bandwidth budget. Independent fleets (across
+//! seeds or configs) run in parallel threads via [`Fleet::run_many`].
+//!
+//! # Tenancy semantics
+//!
+//! A [`FleetConfig`] with one session, a 1-unit server and a private
+//! channel is the **dedicated** (classic single-user) setup: the whole MCM
+//! array gangs up on each frame (analytic acceleration) and recorded chain
+//! latencies are contention-free nominal costs. Everything else is
+//! **multi-tenant**: each frame renders on one least-loaded GPU unit at
+//! single-GPU speed, and recorded latencies include queueing behind other
+//! tenants. [`crate::schemes::SchemeKind::run`] delegates to a dedicated
+//! 1-session fleet, reproducing the original single-user numbers exactly.
+
+use crate::metrics::RunSummary;
+use crate::schemes::{SchemeKind, ServerPool, SystemConfig};
+use crate::session::Session;
+use qvr_net::{NetworkChannel, SharedChannel};
+use qvr_scene::AppProfile;
+use qvr_sim::SharedEngine;
+use std::fmt;
+
+/// One tenant's slot in a fleet: which scheme and which app it runs.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The design point this user runs.
+    pub scheme: SchemeKind,
+    /// The app this user plays.
+    pub profile: AppProfile,
+}
+
+/// Full description of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The system every session runs on (Table 2 defaults).
+    pub system: SystemConfig,
+    /// The tenants, in session-index order.
+    pub sessions: Vec<SessionSpec>,
+    /// Frames each session simulates.
+    pub frames: usize,
+    /// Fleet seed; per-session seeds derive from it (session 0 keeps it).
+    pub seed: u64,
+    /// Remote GPU (and encoder) units in the shared server pool.
+    pub server_units: usize,
+    /// Whether all sessions draw from one shared channel budget
+    /// (occupancy = session count). When `false` every session gets a
+    /// private channel at full preset bandwidth.
+    pub shared_network: bool,
+    /// Concurrent full-rate streams the shared link serves (MU-MIMO/OFDMA
+    /// capacity): per-transfer rates degrade only once the session count
+    /// exceeds this. Ignored when `shared_network` is `false`.
+    pub link_streams: usize,
+}
+
+impl FleetConfig {
+    /// A homogeneous fleet: `n` users all running `scheme` on `profile`,
+    /// sharing the system's full server array (`remote.count()` units) and
+    /// one wireless link provisioned with as many concurrent full-rate
+    /// streams as the server has GPUs (a collaborative-VR AP sized to its
+    /// server — sharing starts to bite exactly when the pool does).
+    #[must_use]
+    pub fn uniform(
+        system: SystemConfig,
+        scheme: SchemeKind,
+        profile: AppProfile,
+        n: usize,
+        frames: usize,
+        seed: u64,
+    ) -> Self {
+        let server_units = system.remote.count() as usize;
+        FleetConfig {
+            system,
+            sessions: (0..n)
+                .map(|_| SessionSpec {
+                    scheme,
+                    profile: profile.clone(),
+                })
+                .collect(),
+            frames,
+            seed,
+            server_units,
+            shared_network: true,
+            link_streams: server_units,
+        }
+    }
+
+    /// Whether this config degenerates to the classic dedicated single-user
+    /// setup (see the module docs' tenancy semantics).
+    #[must_use]
+    pub fn is_dedicated(&self) -> bool {
+        self.sessions.len() == 1 && self.server_units <= 1 && !self.shared_network
+    }
+}
+
+/// Derives session `idx`'s seed from the fleet seed (identity for 0, so a
+/// dedicated 1-session fleet reproduces the classic single-run streams).
+fn session_seed(seed: u64, idx: usize) -> u64 {
+    seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A running fleet of sessions on shared resources.
+#[derive(Debug)]
+pub struct Fleet {
+    engine: SharedEngine,
+    server: ServerPool,
+    sessions: Vec<Session>,
+    frames: usize,
+    rounds_done: usize,
+    shared_network: bool,
+}
+
+impl Fleet {
+    /// Builds the fleet: shared engine, server pools, channels, and one
+    /// session per spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no sessions, zero frames, or zero server
+    /// units.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(
+            !config.sessions.is_empty(),
+            "a fleet needs at least one session"
+        );
+        assert!(config.frames > 0, "a fleet needs at least one frame");
+        assert!(
+            config.server_units > 0,
+            "the server pool needs at least one unit"
+        );
+        if config.is_dedicated() {
+            let spec = &config.sessions[0];
+            let session = Session::private(
+                spec.scheme,
+                &config.system,
+                spec.profile.clone(),
+                config.seed,
+            );
+            return Fleet {
+                engine: session.engine(),
+                server: session.server(),
+                sessions: vec![session],
+                frames: config.frames,
+                rounds_done: 0,
+                shared_network: false,
+            };
+        }
+        let engine = SharedEngine::new();
+        let server = ServerPool::on(&engine, config.server_units);
+        let shared_channel = if config.shared_network {
+            // Only tenants that actually move frame data over the link
+            // contend for it — a LocalOnly neighbour must not debit the
+            // bandwidth share of the streaming sessions.
+            let occupancy = config
+                .sessions
+                .iter()
+                .filter(|s| s.scheme.uses_network())
+                .count()
+                .max(1);
+            let ch = SharedChannel::new(NetworkChannel::new(config.system.network, config.seed));
+            ch.set_concurrent_streams(config.link_streams.max(1));
+            ch.set_occupancy(occupancy);
+            Some(ch)
+        } else {
+            None
+        };
+        let sessions = config
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let seed = session_seed(config.seed, i);
+                let channel = shared_channel.clone().unwrap_or_else(|| {
+                    SharedChannel::new(NetworkChannel::new(config.system.network, seed))
+                });
+                Session::in_fleet(
+                    spec.scheme,
+                    &config.system,
+                    spec.profile.clone(),
+                    seed,
+                    engine.clone(),
+                    channel,
+                    server,
+                    i,
+                )
+            })
+            .collect();
+        Fleet {
+            engine,
+            server,
+            sessions,
+            frames: config.frames,
+            rounds_done: 0,
+            shared_network: config.shared_network,
+        }
+    }
+
+    /// Number of sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the fleet has no sessions (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The sessions, in index order.
+    #[must_use]
+    pub fn sessions(&self) -> &[Session] {
+        &self.sessions
+    }
+
+    /// Steps every session one frame, round-robin in session-index order
+    /// (the deterministic arbitration order on shared resources).
+    pub fn step_round(&mut self) {
+        for session in &mut self.sessions {
+            session.step();
+        }
+        self.rounds_done += 1;
+    }
+
+    /// Rounds stepped so far.
+    #[must_use]
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// Steps all remaining rounds and finalises.
+    #[must_use]
+    pub fn finish(mut self) -> FleetSummary {
+        while self.rounds_done < self.frames {
+            self.step_round();
+        }
+        let server_utilization = self.server.utilization(&self.engine);
+        let makespan_ms = self.engine.makespan();
+        let summaries: Vec<RunSummary> = self.sessions.into_iter().map(Session::finish).collect();
+        FleetSummary::aggregate(
+            summaries,
+            makespan_ms,
+            server_utilization,
+            self.server.units(),
+            self.shared_network,
+        )
+    }
+
+    /// Builds, runs, and finalises one fleet.
+    #[must_use]
+    pub fn run(config: FleetConfig) -> FleetSummary {
+        Fleet::new(config).finish()
+    }
+
+    /// Runs independent fleets in parallel (intended for sweeps across
+    /// seeds, session counts, or networks), preserving input order. Work
+    /// is fed to at most `available_parallelism` worker threads via
+    /// [`qvr_sim::parallel_map`], so a hundred-config sweep doesn't spawn
+    /// a hundred concurrent simulations.
+    #[must_use]
+    pub fn run_many(configs: Vec<FleetConfig>) -> Vec<FleetSummary> {
+        qvr_sim::parallel_map(&configs, |config| Fleet::run(config.clone()))
+    }
+
+    /// The classic single-user run as a degenerate fleet: one session,
+    /// dedicated server, private channel.
+    #[must_use]
+    pub(crate) fn solo(
+        scheme: SchemeKind,
+        config: &SystemConfig,
+        profile: AppProfile,
+        frames: usize,
+        seed: u64,
+    ) -> RunSummary {
+        let fleet = FleetConfig {
+            system: *config,
+            sessions: vec![SessionSpec { scheme, profile }],
+            frames,
+            seed,
+            server_units: 1,
+            shared_network: false,
+            link_streams: 1,
+        };
+        Fleet::run(fleet)
+            .sessions
+            .into_iter()
+            .next()
+            .expect("one session")
+    }
+}
+
+/// Fleet-level aggregates over all sessions' frames, plus the per-session
+/// summaries they were computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Per-session summaries, in session-index order.
+    pub sessions: Vec<RunSummary>,
+    /// Wall-clock of the whole fleet schedule, ms.
+    pub makespan_ms: f64,
+    /// Median motion-to-photon latency across all sessions' frames, ms.
+    pub mtp_p50_ms: f64,
+    /// 95th-percentile MTP across all sessions' frames, ms.
+    pub mtp_p95_ms: f64,
+    /// 99th-percentile MTP across all sessions' frames, ms.
+    pub mtp_p99_ms: f64,
+    /// The slowest session's frame rate, frames/s (the fairness floor).
+    pub fps_floor: f64,
+    /// Mean session frame rate, frames/s.
+    pub mean_fps: f64,
+    /// Remote-GPU pool utilisation over the makespan, `[0, 1]`.
+    pub server_utilization: f64,
+    /// Units in the server pool.
+    pub server_units: usize,
+    /// Whether sessions shared one channel budget.
+    pub shared_network: bool,
+}
+
+/// Nearest-rank percentile of a sorted slice (`q` in `[0, 100]`).
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl FleetSummary {
+    fn aggregate(
+        sessions: Vec<RunSummary>,
+        makespan_ms: f64,
+        server_utilization: f64,
+        server_units: usize,
+        shared_network: bool,
+    ) -> Self {
+        let mut mtps: Vec<f64> = sessions
+            .iter()
+            .flat_map(|s| s.frames.iter().map(|f| f.mtp_ms))
+            .collect();
+        mtps.sort_by(f64::total_cmp);
+        let fps: Vec<f64> = sessions.iter().map(RunSummary::fps).collect();
+        let fps_floor = fps.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean_fps = fps.iter().sum::<f64>() / fps.len().max(1) as f64;
+        FleetSummary {
+            mtp_p50_ms: percentile_sorted(&mtps, 50.0),
+            mtp_p95_ms: percentile_sorted(&mtps, 95.0),
+            mtp_p99_ms: percentile_sorted(&mtps, 99.0),
+            fps_floor: if fps_floor.is_finite() {
+                fps_floor
+            } else {
+                0.0
+            },
+            mean_fps,
+            sessions,
+            makespan_ms,
+            server_utilization,
+            server_units,
+            shared_network,
+        }
+    }
+
+    /// Number of sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the fleet recorded no sessions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Mean downlink bytes per frame across all sessions.
+    #[must_use]
+    pub fn mean_tx_bytes(&self) -> f64 {
+        if self.sessions.is_empty() {
+            return 0.0;
+        }
+        self.sessions
+            .iter()
+            .map(RunSummary::mean_tx_bytes)
+            .sum::<f64>()
+            / self.sessions.len() as f64
+    }
+}
+
+impl fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions on {} server units{}: MTP p50/p95/p99 {:.1}/{:.1}/{:.1} ms, \
+             FPS floor {:.0}, server util {:.0}%",
+            self.sessions.len(),
+            self.server_units,
+            if self.shared_network {
+                " + shared link"
+            } else {
+                ""
+            },
+            self.mtp_p50_ms,
+            self.mtp_p95_ms,
+            self.mtp_p99_ms,
+            self.fps_floor,
+            self.server_utilization * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvr_scene::Benchmark;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn local_only_neighbours_do_not_debit_the_link() {
+        // Shared-channel occupancy counts only tenants that stream: a Q-VR
+        // session surrounded by 7 LocalOnly users (who never touch the
+        // downlink or the server) must behave exactly as it would alone.
+        let mixed = |n_local: usize| {
+            let mut sessions = vec![SessionSpec {
+                scheme: SchemeKind::Qvr,
+                profile: Benchmark::Hl2H.profile(),
+            }];
+            sessions.extend((0..n_local).map(|_| SessionSpec {
+                scheme: SchemeKind::LocalOnly,
+                profile: Benchmark::Doom3L.profile(),
+            }));
+            Fleet::run(FleetConfig {
+                system: cfg(),
+                sessions,
+                frames: 20,
+                seed: 9,
+                server_units: 8,
+                shared_network: true,
+                link_streams: 1,
+            })
+        };
+        let alone = mixed(0);
+        let crowded = mixed(7);
+        assert_eq!(
+            alone.sessions[0].frames, crowded.sessions[0].frames,
+            "idle neighbours must not change the streaming session's frames"
+        );
+    }
+
+    #[test]
+    fn solo_fleet_is_dedicated() {
+        let f = FleetConfig {
+            system: cfg(),
+            sessions: vec![SessionSpec {
+                scheme: SchemeKind::Qvr,
+                profile: Benchmark::Doom3H.profile(),
+            }],
+            frames: 10,
+            seed: 1,
+            server_units: 1,
+            shared_network: false,
+            link_streams: 1,
+        };
+        assert!(f.is_dedicated());
+        let uniform = FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Doom3H.profile(),
+            1,
+            10,
+            1,
+        );
+        assert!(
+            !uniform.is_dedicated(),
+            "a 1-session fleet on the full pool is multi-tenant"
+        );
+    }
+
+    #[test]
+    fn fleet_runs_every_session_to_completion() {
+        let summary = Fleet::run(FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            4,
+            30,
+            7,
+        ));
+        assert_eq!(summary.len(), 4);
+        for s in &summary.sessions {
+            assert_eq!(s.len(), 30);
+            assert!(s.mean_mtp_ms() > 0.0);
+            assert!(s.fps() > 0.0);
+        }
+        assert!(summary.mtp_p50_ms <= summary.mtp_p95_ms);
+        assert!(summary.mtp_p95_ms <= summary.mtp_p99_ms);
+        assert!(summary.fps_floor <= summary.mean_fps + 1e-9);
+        assert!(summary.server_utilization > 0.0);
+        assert!(summary.makespan_ms > 0.0);
+        assert!(summary.to_string().contains("4 sessions"));
+    }
+
+    #[test]
+    fn fleets_are_deterministic() {
+        let make =
+            || FleetConfig::uniform(cfg(), SchemeKind::Qvr, Benchmark::Grid.profile(), 6, 25, 11);
+        let a = Fleet::run(make());
+        let b = Fleet::run(make());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sessions_diverge_across_seeds() {
+        let summary = Fleet::run(FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            2,
+            20,
+            3,
+        ));
+        // Different per-session seeds → different motion traces → different
+        // per-frame latencies.
+        assert_ne!(summary.sessions[0].frames, summary.sessions[1].frames);
+    }
+
+    #[test]
+    fn heterogeneous_fleets_interleave() {
+        let summary = Fleet::run(FleetConfig {
+            system: cfg(),
+            sessions: vec![
+                SessionSpec {
+                    scheme: SchemeKind::Qvr,
+                    profile: Benchmark::Grid.profile(),
+                },
+                SessionSpec {
+                    scheme: SchemeKind::Ffr,
+                    profile: Benchmark::Doom3L.profile(),
+                },
+                SessionSpec {
+                    scheme: SchemeKind::RemoteOnly,
+                    profile: Benchmark::Wolf.profile(),
+                },
+            ],
+            frames: 20,
+            seed: 5,
+            server_units: 4,
+            shared_network: true,
+            link_streams: 1,
+        });
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary.sessions[0].scheme, "Q-VR");
+        assert_eq!(summary.sessions[1].scheme, "FFR");
+        assert_eq!(summary.sessions[2].scheme, "Remote");
+    }
+
+    #[test]
+    fn shared_link_contention_hurts_oversubscribed_fleets() {
+        let run_n = |n: usize| {
+            Fleet::run(FleetConfig::uniform(
+                cfg(),
+                SchemeKind::Qvr,
+                Benchmark::Hl2H.profile(),
+                n,
+                40,
+                13,
+            ))
+        };
+        let small = run_n(2);
+        let big = run_n(16);
+        assert!(
+            big.mtp_p95_ms > small.mtp_p95_ms,
+            "16 tenants must see worse tail latency than 2: {:.1} vs {:.1} ms",
+            big.mtp_p95_ms,
+            small.mtp_p95_ms
+        );
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        let configs: Vec<FleetConfig> = (0..3)
+            .map(|i| {
+                FleetConfig::uniform(
+                    cfg(),
+                    SchemeKind::Qvr,
+                    Benchmark::Doom3H.profile(),
+                    2,
+                    15,
+                    100 + i,
+                )
+            })
+            .collect();
+        let parallel = Fleet::run_many(configs.clone());
+        let sequential: Vec<FleetSummary> = configs.into_iter().map(Fleet::run).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 95.0), 95.0);
+        assert_eq!(percentile_sorted(&sorted, 99.0), 99.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 100.0);
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn empty_fleet_rejected() {
+        let _ = Fleet::new(FleetConfig {
+            system: cfg(),
+            sessions: vec![],
+            frames: 1,
+            seed: 0,
+            server_units: 1,
+            shared_network: true,
+            link_streams: 1,
+        });
+    }
+}

@@ -32,7 +32,13 @@ impl VrsRate {
     /// All rates, finest first.
     #[must_use]
     pub fn all() -> [VrsRate; 5] {
-        [VrsRate::Full, VrsRate::Half, VrsRate::Quarter, VrsRate::Eighth, VrsRate::Sixteenth]
+        [
+            VrsRate::Full,
+            VrsRate::Half,
+            VrsRate::Quarter,
+            VrsRate::Eighth,
+            VrsRate::Sixteenth,
+        ]
     }
 
     /// The linear resolution scale of this rate.
@@ -199,10 +205,15 @@ impl FoveationPlan {
     /// hardware VRS rates (never coarser than the MAR bound allows, i.e.
     /// always at least the MAR scale).
     #[must_use]
-    pub fn resolve(e1_deg: f64, display: &DisplayGeometry, mar: &MarModel, gaze: GazePoint) -> Self {
+    pub fn resolve(
+        e1_deg: f64,
+        display: &DisplayGeometry,
+        mar: &MarModel,
+        gaze: GazePoint,
+    ) -> Self {
         let e1 = e1_deg.clamp(LayerPartition::MIN_E1, LayerPartition::MAX_E1);
-        let part = LayerPartition::with_optimal_middle(e1, display, mar)
-            .expect("clamped e1 is valid");
+        let part =
+            LayerPartition::with_optimal_middle(e1, display, mar).expect("clamped e1 is valid");
         let budget = part.layer_budget(display, mar, gaze);
         let native = display.pixels_per_eye() as f64;
 
@@ -346,9 +357,7 @@ mod tests {
         let sm = SizeModel::default();
         let small = FoveationPlan::resolve(10.0, &d, &m, GazePoint::center());
         let large = FoveationPlan::resolve(45.0, &d, &m, GazePoint::center());
-        assert!(
-            large.periphery_bytes(&sm, 0.5, 1.0) < small.periphery_bytes(&sm, 0.5, 1.0)
-        );
+        assert!(large.periphery_bytes(&sm, 0.5, 1.0) < small.periphery_bytes(&sm, 0.5, 1.0));
     }
 
     #[test]

@@ -17,9 +17,14 @@
 //! * [`foveation`] — the software framework of Fig. 7: layer channels,
 //!   VRS-quantised layer rates, periphery quality, and the render-graph
 //!   configuration the client and server exchange.
-//! * [`schemes`] — end-to-end frame pipelines for every design point the
+//! * [`schemes`] — per-frame pipeline steppers for every design point the
 //!   evaluation compares: local-only, remote-only, static collaborative,
 //!   FFR, DFR, software-only Q-VR, and full Q-VR.
+//! * [`session`] — first-class sessions: one user, one app, one scheme,
+//!   steppable frame by frame on private or shared resources.
+//! * [`fleet`] — the multi-tenant session engine: N sessions round-robin on
+//!   one shared server pool and one shared wireless channel, with
+//!   fleet-level tail-latency/FPS/utilisation aggregates.
 //! * [`metrics`] — per-frame records and run summaries (latency breakdowns,
 //!   FPS, transmitted bytes, energy).
 //!
@@ -39,15 +44,19 @@
 #![warn(missing_docs)]
 
 pub mod f16;
+pub mod fleet;
 pub mod foveation;
 pub mod liwc;
 pub mod metrics;
 pub mod schemes;
+pub mod session;
 pub mod uca;
 
 pub use f16::F16;
+pub use fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 pub use foveation::{FoveationPlan, LayerChannel, RenderGraph, VrsRate};
 pub use liwc::Liwc;
 pub use metrics::{FrameRecord, RunSummary};
 pub use schemes::{SchemeKind, SystemConfig};
+pub use session::Session;
 pub use uca::Uca;

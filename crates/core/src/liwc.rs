@@ -108,7 +108,10 @@ impl MappingTable {
     #[must_use]
     pub fn new(initial_gradient: f64) -> Self {
         MappingTable {
-            entries: vec![F16::from_f32(initial_gradient as f32); MotionCodec::CODES * Self::BUCKETS],
+            entries: vec![
+                F16::from_f32(initial_gradient as f32);
+                MotionCodec::CODES * Self::BUCKETS
+            ],
             bucket_count: Self::BUCKETS,
         }
     }
@@ -182,8 +185,7 @@ impl LatencyPredictor {
     #[must_use]
     pub fn predict_local_ms(&self, scene_triangles: u64, fovea_fraction: f64) -> f64 {
         self.local_overhead_ms
-            + scene_triangles as f64 * fovea_fraction.clamp(0.0, 1.0)
-                / self.gpu_triangles_per_ms
+            + scene_triangles as f64 * fovea_fraction.clamp(0.0, 1.0) / self.gpu_triangles_per_ms
     }
 
     /// Eq. (2): `T_remote = datasize(M+O) / throughput` (+ base latency and
@@ -313,8 +315,9 @@ impl Liwc {
         let code = self.codec.encode(delta);
         let gradient = self.table.gradient(code, self.e1_deg);
 
-        let t_local =
-            self.predictor.predict_local_ms(scene_triangles, fovea_fraction_at(self.e1_deg));
+        let t_local = self
+            .predictor
+            .predict_local_ms(scene_triangles, fovea_fraction_at(self.e1_deg));
         let t_remote = self.predictor.predict_remote_ms(
             periphery_bytes_at(self.e1_deg),
             observed_mbps,
@@ -333,8 +336,7 @@ impl Liwc {
         let delta_e = raw.clamp(-Self::MAX_DELTA_DEG, Self::MAX_DELTA_DEG).round();
 
         let decision_e1 = self.e1_deg;
-        self.e1_deg = (self.e1_deg + delta_e)
-            .clamp(LayerPartition::MIN_E1, LayerPartition::MAX_E1);
+        self.e1_deg = (self.e1_deg + delta_e).clamp(LayerPartition::MIN_E1, LayerPartition::MAX_E1);
         self.last = Some((code, decision_e1, self.e1_deg - decision_e1));
 
         LiwcDecision {
@@ -360,7 +362,8 @@ impl Liwc {
         observed_mbps: f64,
         net_base_ms: f64,
     ) {
-        self.predictor.observe_local(scene_triangles, fovea_fraction, measured_local_ms);
+        self.predictor
+            .observe_local(scene_triangles, fovea_fraction, measured_local_ms);
         self.predictor.observe_remote(
             periphery_bytes,
             observed_mbps,
@@ -436,7 +439,8 @@ impl SoftwareController {
 
     /// Records a completed frame's measured latencies.
     pub fn observe(&mut self, measured_local_ms: f64, measured_remote_ms: f64) {
-        self.pending.push_back((measured_local_ms, measured_remote_ms));
+        self.pending
+            .push_back((measured_local_ms, measured_remote_ms));
     }
 
     /// Selects the eccentricity for the next frame.
@@ -450,8 +454,8 @@ impl SoftwareController {
                 let delta = (self.gain_deg_per_ms * gap)
                     .clamp(-Liwc::MAX_DELTA_DEG, Liwc::MAX_DELTA_DEG)
                     .round();
-                self.e1_deg = (self.e1_deg + delta)
-                    .clamp(LayerPartition::MIN_E1, LayerPartition::MAX_E1);
+                self.e1_deg =
+                    (self.e1_deg + delta).clamp(LayerPartition::MIN_E1, LayerPartition::MAX_E1);
                 self.pending.pop_front();
             }
         }
@@ -493,18 +497,30 @@ mod tests {
     #[test]
     fn dof_flags_reflect_axes() {
         let codec = MotionCodec::default();
-        let yaw_only = MotionDelta { dof: [3.0, 0.0, 0.0, 0.0, 0.0, 0.0], ..Default::default() };
+        let yaw_only = MotionDelta {
+            dof: [3.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            ..Default::default()
+        };
         let code = codec.encode(&yaw_only);
         assert_eq!(code >> 4, 0b000001);
-        let z_only = MotionDelta { dof: [0.0, 0.0, 0.0, 0.0, 0.0, 0.02], ..Default::default() };
+        let z_only = MotionDelta {
+            dof: [0.0, 0.0, 0.0, 0.0, 0.0, 0.02],
+            ..Default::default()
+        };
         assert_eq!(codec.encode(&z_only) >> 4, 0b100000);
     }
 
     #[test]
     fn gaze_octants_differ() {
         let codec = MotionCodec::default();
-        let right = MotionDelta { gaze: (0.2, 0.0), ..Default::default() };
-        let up = MotionDelta { gaze: (0.0, 0.2), ..Default::default() };
+        let right = MotionDelta {
+            gaze: (0.2, 0.0),
+            ..Default::default()
+        };
+        let up = MotionDelta {
+            gaze: (0.0, 0.2),
+            ..Default::default()
+        };
         assert_ne!(codec.encode(&right) & 0xF, codec.encode(&up) & 0xF);
     }
 
@@ -527,7 +543,10 @@ mod tests {
         let mut t = MappingTable::new(0.0);
         t.set_gradient(7, 20.0, -0.123456789);
         let g = t.gradient(7, 20.0);
-        assert!((g - (-0.123456789)).abs() < 1e-3, "f16 keeps ~3 digits: {g}");
+        assert!(
+            (g - (-0.123456789)).abs() < 1e-3,
+            "f16 keeps ~3 digits: {g}"
+        );
         assert_ne!(g, -0.123456789, "storage must quantise");
     }
 
@@ -537,9 +556,15 @@ mod tests {
         let t1 = p.predict_local_ms(1_000_000, 0.1);
         let t2 = p.predict_local_ms(1_000_000, 0.2);
         assert!(t2 > t1, "more fovea share costs more");
-        assert!((t1 - (0.5 + 1.0)).abs() < 1e-9, "1M tris x 10% / 100k tri/ms = 1 ms");
+        assert!(
+            (t1 - (0.5 + 1.0)).abs() < 1e-9,
+            "1M tris x 10% / 100k tri/ms = 1 ms"
+        );
         let r = p.predict_remote_ms(250_000.0, 200.0, 2.0);
-        assert!((r - (2.0 + 10.0)).abs() < 1e-9, "250 KB at 200 Mbps = 10 ms");
+        assert!(
+            (r - (2.0 + 10.0)).abs() < 1e-9,
+            "250 KB at 200 Mbps = 10 ms"
+        );
     }
 
     #[test]
@@ -568,10 +593,16 @@ mod tests {
                 100.0,
                 2.0,
             );
-            assert!(d.e1_deg >= last_e1, "e1 must not shrink while remote dominates");
+            assert!(
+                d.e1_deg >= last_e1,
+                "e1 must not shrink while remote dominates"
+            );
             last_e1 = d.e1_deg;
         }
-        assert!(last_e1 > 30.0, "after 10 frames of +5°, e1 is large: {last_e1}");
+        assert!(
+            last_e1 > 30.0,
+            "after 10 frames of +5°, e1 is large: {last_e1}"
+        );
     }
 
     #[test]
@@ -595,7 +626,14 @@ mod tests {
     fn liwc_delta_bounded_by_tags() {
         let predictor = LatencyPredictor::new(100_000.0, 0.2, 0.5);
         let mut liwc = Liwc::new(45.0, -0.1, 0.3, predictor);
-        let d = liwc.select(&moving_delta(), 5_000_000, |_| 1.0, |_| 5_000_000.0, 10.0, 2.0);
+        let d = liwc.select(
+            &moving_delta(),
+            5_000_000,
+            |_| 1.0,
+            |_| 5_000_000.0,
+            10.0,
+            2.0,
+        );
         assert!(d.delta_e_deg.abs() <= Liwc::MAX_DELTA_DEG + 1e-9);
     }
 
@@ -606,16 +644,34 @@ mod tests {
         let code = MotionCodec::default().encode(&still_delta());
         // Two frames: the gap shrinks by 4 ms after the second +5° move, so
         // the measured gradient is -0.8 ms/deg.
-        liwc.select(&still_delta(), 1_000_000, |_| 0.2, |_| 300_000.0, 200.0, 2.0);
+        liwc.select(
+            &still_delta(),
+            1_000_000,
+            |_| 0.2,
+            |_| 300_000.0,
+            200.0,
+            2.0,
+        );
         liwc.observe(1_000_000, 0.2, 5.0, 13.0, 300_000.0, 200.0, 2.0); // gap 8, seeds prev_gap
-        liwc.select(&still_delta(), 1_000_000, |_| 0.2, |_| 300_000.0, 200.0, 2.0);
+        liwc.select(
+            &still_delta(),
+            1_000_000,
+            |_| 0.2,
+            |_| 300_000.0,
+            200.0,
+            2.0,
+        );
         liwc.observe(1_000_000, 0.2, 7.0, 11.0, 300_000.0, 200.0, 2.0); // gap 4
+
         // The second decision was taken from the post-first-move state
         // (e1 = 25°), so the update lands on that state's entry: the value
         // moves off the -0.5 initialisation toward -0.8.
         let after = liwc.table().gradient(code, 25.0);
         assert_ne!(after, -0.5, "observed gradient must update the table");
-        assert!(after < -0.5, "update moves toward the measured -0.8: {after}");
+        assert!(
+            after < -0.5,
+            "update moves toward the measured -0.8: {after}"
+        );
     }
 
     #[test]
@@ -650,7 +706,7 @@ mod tests {
         let tail = &e1_hist[80..];
         let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;
         let crossing = (5..90)
-            .map(|e| f64::from(e))
+            .map(f64::from)
             .min_by(|a, b| {
                 (local_at(*a) - remote_at(*a))
                     .abs()
@@ -674,7 +730,11 @@ mod tests {
             sw.observe(3.0, 13.0);
             sw.select();
         }
-        assert!(sw.e1_deg() > 20.0, "software controller must track: {}", sw.e1_deg());
+        assert!(
+            sw.e1_deg() > 20.0,
+            "software controller must track: {}",
+            sw.e1_deg()
+        );
     }
 
     #[test]

@@ -105,8 +105,12 @@ impl RunSummary {
     /// first `warmup` frames (Table 4 averages steady state only).
     #[must_use]
     pub fn mean_e1_deg(&self, warmup: usize) -> Option<f64> {
-        let vals: Vec<f64> =
-            self.frames.iter().skip(warmup).filter_map(|f| f.e1_deg).collect();
+        let vals: Vec<f64> = self
+            .frames
+            .iter()
+            .skip(warmup)
+            .filter_map(|f| f.e1_deg)
+            .collect();
         if vals.is_empty() {
             None
         } else {
@@ -143,8 +147,7 @@ impl RunSummary {
         if self.frames.is_empty() {
             0.0
         } else {
-            self.frames.iter().filter(|f| f.misprediction).count() as f64
-                / self.frames.len() as f64
+            self.frames.iter().filter(|f| f.misprediction).count() as f64 / self.frames.len() as f64
         }
     }
 }

@@ -13,10 +13,10 @@
 //!   waits for the previous composition, which costs pipeline overlap.
 
 use super::rig::Rig;
-use super::SystemConfig;
+use super::{Stepper, SystemConfig};
 use crate::foveation::FoveationPlan;
 use crate::liwc::{LatencyPredictor, Liwc, SoftwareController};
-use crate::metrics::{FrameRecord, RunSummary};
+use crate::metrics::FrameRecord;
 use qvr_hvs::DisplayGeometry;
 use qvr_scene::{AppProfile, AppSession};
 use qvr_sim::TaskId;
@@ -54,8 +54,8 @@ fn label(options: &Options) -> &'static str {
 fn border_fraction(plan: &FoveationPlan, display: &DisplayGeometry, tile_px: u32) -> f64 {
     let ppd = (display.ppd_h() * display.ppd_v()).sqrt();
     let fovea_r_px = plan.e1_deg * ppd;
-    let middle_half_px = (plan.e2_deg * ppd)
-        .min(f64::from(display.width_px().max(display.height_px())) / 2.0);
+    let middle_half_px =
+        (plan.e2_deg * ppd).min(f64::from(display.width_px().max(display.height_px())) / 2.0);
     // Tiles crossed by a curve ≈ 1.5 × length / tile edge.
     let seam_len_px = std::f64::consts::TAU * fovea_r_px + 8.0 * middle_half_px;
     let seam_tiles = 1.5 * seam_len_px / f64::from(tile_px);
@@ -64,47 +64,76 @@ fn border_fraction(plan: &FoveationPlan, display: &DisplayGeometry, tile_px: u32
     (seam_tiles / total_tiles).clamp(0.0, 1.0)
 }
 
-pub(super) fn run(
-    config: &SystemConfig,
+/// Per-frame stepper for the foveated family (FFR/DFR/Q-VR-SW/Q-VR).
+#[derive(Debug)]
+pub(super) struct FoveatedStepper {
     profile: AppProfile,
-    frames: usize,
-    seed: u64,
     options: Options,
-) -> RunSummary {
-    let mut rig = Rig::new(config, seed);
-    let mut session = AppSession::start(profile.clone(), seed);
-    let display = profile.display;
-    let native_px = f64::from(display.width_px()) * f64::from(display.height_px());
+    native_px: f64,
+    liwc: Liwc,
+    sw: SoftwareController,
+    prev_compose: Option<TaskId>,
+}
 
-    // Initial P(GPU) estimate: the full frame's triangles over its render
-    // time, as a rough prior LIWC refines online.
-    let prior_frame = AppSession::start(profile.clone(), seed).advance();
-    let full_ms = rig
-        .mobile
-        .stereo_frame_time(&profile.full_workload(&prior_frame))
-        .total_ms();
-    let p0 = prior_frame.triangles as f64 / full_ms.max(0.1);
+impl FoveatedStepper {
+    pub(super) fn new(
+        config: &SystemConfig,
+        profile: AppProfile,
+        seed: u64,
+        options: Options,
+    ) -> Self {
+        let native_px =
+            f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
 
-    let mut liwc = Liwc::new(
-        config.initial_e1_deg,
-        config.liwc_initial_gradient,
-        config.liwc_reward_alpha,
-        LatencyPredictor::new(p0, config.liwc_predictor_alpha, config.cl_ms + config.ls_ms),
-    );
-    let mut sw = SoftwareController::new(
-        config.initial_e1_deg,
-        config.sw_gain_deg_per_ms,
-        config.sw_lag_frames,
-    );
-    let mut prev_compose: Option<TaskId> = None;
+        // Initial P(GPU) estimate: the full frame's triangles over its render
+        // time, as a rough prior LIWC refines online.
+        let prior_frame = AppSession::start(profile.clone(), seed).advance();
+        let full_ms = qvr_gpu::GpuTimingModel::new(config.gpu)
+            .stereo_frame_time(&profile.full_workload(&prior_frame))
+            .total_ms();
+        let p0 = prior_frame.triangles as f64 / full_ms.max(0.1);
 
-    for _ in 0..frames {
+        let liwc = Liwc::new(
+            config.initial_e1_deg,
+            config.liwc_initial_gradient,
+            config.liwc_reward_alpha,
+            LatencyPredictor::new(p0, config.liwc_predictor_alpha, config.cl_ms + config.ls_ms),
+        );
+        let sw = SoftwareController::new(
+            config.initial_e1_deg,
+            config.sw_gain_deg_per_ms,
+            config.sw_lag_frames,
+        );
+        FoveatedStepper {
+            profile,
+            options,
+            native_px,
+            liwc,
+            sw,
+            prev_compose: None,
+        }
+    }
+}
+
+impl Stepper for FoveatedStepper {
+    fn label(&self) -> &'static str {
+        label(&self.options)
+    }
+
+    fn liwc_always_on(&self) -> bool {
+        matches!(self.options.controller, Controller::Liwc)
+    }
+
+    fn step(&mut self, rig: &mut Rig, session: &mut AppSession) {
+        let config = *rig.config();
+        let options = self.options;
+        let display = self.profile.display;
         let frame = session.advance();
 
         // --- eccentricity selection -------------------------------------
         let e1 = match options.controller {
             Controller::Fixed(e) => e,
-            Controller::Software => sw.select(),
+            Controller::Software => self.sw.select(),
             Controller::Liwc => {
                 let observed = rig.channel.observed_download_mbps();
                 let base = config.network.base_latency_ms();
@@ -114,19 +143,23 @@ pub(super) fn run(
                 let stereo = config.stereo_stream_factor;
                 let gaze = frame.sample.gaze;
                 let detail = frame.content_detail;
-                liwc.select(
-                    &frame.delta,
-                    frame.triangles,
-                    |e| profile.fovea_triangle_fraction(&frame, e),
-                    |e| {
-                        FoveationPlan::resolve(e, &display, &mar, gaze)
-                            .periphery_bytes(&size_model, detail, pq)
-                            * stereo
-                    },
-                    observed,
-                    base,
-                )
-                .e1_deg
+                let profile = &self.profile;
+                self.liwc
+                    .select(
+                        &frame.delta,
+                        frame.triangles,
+                        |e| profile.fovea_triangle_fraction(&frame, e),
+                        |e| {
+                            FoveationPlan::resolve(e, &display, &mar, gaze).periphery_bytes(
+                                &size_model,
+                                detail,
+                                pq,
+                            ) * stereo
+                        },
+                        observed,
+                        base,
+                    )
+                    .e1_deg
             }
         };
         let plan = FoveationPlan::resolve(e1, &display, &config.mar, frame.sample.gaze);
@@ -138,7 +171,7 @@ pub(super) fn run(
                 // Fig. 4-Ⓑ: the software decision waits for the previous
                 // frame's rendered output (it runs in the app loop, which
                 // blocks on present) and burns CPU time.
-                if let Some(prev) = prev_compose {
+                if let Some(prev) = self.prev_compose {
                     pace.push(prev);
                 }
                 if let Some(prev_disp) = rig.last_display_task() {
@@ -152,13 +185,14 @@ pub(super) fn run(
         if matches!(options.controller, Controller::Liwc) {
             // The hardware lookup runs in parallel with setup; its latency
             // (table lookup + Eq. 2 arithmetic) is nanoseconds.
-            rig.engine.submit("LIWC:select", Some(rig.liwc), 0.002, &[cl]);
+            rig.engine
+                .submit("LIWC:select", Some(rig.liwc), 0.002, &[cl]);
         }
         let ls = rig.engine.submit("LS", Some(rig.cpu), config.ls_ms, &[cl]);
         let (send, send_ms) = rig.upload("pose+cfg", 1_536.0, &[ls]);
 
         // --- local fovea rendering ---------------------------------------
-        let fovea_wl = profile.fovea_workload(&frame, e1);
+        let fovea_wl = self.profile.fovea_workload(&frame, e1);
         let lr_ms = rig.mobile.stereo_frame_time(&fovea_wl).total_ms();
         let lr = rig.engine.submit("LR", Some(rig.gpu), lr_ms, &[ls]);
 
@@ -166,10 +200,11 @@ pub(super) fn run(
         let mid_px = plan.middle_region_px * plan.middle_rate.linear_scale().powi(2);
         let out_px = plan.outer_region_px * plan.outer_rate.linear_scale().powi(2);
         let periph_px = mid_px + out_px;
-        let periph_wl = profile
+        let periph_wl = self
+            .profile
             .full_workload(&frame)
-            .scaled_region(periph_px / native_px, 1.0);
-        let rr_ms = config.remote.stereo_render_ms(&periph_wl);
+            .scaled_region(periph_px / self.native_px, 1.0);
+        let rr_ms = rig.remote_render_ms(&periph_wl);
         let bytes = plan.periphery_bytes(
             &config.size_model,
             frame.content_detail,
@@ -189,28 +224,34 @@ pub(super) fn run(
             // Non-overlapping periphery tiles stream as soon as the decoder
             // has them; seam + fovea tiles additionally wait for LR. Only
             // the late part sits on the frame's critical path.
-            let early = rig.engine.submit("UCA:outer", Some(rig.uca), early_ms, &[chain.done]);
-            let late = rig.engine.submit("UCA:border", Some(rig.uca), late_ms, &[lr, early]);
+            let early = rig
+                .engine
+                .submit("UCA:outer", Some(rig.uca), early_ms, &[chain.done]);
+            let late = rig
+                .engine
+                .submit("UCA:border", Some(rig.uca), late_ms, &[lr, early]);
             (late, late_ms)
         } else {
-            let c_ms = rig.stereo_pass_ms(&profile, config.composition_cycles_per_px);
-            let c = rig.engine.submit("C", Some(rig.gpu), c_ms, &[lr, chain.done]);
-            let atw_ms = rig.stereo_pass_ms(&profile, config.atw_cycles_per_px);
+            let c_ms = rig.stereo_pass_ms(&self.profile, config.composition_cycles_per_px);
+            let c = rig
+                .engine
+                .submit("C", Some(rig.gpu), c_ms, &[lr, chain.done]);
+            let atw_ms = rig.stereo_pass_ms(&self.profile, config.atw_cycles_per_px);
             let atw = rig.engine.submit("ATW", Some(rig.gpu), atw_ms, &[c]);
             (atw, c_ms + atw_ms)
         };
-        prev_compose = Some(compose_done);
+        self.prev_compose = Some(compose_done);
 
         rig.display("display", &[compose_done]);
 
         // --- feedback ------------------------------------------------------
         let t_local = lr_ms;
-        let t_remote = chain.nominal_ms;
+        let t_remote = rig.chain_latency_ms(&chain);
         match options.controller {
             Controller::Liwc => {
-                liwc.observe(
+                self.liwc.observe(
                     frame.triangles,
-                    profile.fovea_triangle_fraction(&frame, e1),
+                    self.profile.fovea_triangle_fraction(&frame, e1),
                     t_local,
                     t_remote,
                     bytes,
@@ -218,9 +259,10 @@ pub(super) fn run(
                     config.network.base_latency_ms(),
                 );
                 // Runtime updater executes in parallel with display.
-                rig.engine.submit("LIWC:update", Some(rig.liwc), 0.003, &[compose_done]);
+                rig.engine
+                    .submit("LIWC:update", Some(rig.liwc), 0.003, &[compose_done]);
             }
-            Controller::Software => sw.observe(t_local, t_remote),
+            Controller::Software => self.sw.observe(t_local, t_remote),
             Controller::Fixed(_) => {}
         }
 
@@ -240,8 +282,6 @@ pub(super) fn run(
             misprediction: false,
         });
     }
-    let liwc_always_on = matches!(options.controller, Controller::Liwc);
-    rig.finish(label(&options), profile.name, liwc_always_on)
 }
 
 #[cfg(test)]
@@ -277,8 +317,12 @@ mod tests {
         // DFR grows the fovea until local and remote latencies meet; the
         // steady-state ratio must be closer to 1 than FFR's.
         let tail_ratio = |s: &crate::metrics::RunSummary| -> f64 {
-            let tail: Vec<f64> =
-                s.frames.iter().skip(75).map(|f| f.latency_ratio()).collect();
+            let tail: Vec<f64> = s
+                .frames
+                .iter()
+                .skip(75)
+                .map(|f| f.latency_ratio())
+                .collect();
             tail.iter().sum::<f64>() / tail.len() as f64
         };
         let r_ffr = tail_ratio(&ffr);
@@ -313,10 +357,18 @@ mod tests {
         // Our LIWC converges within a handful of frames (the paper's takes
         // tens); the imbalance is visible on the very first frames.
         let early: Vec<f64> = s.frames.iter().take(2).map(|f| f.latency_ratio()).collect();
-        let late: Vec<f64> = s.frames.iter().skip(200).map(|f| f.latency_ratio()).collect();
+        let late: Vec<f64> = s
+            .frames
+            .iter()
+            .skip(200)
+            .map(|f| f.latency_ratio())
+            .collect();
         let early_mean = early.iter().sum::<f64>() / early.len() as f64;
         let late_mean = late.iter().sum::<f64>() / late.len() as f64;
-        assert!(early_mean > 1.5, "cold start must be imbalanced, got {early_mean:.2}");
+        assert!(
+            early_mean > 1.5,
+            "cold start must be imbalanced, got {early_mean:.2}"
+        );
         assert!(
             (0.5..1.6).contains(&late_mean),
             "steady state must balance, got {late_mean:.2}"
@@ -393,8 +445,26 @@ mod tests {
 
     #[test]
     fn labels_cover_design_points() {
-        assert_eq!(label(&Options { controller: Controller::Fixed(5.0), uca: false }), "FFR");
-        assert_eq!(label(&Options { controller: Controller::Liwc, uca: true }), "Q-VR");
-        assert_eq!(label(&Options { controller: Controller::Software, uca: false }), "Q-VR-SW");
+        assert_eq!(
+            label(&Options {
+                controller: Controller::Fixed(5.0),
+                uca: false
+            }),
+            "FFR"
+        );
+        assert_eq!(
+            label(&Options {
+                controller: Controller::Liwc,
+                uca: true
+            }),
+            "Q-VR"
+        );
+        assert_eq!(
+            label(&Options {
+                controller: Controller::Software,
+                uca: false
+            }),
+            "Q-VR-SW"
+        );
     }
 }

@@ -7,31 +7,40 @@
 //! study.
 
 use super::rig::Rig;
-use super::SystemConfig;
-use crate::metrics::{FrameRecord, RunSummary};
+use super::Stepper;
+use crate::metrics::FrameRecord;
 use qvr_scene::{AppProfile, AppSession};
 
-pub(super) fn run(
-    config: &SystemConfig,
+/// Per-frame stepper for the local-only baseline.
+#[derive(Debug)]
+pub(super) struct LocalStepper {
     profile: AppProfile,
-    frames: usize,
-    seed: u64,
-) -> RunSummary {
-    let mut rig = Rig::new(config, seed);
-    let mut session = AppSession::start(profile.clone(), seed);
+}
 
-    for _ in 0..frames {
+impl LocalStepper {
+    pub(super) fn new(profile: AppProfile) -> Self {
+        LocalStepper { profile }
+    }
+}
+
+impl Stepper for LocalStepper {
+    fn label(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn step(&mut self, rig: &mut Rig, session: &mut AppSession) {
+        let config = *rig.config();
         let frame = session.advance();
         let pace = rig.pace_deps();
 
         let cl = rig.engine.submit("CL", Some(rig.cpu), config.cl_ms, &pace);
         let ls = rig.engine.submit("LS", Some(rig.cpu), config.ls_ms, &[cl]);
 
-        let workload = profile.full_workload(&frame);
+        let workload = self.profile.full_workload(&frame);
         let render_ms = rig.mobile.stereo_frame_time(&workload).total_ms();
         let lr = rig.engine.submit("LR", Some(rig.gpu), render_ms, &[ls]);
 
-        let atw_ms = rig.stereo_pass_ms(&profile, config.atw_cycles_per_px);
+        let atw_ms = rig.stereo_pass_ms(&self.profile, config.atw_cycles_per_px);
         let atw = rig.engine.submit("ATW", Some(rig.gpu), atw_ms, &[lr]);
 
         rig.display("display", &[atw]);
@@ -48,13 +57,21 @@ pub(super) fn run(
             misprediction: false,
         });
     }
-    rig.finish("Baseline", profile.name, false)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use qvr_scene::{Benchmark, CharacterizationApp};
+    use crate::schemes::{SchemeKind, SystemConfig};
+    use qvr_scene::{AppProfile, Benchmark, CharacterizationApp};
+
+    fn run(
+        config: &SystemConfig,
+        profile: AppProfile,
+        frames: usize,
+        seed: u64,
+    ) -> crate::metrics::RunSummary {
+        SchemeKind::LocalOnly.run(config, profile, frames, seed)
+    }
 
     #[test]
     fn baseline_latency_in_fig3a_band() {

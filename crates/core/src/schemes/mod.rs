@@ -20,9 +20,10 @@ mod remote;
 mod rig;
 mod static_collab;
 
-pub use rig::Rig;
+pub use rig::{RemoteChain, Rig, ServerPool};
 
 use crate::metrics::RunSummary;
+use crate::session::Session;
 use crate::uca::UcaTiming;
 use qvr_codec::{CodecLatencyModel, SizeModel};
 use qvr_energy::PowerModel;
@@ -30,6 +31,7 @@ use qvr_gpu::{GpuConfig, RemoteGpuModel};
 use qvr_hvs::MarModel;
 use qvr_net::NetworkPreset;
 use qvr_scene::AppProfile;
+use qvr_scene::AppSession;
 use std::fmt;
 
 /// Full system configuration shared by all schemes.
@@ -161,6 +163,25 @@ impl fmt::Display for SystemConfig {
     }
 }
 
+/// One frame of scheme-specific pipeline logic, driven by a [`Session`].
+///
+/// Extracting the per-frame body out of the old whole-run loops is what
+/// lets heterogeneous sessions (different apps and schemes per user)
+/// interleave on shared fleet resources: the session engine owns the loop,
+/// the stepper owns only what one frame submits.
+pub(crate) trait Stepper: std::fmt::Debug {
+    /// Submits one frame's tasks and records its [`crate::metrics::FrameRecord`].
+    fn step(&mut self, rig: &mut Rig, session: &mut AppSession);
+
+    /// The paper's label for this design point.
+    fn label(&self) -> &'static str;
+
+    /// Whether the LIWC unit is always powered for energy accounting.
+    fn liwc_always_on(&self) -> bool {
+        false
+    }
+}
+
 /// The seven design points of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -195,6 +216,14 @@ impl SchemeKind {
         ]
     }
 
+    /// Whether this scheme moves frame data over the wireless link (every
+    /// design point except pure local rendering). Fleets use this to count
+    /// a shared channel's real occupancy.
+    #[must_use]
+    pub fn uses_network(&self) -> bool {
+        !matches!(self, SchemeKind::LocalOnly)
+    }
+
     /// The paper's label.
     #[must_use]
     pub fn label(&self) -> &'static str {
@@ -209,7 +238,73 @@ impl SchemeKind {
         }
     }
 
+    /// Builds this scheme's per-frame pipeline logic.
+    pub(crate) fn stepper(
+        &self,
+        config: &SystemConfig,
+        profile: AppProfile,
+        seed: u64,
+    ) -> Box<dyn Stepper> {
+        match self {
+            SchemeKind::LocalOnly => Box::new(local::LocalStepper::new(profile)),
+            SchemeKind::RemoteOnly => Box::new(remote::RemoteStepper::new(profile)),
+            SchemeKind::StaticCollab => Box::new(static_collab::StaticStepper::new(
+                profile,
+                config.prefetch_lookahead as usize,
+            )),
+            SchemeKind::Ffr => Box::new(foveated::FoveatedStepper::new(
+                config,
+                profile,
+                seed,
+                foveated::Options {
+                    controller: foveated::Controller::Fixed(5.0),
+                    uca: false,
+                },
+            )),
+            SchemeKind::Dfr => Box::new(foveated::FoveatedStepper::new(
+                config,
+                profile,
+                seed,
+                foveated::Options {
+                    controller: foveated::Controller::Liwc,
+                    uca: false,
+                },
+            )),
+            SchemeKind::QvrSw => Box::new(foveated::FoveatedStepper::new(
+                config,
+                profile,
+                seed,
+                foveated::Options {
+                    controller: foveated::Controller::Software,
+                    uca: false,
+                },
+            )),
+            SchemeKind::Qvr => Box::new(foveated::FoveatedStepper::new(
+                config,
+                profile,
+                seed,
+                foveated::Options {
+                    controller: foveated::Controller::Liwc,
+                    uca: true,
+                },
+            )),
+        }
+    }
+
+    /// Opens a private single-tenant session of this scheme: a per-frame
+    /// stepper over a dedicated rig (own engine, own channel, own server).
+    /// Step it `n` times and [`Session::finish`] it to reproduce exactly
+    /// what [`SchemeKind::run`] returns.
+    #[must_use]
+    pub fn session(&self, config: &SystemConfig, profile: AppProfile, seed: u64) -> Session {
+        Session::private(*self, config, profile, seed)
+    }
+
     /// Runs `frames` frames of an app under this scheme.
+    ///
+    /// Delegates to a single-session fleet with private resources (one
+    /// engine, one channel, a dedicated server) — the classic one-user
+    /// evaluation as a degenerate fleet.
     #[must_use]
     pub fn run(
         &self,
@@ -218,27 +313,7 @@ impl SchemeKind {
         frames: usize,
         seed: u64,
     ) -> RunSummary {
-        match self {
-            SchemeKind::LocalOnly => local::run(config, profile, frames, seed),
-            SchemeKind::RemoteOnly => remote::run(config, profile, frames, seed),
-            SchemeKind::StaticCollab => static_collab::run(config, profile, frames, seed),
-            SchemeKind::Ffr => foveated::run(config, profile, frames, seed, foveated::Options {
-                controller: foveated::Controller::Fixed(5.0),
-                uca: false,
-            }),
-            SchemeKind::Dfr => foveated::run(config, profile, frames, seed, foveated::Options {
-                controller: foveated::Controller::Liwc,
-                uca: false,
-            }),
-            SchemeKind::QvrSw => foveated::run(config, profile, frames, seed, foveated::Options {
-                controller: foveated::Controller::Software,
-                uca: false,
-            }),
-            SchemeKind::Qvr => foveated::run(config, profile, frames, seed, foveated::Options {
-                controller: foveated::Controller::Liwc,
-                uca: true,
-            }),
-        }
+        crate::fleet::Fleet::solo(*self, config, profile, frames, seed)
     }
 }
 

@@ -7,61 +7,82 @@
 //! motivation study.
 
 use super::rig::Rig;
-use super::SystemConfig;
-use crate::metrics::{FrameRecord, RunSummary};
+use super::Stepper;
+use crate::metrics::FrameRecord;
 use qvr_scene::{AppProfile, AppSession};
 
-pub(super) fn run(
-    config: &SystemConfig,
+/// Per-frame stepper for remote-only streaming.
+#[derive(Debug)]
+pub(super) struct RemoteStepper {
     profile: AppProfile,
-    frames: usize,
-    seed: u64,
-) -> RunSummary {
-    let mut rig = Rig::new(config, seed);
-    let mut session = AppSession::start(profile.clone(), seed);
-    let native_px =
-        f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
+    native_px: f64,
+}
 
-    for _ in 0..frames {
+impl RemoteStepper {
+    pub(super) fn new(profile: AppProfile) -> Self {
+        let native_px =
+            f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
+        RemoteStepper { profile, native_px }
+    }
+}
+
+impl Stepper for RemoteStepper {
+    fn label(&self) -> &'static str {
+        "Remote"
+    }
+
+    fn step(&mut self, rig: &mut Rig, session: &mut AppSession) {
+        let config = *rig.config();
         let frame = session.advance();
         let pace = rig.pace_deps();
 
         let cl = rig.engine.submit("CL", Some(rig.cpu), config.cl_ms, &pace);
         let (send, send_ms) = rig.upload("pose", 1_024.0, &[cl]);
 
-        let workload = profile.full_workload(&frame);
-        let render_ms = config.remote.stereo_render_ms(&workload);
-        let bytes = config.size_model.frame_bytes(
-            native_px.round() as u64,
-            frame.content_detail,
-            1.0,
-        ) * config.stereo_stream_factor;
-        let chain = rig.remote_chain("remote", render_ms, bytes, native_px * 2.0, &[send]);
+        let workload = self.profile.full_workload(&frame);
+        let render_ms = rig.remote_render_ms(&workload);
+        let bytes =
+            config
+                .size_model
+                .frame_bytes(self.native_px.round() as u64, frame.content_detail, 1.0)
+                * config.stereo_stream_factor;
+        let chain = rig.remote_chain("remote", render_ms, bytes, self.native_px * 2.0, &[send]);
 
-        let atw_ms = rig.stereo_pass_ms(&profile, config.atw_cycles_per_px);
-        let atw = rig.engine.submit("ATW", Some(rig.gpu), atw_ms, &[chain.done]);
+        let atw_ms = rig.stereo_pass_ms(&self.profile, config.atw_cycles_per_px);
+        let atw = rig
+            .engine
+            .submit("ATW", Some(rig.gpu), atw_ms, &[chain.done]);
 
         rig.display("display", &[atw]);
 
+        let t_remote = rig.chain_latency_ms(&chain);
         rig.record(FrameRecord {
             frame_id: frame.frame_id,
             e1_deg: None,
             t_local_ms: atw_ms,
-            t_remote_ms: chain.nominal_ms,
-            mtp_ms: rig.path_mtp_ms(config.cl_ms, send_ms + chain.nominal_ms, atw_ms),
+            t_remote_ms: t_remote,
+            mtp_ms: rig.path_mtp_ms(config.cl_ms, send_ms + t_remote, atw_ms),
             frame_interval_ms: 0.0,
             tx_bytes: chain.bytes,
             resolution_reduction: 0.0,
             misprediction: false,
         });
     }
-    rig.finish("Remote", profile.name, false)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use qvr_scene::{Benchmark, CharacterizationApp};
+    use crate::schemes::{SchemeKind, SystemConfig};
+    use qvr_scene::{AppProfile, Benchmark, CharacterizationApp};
+
+    fn run(
+        config: &SystemConfig,
+        profile: AppProfile,
+        frames: usize,
+        seed: u64,
+    ) -> crate::metrics::RunSummary {
+        SchemeKind::RemoteOnly.run(config, profile, frames, seed)
+    }
 
     #[test]
     fn transmission_dominates_like_fig3b() {
@@ -90,7 +111,7 @@ mod tests {
     #[test]
     fn remote_beats_local_for_heavy_apps_but_misses_target() {
         let config = SystemConfig::default();
-        let local = super::super::local::run(&config, Benchmark::Grid.profile(), 30, 3);
+        let local = SchemeKind::LocalOnly.run(&config, Benchmark::Grid.profile(), 30, 3);
         let remote = run(&config, Benchmark::Grid.profile(), 30, 3);
         assert!(remote.mean_mtp_ms() < local.mean_mtp_ms());
         // But still misses 90 Hz / 25 ms MTP.

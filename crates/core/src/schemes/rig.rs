@@ -1,18 +1,69 @@
 //! The shared pipeline rig: resources, streaming chains, and accounting.
+//!
+//! A [`Rig`] is the per-session view of the simulated machine. In the
+//! classic single-tenant mode ([`Rig::new`]) it owns a private engine, a
+//! private network channel, and an analytically-accelerated remote server —
+//! exactly the original one-user evaluation. In fleet mode
+//! ([`Rig::in_fleet`]) several rigs submit into one [`SharedEngine`],
+//! contend for one [`ServerPool`] of real GPU units, and (optionally) draw
+//! from one shared [`SharedChannel`] bandwidth budget.
 
 use super::SystemConfig;
 use crate::metrics::{FrameRecord, RunSummary};
 use qvr_energy::BusyTimes;
-use qvr_gpu::GpuTimingModel;
-use qvr_net::NetworkChannel;
+use qvr_gpu::{FrameWorkload, GpuTimingModel};
+use qvr_net::{NetworkChannel, SharedChannel};
 use qvr_scene::AppProfile;
-use qvr_sim::{Engine, ResourceId, TaskId};
+use qvr_sim::{PoolId, ResourceId, SharedEngine, TaskId};
+
+/// The server-side resources a fleet of sessions contends for: a pool of
+/// remote GPU units and a matching pool of hardware encoders (one per GPU).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerPool {
+    rgpu: PoolId,
+    senc: PoolId,
+    units: usize,
+}
+
+impl ServerPool {
+    /// Creates (or finds) the server pools on an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    #[must_use]
+    pub fn on(engine: &SharedEngine, units: usize) -> Self {
+        ServerPool {
+            rgpu: engine.resource_pool("RGPU", units),
+            senc: engine.resource_pool("SENC", units),
+            units,
+        }
+    }
+
+    /// The remote-GPU pool.
+    #[must_use]
+    pub fn rgpu(&self) -> PoolId {
+        self.rgpu
+    }
+
+    /// Number of GPU (and encoder) units.
+    #[must_use]
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Aggregate GPU-pool utilisation over the engine's makespan, `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self, engine: &SharedEngine) -> f64 {
+        engine.pool_utilization(self.rgpu)
+    }
+}
 
 /// Shared pipeline state for one scheme run.
 #[derive(Debug)]
 pub struct Rig {
-    /// The discrete-event engine.
-    pub engine: Engine,
+    /// The discrete-event engine (possibly shared with other sessions).
+    pub engine: SharedEngine,
     /// CPU resource (CL, LS, software controller).
     pub cpu: ResourceId,
     /// Mobile GPU resource.
@@ -21,21 +72,22 @@ pub struct Rig {
     pub net_up: ResourceId,
     /// Downlink radio.
     pub net_down: ResourceId,
-    /// Remote GPU array.
-    pub rgpu: ResourceId,
-    /// Server-side video encoder.
-    pub senc: ResourceId,
+    /// Server pools (remote GPUs + encoders).
+    server: ServerPool,
     /// Mobile video decoder.
     pub vdec: ResourceId,
     /// UCA units.
     pub uca: ResourceId,
     /// LIWC unit.
     pub liwc: ResourceId,
-    /// Seeded network channel.
-    pub channel: NetworkChannel,
+    /// Seeded network channel (possibly shared with other sessions).
+    pub channel: SharedChannel,
     /// Mobile GPU timing model.
     pub mobile: GpuTimingModel,
     config: SystemConfig,
+    /// Fleet mode: remote renders cost per-GPU time on a pool unit, and
+    /// recorded chain latencies include queueing behind other tenants.
+    contended: bool,
     /// Display tasks of recent frames (for render-ahead pacing).
     display_tasks: Vec<TaskId>,
     records: Vec<FrameRecord>,
@@ -46,8 +98,9 @@ pub struct Rig {
 pub struct RemoteChain {
     /// The final decode task; composition depends on it.
     pub done: TaskId,
-    /// Wall-clock duration from chain issue to last decode as scheduled
-    /// (includes queueing behind earlier frames), ms.
+    /// Wall-clock latency from the chain becoming ready (its dependencies
+    /// done) to the last decode landing, ms. Includes queueing behind other
+    /// frames and other sessions — the number a tenant actually experiences.
     pub duration_ms: f64,
     /// Contention-free chain duration: the chunked-pipeline completion time
     /// `Σstages/k + max(stage)·(k−1)/k`, ms. This is what one frame costs in
@@ -59,33 +112,63 @@ pub struct RemoteChain {
 }
 
 impl Rig {
-    /// Builds a rig for a config and seed.
+    /// Builds a private single-tenant rig for a config and seed (the
+    /// original evaluation setup: one user, one server, one channel).
     #[must_use]
     pub fn new(config: &SystemConfig, seed: u64) -> Self {
-        let mut engine = Engine::new();
-        let cpu = engine.resource("CPU");
-        let gpu = engine.resource("GPU");
-        let net_up = engine.resource("NET_UP");
-        let net_down = engine.resource("NET_DOWN");
-        let rgpu = engine.resource("RGPU");
-        let senc = engine.resource("SENC");
-        let vdec = engine.resource("VDEC");
-        let uca = engine.resource("UCA");
-        let liwc = engine.resource("LIWC");
+        let engine = SharedEngine::new();
+        let channel = SharedChannel::new(NetworkChannel::new(config.network, seed));
+        let server = ServerPool::on(&engine, 1);
+        Self::build(config, engine, channel, server, None, false)
+    }
+
+    /// Builds a rig that joins a fleet: per-session mobile-side resources
+    /// (tagged with the session index), shared server pools, and a shared
+    /// (or per-session) channel on a shared engine.
+    #[must_use]
+    pub fn in_fleet(
+        config: &SystemConfig,
+        engine: SharedEngine,
+        channel: SharedChannel,
+        server: ServerPool,
+        session_idx: usize,
+    ) -> Self {
+        Self::build(config, engine, channel, server, Some(session_idx), true)
+    }
+
+    fn build(
+        config: &SystemConfig,
+        engine: SharedEngine,
+        channel: SharedChannel,
+        server: ServerPool,
+        session_idx: Option<usize>,
+        contended: bool,
+    ) -> Self {
+        let name = |base: &str| match session_idx {
+            Some(i) => format!("{base}#{i}"),
+            None => base.to_owned(),
+        };
+        let cpu = engine.resource(&name("CPU"));
+        let gpu = engine.resource(&name("GPU"));
+        let net_up = engine.resource(&name("NET_UP"));
+        let net_down = engine.resource(&name("NET_DOWN"));
+        let vdec = engine.resource(&name("VDEC"));
+        let uca = engine.resource(&name("UCA"));
+        let liwc = engine.resource(&name("LIWC"));
         Rig {
             engine,
             cpu,
             gpu,
             net_up,
             net_down,
-            rgpu,
-            senc,
+            server,
             vdec,
             uca,
             liwc,
-            channel: NetworkChannel::new(config.network, seed),
+            channel,
             mobile: GpuTimingModel::new(config.gpu),
             config: *config,
+            contended,
             display_tasks: Vec::new(),
             records: Vec::new(),
         }
@@ -95,6 +178,18 @@ impl Rig {
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Whether this rig contends with other sessions (fleet mode).
+    #[must_use]
+    pub fn contended(&self) -> bool {
+        self.contended
+    }
+
+    /// The server pools this rig renders on.
+    #[must_use]
+    pub fn server(&self) -> ServerPool {
+        self.server
     }
 
     /// Render-ahead pacing dependencies for a new frame: at most
@@ -116,10 +211,41 @@ impl Rig {
         self.mobile.fullscreen_pass_ms(px * 2.0, cycles_per_px)
     }
 
+    /// Remote render time for a per-eye workload under this rig's server
+    /// scheduling: the analytic all-chiplets time when the session owns the
+    /// server, the single-GPU time when it shares a pool of per-frame units.
+    #[must_use]
+    pub fn remote_render_ms(&self, per_eye: &FrameWorkload) -> f64 {
+        if self.contended {
+            self.config.remote.per_gpu_stereo_render_ms(per_eye)
+        } else {
+            self.config.remote.stereo_render_ms(per_eye)
+        }
+    }
+
+    /// The latency a frame's remote chain contributes to this session's
+    /// motion-to-photon: contention-free nominal cost in single-tenant mode
+    /// (the paper's per-stage bars), experienced queueing-inclusive latency
+    /// in fleet mode (where waiting behind other tenants is the point).
+    #[must_use]
+    pub fn chain_latency_ms(&self, chain: &RemoteChain) -> f64 {
+        if self.contended {
+            chain.duration_ms
+        } else {
+            chain.nominal_ms
+        }
+    }
+
     /// Submits the remote render → encode → transmit → decode chain, split
     /// into `tx_chunks` streaming chunks so the stages overlap (the paper:
     /// "remote rendering, network transmission and video codex can be
     /// streamed in parallel").
+    ///
+    /// The whole chain is pinned to one server unit — the least-loaded GPU
+    /// (and its encoder) at the time the chain becomes ready — so a frame
+    /// never straddles GPUs while chunks still pipeline against the network
+    /// and the decoder. With a 1-unit pool this reduces exactly to the
+    /// classic single-resource schedule.
     ///
     /// * `render_ms` — total remote render time for the frame;
     /// * `bytes` — total downlink bytes (already stereo-adjusted);
@@ -138,23 +264,20 @@ impl Rig {
         let kf = f64::from(k);
         let encode_ms = self.config.codec_latency.encode_ms(decode_px);
         let decode_ms = self.config.codec_latency.decode_ms(decode_px);
+        let ready = self.engine.deps_ready_ms(deps);
+        let unit = self.engine.least_loaded_unit(self.server.rgpu, ready);
+        let rgpu = self.engine.pool_unit(self.server.rgpu, unit);
+        let senc = self.engine.pool_unit(self.server.senc, unit);
         let mut tx_total_ms = 0.0;
-        let mut issue_time: Option<f64> = None;
         let mut last_decode: Option<TaskId> = None;
         let mut prev_tx: Option<TaskId> = None;
         for i in 0..k {
-            let rr = self.engine.submit(
-                &format!("{label}:rr{i}"),
-                Some(self.rgpu),
-                render_ms / kf,
-                deps,
-            );
-            if issue_time.is_none() {
-                issue_time = Some(self.engine.start_of(rr));
-            }
+            let rr =
+                self.engine
+                    .submit(&format!("{label}:rr{i}"), Some(rgpu), render_ms / kf, deps);
             let enc = self.engine.submit(
                 &format!("{label}:enc{i}"),
-                Some(self.senc),
+                Some(senc),
                 encode_ms / kf,
                 &[rr],
             );
@@ -192,7 +315,7 @@ impl Rig {
         let nominal_ms = sum / kf + max * (kf - 1.0) / kf;
         RemoteChain {
             done,
-            duration_ms: self.engine.end_of(done) - issue_time.unwrap_or(0.0),
+            duration_ms: self.engine.end_of(done) - ready,
             nominal_ms,
             bytes,
         }
@@ -208,7 +331,9 @@ impl Rig {
     /// Submits the display scanout as a latency-only stage and registers it
     /// for pacing. Returns the display task.
     pub fn display(&mut self, label: &str, deps: &[TaskId]) -> TaskId {
-        let t = self.engine.submit(label, None, self.config.display_ms, deps);
+        let t = self
+            .engine
+            .submit(label, None, self.config.display_ms, deps);
         self.display_tasks.push(t);
         t
     }
@@ -233,31 +358,60 @@ impl Rig {
         self.records.push(record);
     }
 
+    /// Frames recorded so far.
+    #[must_use]
+    pub fn frames_recorded(&self) -> usize {
+        self.records.len()
+    }
+
     /// Motion-to-photon latency from the per-frame critical path: sensor
     /// transport + CPU stages + the slower of the local/remote branches +
-    /// composition path + display scanout. Queueing behind *other* frames is
-    /// deliberately excluded — real pipelines sample the latest pose at
-    /// render start, so render-ahead depth does not add MTP (the paper's
-    /// stacked latency bars report exactly these per-stage costs).
+    /// composition path + display scanout. In single-tenant mode the branch
+    /// uses contention-free nominal costs, so queueing behind the session's
+    /// own render-ahead frames is excluded — real pipelines sample the
+    /// latest pose at render start (the paper's stacked latency bars report
+    /// exactly these per-stage costs). In fleet mode the branch comes from
+    /// [`Rig::chain_latency_ms`], i.e. [`RemoteChain::duration_ms`], which
+    /// includes *all* queueing on shared resources — behind other tenants
+    /// and behind this session's own in-flight frames alike (a contended
+    /// pool can't attribute waiting to one or the other).
     #[must_use]
     pub fn path_mtp_ms(&self, cpu_ms: f64, branch_ms: f64, compose_ms: f64) -> f64 {
         self.config.tracking_ms + cpu_ms + branch_ms + compose_ms + self.config.display_ms
     }
 
     /// Finalises the run into a summary with energy accounting.
+    ///
+    /// Only this session's mobile-side resources are counted into the
+    /// energy budget (the headset pays for its own GPU, radio, decoder and
+    /// accelerators — not for the shared server).
     #[must_use]
     pub fn finish(mut self, scheme: &str, app: &str, liwc_always_on: bool) -> RunSummary {
-        let span = self.engine.makespan();
+        // In a fleet the engine's makespan belongs to the whole schedule —
+        // a slow tenant must not dilute a fast one's FPS or energy span, so
+        // contended sessions close their span at their own last scanout.
+        let span = if self.contended && !self.display_tasks.is_empty() {
+            self.last_display_end()
+        } else {
+            self.engine.makespan()
+        };
         let busy = BusyTimes {
             span_ms: span,
             gpu_ms: self.engine.busy_ms(self.gpu),
             radio_ms: self.engine.busy_ms(self.net_down) + self.engine.busy_ms(self.net_up),
             vdec_ms: self.engine.busy_ms(self.vdec),
             cpu_ms: self.engine.busy_ms(self.cpu),
-            liwc_ms: if liwc_always_on { span } else { self.engine.busy_ms(self.liwc) },
+            liwc_ms: if liwc_always_on {
+                span
+            } else {
+                self.engine.busy_ms(self.liwc)
+            },
             uca_ms: self.engine.busy_ms(self.uca),
         };
-        let energy = self.config.power.energy(&busy, self.config.gpu.frequency_mhz, self.config.network);
+        let energy =
+            self.config
+                .power
+                .energy(&busy, self.config.gpu.frequency_mhz, self.config.network);
         // Fill in frame intervals now that all display times are known.
         let mut prev_end = 0.0;
         for (record, t) in self.records.iter_mut().zip(&self.display_tasks) {

@@ -13,31 +13,50 @@
 //!   which together with ATW contends with the next frame's rendering.
 
 use super::rig::{RemoteChain, Rig};
-use super::SystemConfig;
-use crate::metrics::{FrameRecord, RunSummary};
+use super::Stepper;
+use crate::metrics::FrameRecord;
 use qvr_scene::{AppProfile, AppSession, FrameState, MotionDelta};
 use std::collections::VecDeque;
 
-pub(super) fn run(
-    config: &SystemConfig,
+/// Per-frame stepper for static collaborative rendering.
+#[derive(Debug)]
+pub(super) struct StaticStepper {
     profile: AppProfile,
-    frames: usize,
-    seed: u64,
-) -> RunSummary {
-    let mut rig = Rig::new(config, seed);
-    let mut session = AppSession::start(profile.clone(), seed);
-    let native_px =
-        f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
-    let lookahead = config.prefetch_lookahead as usize;
+    native_px: f64,
+    lookahead: usize,
+    frame_idx: usize,
+    /// Prefetches in flight for frame i+lookahead; `None` when the frame's
+    /// motion was calm enough to reuse the cached background instead
+    /// (FlashBack-style memoization).
+    prefetched: VecDeque<Option<(RemoteChain, FrameState)>>,
+    /// Pose at which the cached background was (pre)fetched.
+    cache_pose: Option<FrameState>,
+}
 
-    // Prefetches in flight for frame i+lookahead; `None` when the frame's
-    // motion was calm enough to reuse the cached background instead
-    // (FlashBack-style memoization).
-    let mut prefetched: VecDeque<Option<(RemoteChain, FrameState)>> = VecDeque::new();
-    // Pose at which the cached background was (pre)fetched.
-    let mut cache_pose: Option<FrameState> = None;
+impl StaticStepper {
+    pub(super) fn new(profile: AppProfile, lookahead: usize) -> Self {
+        let native_px =
+            f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
+        StaticStepper {
+            profile,
+            native_px,
+            lookahead,
+            frame_idx: 0,
+            prefetched: VecDeque::new(),
+            cache_pose: None,
+        }
+    }
+}
 
-    for i in 0..frames {
+impl Stepper for StaticStepper {
+    fn label(&self) -> &'static str {
+        "Static"
+    }
+
+    fn step(&mut self, rig: &mut Rig, session: &mut AppSession) {
+        let config = *rig.config();
+        let i = self.frame_idx;
+        self.frame_idx += 1;
         let frame = session.advance();
         let pace = rig.pace_deps();
 
@@ -45,38 +64,40 @@ pub(super) fn run(
         let ls = rig.engine.submit("LS", Some(rig.cpu), config.ls_ms, &[cl]);
         let (send, _send_ms) = rig.upload("pose", 1_024.0, &[ls]);
 
-        let bg_workload = profile.background_workload(&frame);
+        let bg_workload = self.profile.background_workload(&frame);
         let bg_bytes = (config.size_model.frame_bytes(
-            native_px.round() as u64,
+            self.native_px.round() as u64,
             frame.content_detail,
             1.0,
-        ) + config.size_model.depth_bytes(native_px.round() as u64, 1.0))
+        ) + config
+            .size_model
+            .depth_bytes(self.native_px.round() as u64, 1.0))
             * config.stereo_stream_factor;
-        let bg_render_ms = config.remote.stereo_render_ms(&bg_workload);
+        let bg_render_ms = rig.remote_render_ms(&bg_workload);
 
         // Issue the prefetch for frame i + lookahead using today's pose —
         // unless the view is calm enough that the cache will still be valid.
-        let cache_fresh = cache_pose.is_some_and(|p| {
+        let cache_fresh = self.cache_pose.is_some_and(|p| {
             MotionDelta::between(&p.sample, &frame.sample).rotation_magnitude()
                 < config.static_cache_rotation_deg
         });
         let mut tx_bytes = 0.0;
         if cache_fresh {
-            prefetched.push_back(None);
+            self.prefetched.push_back(None);
         } else {
             let chain = rig.remote_chain(
-                &format!("bg{}", i + lookahead),
+                &format!("bg{}", i + self.lookahead),
                 bg_render_ms,
                 bg_bytes,
-                native_px * 2.0,
+                self.native_px * 2.0,
                 &[send],
             );
             tx_bytes += chain.bytes;
-            prefetched.push_back(Some((chain, frame)));
+            self.prefetched.push_back(Some((chain, frame)));
         }
 
         // Local rendering of the interactive objects.
-        let int_workload = profile.interactive_workload(&frame);
+        let int_workload = self.profile.interactive_workload(&frame);
         let render_ms = rig.mobile.stereo_frame_time(&int_workload).total_ms();
         let lr = rig.engine.submit("LR", Some(rig.gpu), render_ms, &[ls]);
 
@@ -84,22 +105,28 @@ pub(super) fn run(
         let mut misprediction = false;
 
         let (bg_done, bg_critical_ms, bg_nominal_ms): (Option<qvr_sim::TaskId>, f64, f64) =
-            if i < lookahead {
+            if i < self.lookahead {
                 // Cold start: fetch synchronously.
-                let sync =
-                    rig.remote_chain("bg:sync", bg_render_ms, bg_bytes, native_px * 2.0, &[send]);
+                let sync = rig.remote_chain(
+                    "bg:sync",
+                    bg_render_ms,
+                    bg_bytes,
+                    self.native_px * 2.0,
+                    &[send],
+                );
                 tx_bytes += sync.bytes;
-                cache_pose = Some(frame);
-                (Some(sync.done), sync.nominal_ms, sync.nominal_ms)
+                self.cache_pose = Some(frame);
+                let latency = rig.chain_latency_ms(&sync);
+                (Some(sync.done), latency, sync.nominal_ms)
             } else {
-                match prefetched.pop_front().expect("prefetch queue primed") {
+                match self.prefetched.pop_front().expect("prefetch queue primed") {
                     // Calm view: composited against the cached background.
                     None => (None, 0.0, 0.0),
                     Some((chain, predicted_from)) => {
                         // Prediction error: how far the head actually moved
                         // since the prefetch pose was captured.
                         let drift = MotionDelta::between(&predicted_from.sample, &frame.sample);
-                        cache_pose = Some(predicted_from);
+                        self.cache_pose = Some(predicted_from);
                         if drift.rotation_magnitude() > config.misprediction_rotation_deg {
                             misprediction = true;
                             // The prefetched background is unusable: blocking
@@ -110,7 +137,7 @@ pub(super) fn run(
                                 "bg:refetch",
                                 bg_render_ms,
                                 bg_bytes,
-                                native_px * 2.0,
+                                self.native_px * 2.0,
                                 &[send],
                             );
                             tx_bytes += sync.bytes;
@@ -118,7 +145,8 @@ pub(super) fn run(
                             // the position-mismatch recovery (one frame of
                             // re-setup), but the client flushes the stale
                             // prefetch queue rather than waiting behind it.
-                            (Some(sync.done), sync.nominal_ms * 1.25, sync.nominal_ms)
+                            let latency = rig.chain_latency_ms(&sync);
+                            (Some(sync.done), latency * 1.25, sync.nominal_ms)
                         } else {
                             // Arrived in the background, off the critical path.
                             (Some(chain.done), 0.0, chain.nominal_ms)
@@ -128,11 +156,11 @@ pub(super) fn run(
             };
 
         // Depth-based embedding composition + ATW, both on the GPU.
-        let c_ms = rig.stereo_pass_ms(&profile, config.static_composition_cycles_per_px);
+        let c_ms = rig.stereo_pass_ms(&self.profile, config.static_composition_cycles_per_px);
         let mut c_deps = vec![lr];
         c_deps.extend(bg_done);
         let c = rig.engine.submit("C", Some(rig.gpu), c_ms, &c_deps);
-        let atw_ms = rig.stereo_pass_ms(&profile, config.atw_cycles_per_px);
+        let atw_ms = rig.stereo_pass_ms(&self.profile, config.atw_cycles_per_px);
         let atw = rig.engine.submit("ATW", Some(rig.gpu), atw_ms, &[c]);
 
         rig.display("display", &[atw]);
@@ -156,19 +184,27 @@ pub(super) fn run(
             misprediction,
         });
     }
-    rig.finish("Static", profile.name, false)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use qvr_scene::Benchmark;
+    use crate::schemes::{SchemeKind, SystemConfig};
+    use qvr_scene::{AppProfile, Benchmark};
+
+    fn run(
+        config: &SystemConfig,
+        profile: AppProfile,
+        frames: usize,
+        seed: u64,
+    ) -> crate::metrics::RunSummary {
+        SchemeKind::StaticCollab.run(config, profile, frames, seed)
+    }
 
     #[test]
     fn static_beats_local_baseline_on_latency() {
         let config = SystemConfig::default();
         for b in [Benchmark::Grid, Benchmark::Hl2H] {
-            let local = super::super::local::run(&config, b.profile(), 40, 3);
+            let local = SchemeKind::LocalOnly.run(&config, b.profile(), 40, 3);
             let st = run(&config, b.profile(), 40, 3);
             assert!(
                 st.mean_mtp_ms() < local.mean_mtp_ms(),
@@ -195,7 +231,7 @@ mod tests {
         // (it ships full-resolution background + depth every frame).
         let config = SystemConfig::default();
         let st = run(&config, Benchmark::Doom3H.profile(), 40, 3);
-        let remote = super::super::remote::run(&config, Benchmark::Doom3H.profile(), 40, 3);
+        let remote = SchemeKind::RemoteOnly.run(&config, Benchmark::Doom3H.profile(), 40, 3);
         assert!(
             st.mean_tx_bytes() >= remote.mean_tx_bytes(),
             "static ships color+depth: {} vs remote-only {}",
@@ -210,15 +246,25 @@ mod tests {
         // interaction intensity.
         let config = SystemConfig::default();
         let s = run(&config, Benchmark::Grid.profile(), 200, 3);
-        let min = s.frames.iter().map(|f| f.t_local_ms).fold(f64::INFINITY, f64::min);
+        let min = s
+            .frames
+            .iter()
+            .map(|f| f.t_local_ms)
+            .fold(f64::INFINITY, f64::min);
         let max = s.frames.iter().map(|f| f.t_local_ms).fold(0.0, f64::max);
-        assert!(max > 1.5 * min, "local latency must swing: {min:.1}..{max:.1} ms");
+        assert!(
+            max > 1.5 * min,
+            "local latency must swing: {min:.1}..{max:.1} ms"
+        );
     }
 
     #[test]
     fn misses_90hz_for_heavy_apps() {
         let config = SystemConfig::default();
         let s = run(&config, Benchmark::Grid.profile(), 60, 3);
-        assert!(!s.meets_target_fps(90.0, 10), "static cannot hold 90 Hz on GRID");
+        assert!(
+            !s.meets_target_fps(90.0, 10),
+            "static cannot hold 90 Hz on GRID"
+        );
     }
 }

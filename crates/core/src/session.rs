@@ -1,0 +1,176 @@
+//! First-class simulation sessions: one user running one app under one
+//! scheme, steppable frame by frame.
+//!
+//! The old evaluation fused "a scheme" with "the whole run loop": each
+//! scheme function owned its engine, channel, and frame loop, so exactly
+//! one user could exist. A [`Session`] splits that apart — the scheme
+//! contributes only a per-frame stepper, while the session owns the rig
+//! (resources + channel view) and the app state. Sessions can therefore be
+//! driven individually ([`SchemeKind::session`]) or interleaved round-robin
+//! on shared resources by a [`crate::fleet::Fleet`].
+
+use crate::metrics::RunSummary;
+use crate::schemes::{Rig, SchemeKind, ServerPool, Stepper, SystemConfig};
+use qvr_net::SharedChannel;
+use qvr_scene::{AppProfile, AppSession};
+use qvr_sim::SharedEngine;
+
+/// One user's running pipeline: a scheme stepper bound to a rig and an app.
+#[derive(Debug)]
+pub struct Session {
+    scheme: SchemeKind,
+    app_name: &'static str,
+    rig: Rig,
+    app: AppSession,
+    stepper: Box<dyn Stepper>,
+    frames_stepped: usize,
+}
+
+impl Session {
+    /// Opens a session on a dedicated rig (private engine, channel, and
+    /// server) — the classic single-tenant setup.
+    #[must_use]
+    pub(crate) fn private(
+        scheme: SchemeKind,
+        config: &SystemConfig,
+        profile: AppProfile,
+        seed: u64,
+    ) -> Self {
+        let rig = Rig::new(config, seed);
+        Self::with_rig(scheme, config, profile, seed, rig)
+    }
+
+    /// Opens a session that joins a fleet: per-session mobile resources on
+    /// the shared engine, the shared server pool, and the given channel
+    /// view (shared or per-session).
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn in_fleet(
+        scheme: SchemeKind,
+        config: &SystemConfig,
+        profile: AppProfile,
+        seed: u64,
+        engine: SharedEngine,
+        channel: SharedChannel,
+        server: ServerPool,
+        session_idx: usize,
+    ) -> Self {
+        let rig = Rig::in_fleet(config, engine, channel, server, session_idx);
+        Self::with_rig(scheme, config, profile, seed, rig)
+    }
+
+    fn with_rig(
+        scheme: SchemeKind,
+        config: &SystemConfig,
+        profile: AppProfile,
+        seed: u64,
+        rig: Rig,
+    ) -> Self {
+        let app_name = profile.name;
+        let app = AppSession::start(profile.clone(), seed);
+        let stepper = scheme.stepper(config, profile, seed);
+        Session {
+            scheme,
+            app_name,
+            rig,
+            app,
+            stepper,
+            frames_stepped: 0,
+        }
+    }
+
+    /// Simulates one frame: the stepper submits this frame's task graph and
+    /// records its metrics.
+    pub fn step(&mut self) {
+        self.stepper.step(&mut self.rig, &mut self.app);
+        self.frames_stepped += 1;
+    }
+
+    /// Frames stepped so far.
+    #[must_use]
+    pub fn frames_stepped(&self) -> usize {
+        self.frames_stepped
+    }
+
+    /// The scheme this session runs.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The app this session runs.
+    #[must_use]
+    pub fn app(&self) -> &'static str {
+        self.app_name
+    }
+
+    /// End time of this session's most recently displayed frame, ms
+    /// (useful for fairness monitoring while a fleet is running).
+    #[must_use]
+    pub fn last_display_end(&self) -> f64 {
+        self.rig.last_display_end()
+    }
+
+    /// A handle to the engine this session submits into.
+    #[must_use]
+    pub(crate) fn engine(&self) -> SharedEngine {
+        self.rig.engine.clone()
+    }
+
+    /// The server pool this session renders on.
+    #[must_use]
+    pub(crate) fn server(&self) -> ServerPool {
+        self.rig.server()
+    }
+
+    /// Finalises the session into a per-session summary (latency, FPS,
+    /// transmitted bytes, energy of this user's own hardware).
+    #[must_use]
+    pub fn finish(self) -> RunSummary {
+        let liwc_always_on = self.stepper.liwc_always_on();
+        self.rig
+            .finish(self.stepper.label(), self.app_name, liwc_always_on)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvr_scene::Benchmark;
+
+    #[test]
+    fn stepped_session_equals_run() {
+        let config = SystemConfig::default();
+        for kind in SchemeKind::all() {
+            let mut session = kind.session(&config, Benchmark::Doom3H.profile(), 9);
+            for _ in 0..40 {
+                session.step();
+            }
+            assert_eq!(session.frames_stepped(), 40);
+            let stepped = session.finish();
+            let run = kind.run(&config, Benchmark::Doom3H.profile(), 40, 9);
+            assert_eq!(stepped, run, "{kind}: session stepping must equal run()");
+        }
+    }
+
+    #[test]
+    fn session_exposes_identity() {
+        let config = SystemConfig::default();
+        let s = SchemeKind::Qvr.session(&config, Benchmark::Grid.profile(), 1);
+        assert_eq!(s.scheme(), SchemeKind::Qvr);
+        assert_eq!(s.app(), "GRID");
+        assert_eq!(s.frames_stepped(), 0);
+        assert_eq!(s.last_display_end(), 0.0);
+    }
+
+    #[test]
+    fn unfinished_session_summary_is_consistent() {
+        let config = SystemConfig::default();
+        let mut s = SchemeKind::Ffr.session(&config, Benchmark::Wolf.profile(), 2);
+        s.step();
+        s.step();
+        let summary = s.finish();
+        assert_eq!(summary.len(), 2);
+        assert!(summary.makespan_ms > 0.0);
+    }
+}

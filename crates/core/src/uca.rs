@@ -41,7 +41,12 @@ impl WarpParams {
     /// A typical HMD lens profile with no reprojection.
     #[must_use]
     pub fn lens_only() -> Self {
-        WarpParams { dx_ndc: 0.0, dy_ndc: 0.0, k1: 0.12, k2: 0.03 }
+        WarpParams {
+            dx_ndc: 0.0,
+            dy_ndc: 0.0,
+            k1: 0.12,
+            k2: 0.03,
+        }
     }
 
     /// Maps an output pixel (NDC, `[-1, 1]`) to its source coordinate.
@@ -82,6 +87,7 @@ impl FoveatedFrame {
     /// Panics if the fovea buffer is not the output size, or radii are
     /// non-positive.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         width: u32,
         height: u32,
@@ -140,8 +146,7 @@ impl FoveatedFrame {
             if dist <= self.fovea_radius_px - BLEND_BAND_PX {
                 return fovea_px;
             }
-            let t = ((dist - (self.fovea_radius_px - BLEND_BAND_PX))
-                / (2.0 * BLEND_BAND_PX))
+            let t = ((dist - (self.fovea_radius_px - BLEND_BAND_PX)) / (2.0 * BLEND_BAND_PX))
                 .clamp(0.0, 1.0);
             return fovea_px.lerp(self.sample_middle_or_outer(x, y), t);
         }
@@ -158,8 +163,7 @@ impl FoveatedFrame {
             if cheb <= self.middle_radius_px - BLEND_BAND_PX {
                 return mid;
             }
-            let t = ((cheb - (self.middle_radius_px - BLEND_BAND_PX))
-                / (2.0 * BLEND_BAND_PX))
+            let t = ((cheb - (self.middle_radius_px - BLEND_BAND_PX)) / (2.0 * BLEND_BAND_PX))
                 .clamp(0.0, 1.0);
             return mid.lerp(self.sample_outer(x, y), t);
         }
@@ -435,7 +439,11 @@ mod tests {
         let uni = Uca::unified(&frame, &warp);
         // Identity warp: bilinear at integer coordinates is exact, so the
         // two paths agree to floating-point noise.
-        assert!(seq.mean_abs_diff(&uni) < 1e-6, "diff {}", seq.mean_abs_diff(&uni));
+        assert!(
+            seq.mean_abs_diff(&uni) < 1e-6,
+            "diff {}",
+            seq.mean_abs_diff(&uni)
+        );
     }
 
     #[test]
@@ -444,7 +452,11 @@ mod tests {
         // Under a non-trivial warp the sequential path filters twice, so
         // tiny differences are expected — but must stay imperceptible.
         let frame = test_frame(64);
-        let warp = WarpParams { dx_ndc: 0.03, dy_ndc: -0.02, ..WarpParams::lens_only() };
+        let warp = WarpParams {
+            dx_ndc: 0.03,
+            dy_ndc: -0.02,
+            ..WarpParams::lens_only()
+        };
         let seq = Uca::compose_then_atw(&frame, &warp);
         let uni = Uca::unified(&frame, &warp);
         let diff = seq.mean_abs_diff(&uni);
@@ -495,7 +507,10 @@ mod tests {
         let mut prev = Framebuffer::new(32, 32, Rgba::BLACK);
         prev.set_pixel(16, 16, Rgba::WHITE);
         // Shift a quarter of the frame to the left: content moves right.
-        let warp = WarpParams { dx_ndc: -0.5, ..WarpParams::default() };
+        let warp = WarpParams {
+            dx_ndc: -0.5,
+            ..WarpParams::default()
+        };
         let out = Uca::reproject_previous(&prev, &warp);
         // The bright pixel should now be near x = 24.
         let mut best = (0, 0.0f32);
@@ -505,7 +520,12 @@ mod tests {
                 best = (x, l);
             }
         }
-        assert!((22..=26).contains(&best.0), "content at x={} luma={}", best.0, best.1);
+        assert!(
+            (22..=26).contains(&best.0),
+            "content at x={} luma={}",
+            best.0,
+            best.1
+        );
     }
 
     #[test]

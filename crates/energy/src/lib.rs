@@ -199,7 +199,10 @@ mod tests {
         let p = PowerModel::default();
         let at_500 = p.gpu_dynamic_w(500.0);
         let at_250 = p.gpu_dynamic_w(250.0);
-        assert!(at_250 < at_500 / 2.0, "DVFS must be superlinear: {at_250} vs {at_500}");
+        assert!(
+            at_250 < at_500 / 2.0,
+            "DVFS must be superlinear: {at_250} vs {at_500}"
+        );
         assert!((at_500 - 3.0).abs() < 1e-12);
     }
 
@@ -249,8 +252,7 @@ mod tests {
             uca_ms: 3.0,
         };
         let e = p.energy(&busy, 500.0, NetworkPreset::WiFi);
-        let manual =
-            e.gpu_mj + e.radio_mj + e.vdec_mj + e.cpu_mj + e.liwc_mj + e.uca_mj;
+        let manual = e.gpu_mj + e.radio_mj + e.vdec_mj + e.cpu_mj + e.liwc_mj + e.uca_mj;
         assert!((e.total_mj() - manual).abs() < 1e-12);
         assert!(e.total_mj() > 0.0);
     }
@@ -276,7 +278,12 @@ mod tests {
     fn local_rendering_dominated_by_gpu() {
         // A local-only frame: GPU busy most of a long frame, no radio.
         let p = PowerModel::default();
-        let busy = BusyTimes { span_ms: 50.0, gpu_ms: 45.0, cpu_ms: 3.0, ..Default::default() };
+        let busy = BusyTimes {
+            span_ms: 50.0,
+            gpu_ms: 45.0,
+            cpu_ms: 3.0,
+            ..Default::default()
+        };
         let e = p.energy(&busy, 500.0, NetworkPreset::WiFi);
         assert!(e.gpu_mj > 0.9 * e.total_mj());
     }
@@ -286,7 +293,12 @@ mod tests {
         // The Fig. 15 effect: rendering only the fovea slashes GPU busy
         // time; radio/decoder overheads are smaller than the saving.
         let p = PowerModel::default();
-        let local = BusyTimes { span_ms: 50.0, gpu_ms: 45.0, cpu_ms: 3.0, ..Default::default() };
+        let local = BusyTimes {
+            span_ms: 50.0,
+            gpu_ms: 45.0,
+            cpu_ms: 3.0,
+            ..Default::default()
+        };
         let qvr = BusyTimes {
             span_ms: 12.0,
             gpu_ms: 6.0,

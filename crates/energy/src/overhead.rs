@@ -145,7 +145,10 @@ mod tests {
         // to achieve sufficient performance for realtime VR."
         let u = UcaOverhead::published();
         let t = u.stereo_frame_ms(1920, 2160);
-        assert!(t < 1_000.0 / 90.0, "stereo UCA pass {t} ms exceeds 90 Hz budget");
+        assert!(
+            t < 1_000.0 / 90.0,
+            "stereo UCA pass {t} ms exceeds 90 Hz budget"
+        );
         assert!(u.sustains(1920, 2160, 90.0));
     }
 

@@ -74,7 +74,9 @@ impl Rgba {
     /// Maximum channel-wise absolute difference to another color.
     #[must_use]
     pub fn max_abs_diff(&self, o: Rgba) -> f32 {
-        (0..4).map(|i| (self.0[i] - o.0[i]).abs()).fold(0.0, f32::max)
+        (0..4)
+            .map(|i| (self.0[i] - o.0[i]).abs())
+            .fold(0.0, f32::max)
     }
 
     /// Quantizes to 8-bit sRGB-like storage (straight clamp, no gamma).
@@ -130,7 +132,10 @@ impl Framebuffer {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(width: u32, height: u32, clear: Rgba) -> Self {
-        assert!(width > 0 && height > 0, "framebuffer dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "framebuffer dimensions must be non-zero"
+        );
         Framebuffer {
             width,
             height,
@@ -169,7 +174,10 @@ impl Framebuffer {
     /// Panics if out of bounds.
     #[must_use]
     pub fn pixel(&self, x: u32, y: u32) -> Rgba {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.pixels[(y as usize) * (self.width as usize) + x as usize]
     }
 
@@ -189,7 +197,10 @@ impl Framebuffer {
     ///
     /// Panics if out of bounds.
     pub fn set_pixel(&mut self, x: u32, y: u32, c: Rgba) {
-        assert!(x < self.width && y < self.height, "pixel ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
         self.pixels[(y as usize) * (self.width as usize) + x as usize] = c;
     }
 
@@ -306,7 +317,10 @@ impl DepthBuffer {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "depth buffer dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "depth buffer dimensions must be non-zero"
+        );
         DepthBuffer {
             width,
             height,
@@ -333,14 +347,20 @@ impl DepthBuffer {
     /// Panics if out of bounds.
     #[must_use]
     pub fn depth(&self, x: u32, y: u32) -> f32 {
-        assert!(x < self.width && y < self.height, "depth ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "depth ({x}, {y}) out of bounds"
+        );
         self.depth[(y as usize) * (self.width as usize) + x as usize]
     }
 
     /// Depth test and conditional write; returns `true` if `z` passed
     /// (strictly nearer than the stored depth) and was stored.
     pub fn test_and_set(&mut self, x: u32, y: u32, z: f32) -> bool {
-        assert!(x < self.width && y < self.height, "depth ({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "depth ({x}, {y}) out of bounds"
+        );
         let idx = (y as usize) * (self.width as usize) + x as usize;
         if z < self.depth[idx] {
             self.depth[idx] = z;

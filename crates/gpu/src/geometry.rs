@@ -67,7 +67,12 @@ impl Vec3 {
     /// Extends to homogeneous coordinates with the given `w`.
     #[must_use]
     pub fn extend(self, w: f32) -> Vec4 {
-        Vec4 { x: self.x, y: self.y, z: self.z, w }
+        Vec4 {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+            w,
+        }
     }
 }
 
@@ -289,7 +294,11 @@ impl Vertex {
     /// Creates a vertex at a position with a flat color and zero UV.
     #[must_use]
     pub fn colored(position: Vec3, color: [f32; 4]) -> Self {
-        Vertex { position, color, uv: [0.0, 0.0] }
+        Vertex {
+            position,
+            color,
+            uv: [0.0, 0.0],
+        }
     }
 }
 
@@ -304,7 +313,9 @@ impl Triangle {
     /// Creates a triangle from three vertices.
     #[must_use]
     pub const fn new(a: Vertex, b: Vertex, c: Vertex) -> Self {
-        Triangle { vertices: [a, b, c] }
+        Triangle {
+            vertices: [a, b, c],
+        }
     }
 }
 

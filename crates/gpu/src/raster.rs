@@ -33,7 +33,12 @@ impl Viewport {
     /// Viewport covering an entire target of the given size.
     #[must_use]
     pub fn full(width: u32, height: u32) -> Self {
-        Viewport { x: 0, y: 0, width, height }
+        Viewport {
+            x: 0,
+            y: 0,
+            width,
+            height,
+        }
     }
 }
 
@@ -152,7 +157,10 @@ impl RasterPipeline {
         let vx = self.viewport.x as f32;
         let vy = self.viewport.y as f32;
         let to_screen = |v: &Vec3| -> (f32, f32) {
-            (vx + (v.x + 1.0) * 0.5 * vw, vy + (1.0 - (v.y + 1.0) * 0.5) * vh)
+            (
+                vx + (v.x + 1.0) * 0.5 * vw,
+                vy + (1.0 - (v.y + 1.0) * 0.5) * vh,
+            )
         };
         let p: Vec<(f32, f32)> = ndc.iter().map(to_screen).collect();
 
@@ -166,14 +174,24 @@ impl RasterPipeline {
         }
 
         // Bounding box clamped to the viewport.
-        let min_x = p.iter().map(|q| q.0).fold(f32::INFINITY, f32::min).floor().max(vx);
+        let min_x = p
+            .iter()
+            .map(|q| q.0)
+            .fold(f32::INFINITY, f32::min)
+            .floor()
+            .max(vx);
         let max_x = p
             .iter()
             .map(|q| q.0)
             .fold(f32::NEG_INFINITY, f32::max)
             .ceil()
             .min(vx + vw - 1.0);
-        let min_y = p.iter().map(|q| q.1).fold(f32::INFINITY, f32::min).floor().max(vy);
+        let min_y = p
+            .iter()
+            .map(|q| q.1)
+            .fold(f32::INFINITY, f32::min)
+            .floor()
+            .max(vy);
         let max_y = p
             .iter()
             .map(|q| q.1)
@@ -254,7 +272,7 @@ fn edge(a: (f32, f32), b: (f32, f32), c: (f32, f32)) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geometry::{Vertex, Vec3};
+    use crate::geometry::{Vec3, Vertex};
 
     const RED: [f32; 4] = [1.0, 0.0, 0.0, 1.0];
     const GREEN: [f32; 4] = [0.0, 1.0, 0.0, 1.0];
@@ -284,7 +302,10 @@ mod tests {
         let mut rp = RasterPipeline::new(32, 32, Rgba::BLACK, 16);
         rp.draw_batch(&identity_mvp(), &[big_triangle(0.0, RED)], None);
         let c = rp.color().pixel(16, 16);
-        assert!(c.r() > 0.9 && c.g() < 0.1, "center pixel should be red, got {c}");
+        assert!(
+            c.r() > 0.9 && c.g() < 0.1,
+            "center pixel should be red, got {c}"
+        );
         assert!(rp.stats().fragments_shaded > 0);
     }
 
@@ -318,7 +339,10 @@ mod tests {
         rp.draw_batch(&mvp, &[big_triangle(1.0, GREEN)], None);
         let c = rp.color().pixel(16, 16);
         assert!(c.g() > 0.9, "near triangle must overwrite far one, got {c}");
-        assert!(rp.stats().fragments_rejected == 0, "near-after-far never rejects");
+        assert!(
+            rp.stats().fragments_rejected == 0,
+            "near-after-far never rejects"
+        );
 
         // Drawing the far one again must be rejected by depth.
         rp.draw_batch(&mvp, &[big_triangle(-1.0, BLUE)], None);
@@ -336,10 +360,19 @@ mod tests {
         let shaded_once = rp.stats().fragments_shaded;
         rp.draw_batch(&mvp, &[big_triangle(0.0, RED)], None);
         let s = rp.stats();
-        assert_eq!(s.fragments_shaded, shaded_once, "occluded pass shades nothing");
-        assert_eq!(s.fragments_rejected, shaded_once, "every occluded fragment rejected");
+        assert_eq!(
+            s.fragments_shaded, shaded_once,
+            "occluded pass shades nothing"
+        );
+        assert_eq!(
+            s.fragments_rejected, shaded_once,
+            "every occluded fragment rejected"
+        );
         assert!((s.overdraw() - 2.0).abs() < 1e-9);
-        assert!(rp.color().pixel(16, 16).g() > 0.9, "first write wins at equal depth");
+        assert!(
+            rp.color().pixel(16, 16).g() > 0.9,
+            "first write wins at equal depth"
+        );
     }
 
     #[test]
@@ -353,7 +386,10 @@ mod tests {
         rp.draw_batch(&identity_mvp(), &[tri], None);
         // Center mixes all three.
         let c = rp.color().pixel(32, 32);
-        assert!(c.r() > 0.05 && c.g() > 0.05 && c.b() > 0.05, "center blends, got {c}");
+        assert!(
+            c.r() > 0.05 && c.g() > 0.05 && c.b() > 0.05,
+            "center blends, got {c}"
+        );
     }
 
     #[test]
@@ -382,11 +418,20 @@ mod tests {
     #[test]
     fn viewport_restricts_output() {
         let mut rp = RasterPipeline::new(64, 64, Rgba::BLACK, 16);
-        rp.set_viewport(Viewport { x: 0, y: 0, width: 32, height: 64 });
+        rp.set_viewport(Viewport {
+            x: 0,
+            y: 0,
+            width: 32,
+            height: 64,
+        });
         rp.draw_batch(&identity_mvp(), &[big_triangle(0.0, RED)], None);
         for y in 0..64 {
             for x in 32..64 {
-                assert_eq!(rp.color().pixel(x, y), Rgba::BLACK, "({x},{y}) outside viewport");
+                assert_eq!(
+                    rp.color().pixel(x, y),
+                    Rgba::BLACK,
+                    "({x},{y}) outside viewport"
+                );
             }
         }
         // Something was drawn inside the viewport.
@@ -397,7 +442,12 @@ mod tests {
     #[should_panic(expected = "viewport exceeds")]
     fn oversized_viewport_panics() {
         let mut rp = RasterPipeline::new(32, 32, Rgba::BLACK, 16);
-        rp.set_viewport(Viewport { x: 16, y: 0, width: 32, height: 32 });
+        rp.set_viewport(Viewport {
+            x: 16,
+            y: 0,
+            width: 32,
+            height: 32,
+        });
     }
 
     #[test]
@@ -405,7 +455,10 @@ mod tests {
         let mut rp = RasterPipeline::new(64, 64, Rgba::BLACK, 16);
         rp.draw_batch(&identity_mvp(), &[big_triangle(0.0, RED)], None);
         let tiles = rp.stats().tiles_touched;
-        assert!(tiles >= 4, "full-ish screen triangle touches many tiles, got {tiles}");
+        assert!(
+            tiles >= 4,
+            "full-ish screen triangle touches many tiles, got {tiles}"
+        );
         assert!(tiles <= 16, "at most the whole 4x4 tile grid");
     }
 

@@ -31,8 +31,15 @@ impl RemoteGpuModel {
     #[must_use]
     pub fn new(gpu: GpuConfig, count: u32, scaling: f64) -> Self {
         assert!(count > 0, "server needs at least one GPU");
-        assert!((0.0..=1.0).contains(&scaling), "scaling must be within [0, 1]");
-        RemoteGpuModel { gpu, count, scaling }
+        assert!(
+            (0.0..=1.0).contains(&scaling),
+            "scaling must be within [0, 1]"
+        );
+        RemoteGpuModel {
+            gpu,
+            count,
+            scaling,
+        }
     }
 
     /// The paper's default: 8 MCM Pascal-class GPUs with OO-VR-like
@@ -63,14 +70,29 @@ impl RemoteGpuModel {
     /// Stereo render time for a per-eye workload across the GPU array, ms.
     #[must_use]
     pub fn stereo_render_ms(&self, per_eye: &FrameWorkload) -> f64 {
-        let single = GpuTimingModel::new(self.gpu).stereo_frame_time(per_eye).total_ms();
+        let single = GpuTimingModel::new(self.gpu)
+            .stereo_frame_time(per_eye)
+            .total_ms();
         single / self.effective_parallelism()
+    }
+
+    /// Stereo render time for a per-eye workload on **one** GPU of the
+    /// array, ms — the per-unit cost when the server is scheduled as a pool
+    /// of frame-level units (multi-tenant mode) instead of ganging all
+    /// chiplets on a single frame.
+    #[must_use]
+    pub fn per_gpu_stereo_render_ms(&self, per_eye: &FrameWorkload) -> f64 {
+        GpuTimingModel::new(self.gpu)
+            .stereo_frame_time(per_eye)
+            .total_ms()
     }
 
     /// Monoscopic render time across the GPU array, ms.
     #[must_use]
     pub fn render_ms(&self, workload: &FrameWorkload) -> f64 {
-        let single = GpuTimingModel::new(self.gpu).frame_time(workload).total_ms();
+        let single = GpuTimingModel::new(self.gpu)
+            .frame_time(workload)
+            .total_ms();
         single / self.effective_parallelism()
     }
 }
@@ -126,6 +148,17 @@ mod tests {
         let m = RemoteGpuModel::mcm_8_gpu();
         let t = m.stereo_render_ms(&frame());
         assert!(t < 10.0, "remote stereo render {t} ms");
+    }
+
+    #[test]
+    fn per_gpu_time_is_the_unscaled_single_gpu_time() {
+        let m = RemoteGpuModel::mcm_8_gpu();
+        let pooled = m.per_gpu_stereo_render_ms(&frame());
+        let ganged = m.stereo_render_ms(&frame());
+        assert!(
+            (pooled / ganged - m.effective_parallelism()).abs() < 1e-9,
+            "per-GPU time must be the array time times the effective parallelism"
+        );
     }
 
     #[test]

@@ -119,8 +119,16 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = RenderStats { triangles_in: 1, fragments_shaded: 2, ..Default::default() };
-        let b = RenderStats { triangles_in: 10, texture_samples: 5, ..Default::default() };
+        let mut a = RenderStats {
+            triangles_in: 1,
+            fragments_shaded: 2,
+            ..Default::default()
+        };
+        let b = RenderStats {
+            triangles_in: 10,
+            texture_samples: 5,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.triangles_in, 11);
         assert_eq!(a.fragments_shaded, 2);
@@ -129,7 +137,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let s = RenderStats { triangles_in: 7, ..Default::default() };
+        let s = RenderStats {
+            triangles_in: 7,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("7 tris"));
     }
 }

@@ -24,13 +24,20 @@ impl Texture {
     /// Panics if dimensions are zero or `texels.len() != width * height`.
     #[must_use]
     pub fn from_texels(width: u32, height: u32, texels: Vec<Rgba>) -> Self {
-        assert!(width > 0 && height > 0, "texture dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0,
+            "texture dimensions must be non-zero"
+        );
         assert_eq!(
             texels.len(),
             (width as usize) * (height as usize),
             "texel count must match dimensions"
         );
-        Texture { width, height, texels }
+        Texture {
+            width,
+            height,
+            texels,
+        }
     }
 
     /// A `size`×`size` checkerboard with `cells` cells per side.
@@ -67,8 +74,8 @@ impl Texture {
                 let noise = (h % 1_000) as f64 / 999.0;
                 let v = (base * (1.0 - roughness) + noise * roughness).clamp(0.0, 1.0) as f32;
                 let g = hash3(u64::from(x), u64::from(y), seed ^ 0x9e37) % 1_000;
-                let gch = (g as f64 / 999.0 * roughness + base * (1.0 - roughness))
-                    .clamp(0.0, 1.0) as f32;
+                let gch = (g as f64 / 999.0 * roughness + base * (1.0 - roughness)).clamp(0.0, 1.0)
+                    as f32;
                 texels.push(Rgba::new(v, gch, 1.0 - v, 1.0));
             }
         }

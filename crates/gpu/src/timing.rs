@@ -153,13 +153,15 @@ impl GpuTimingModel {
         // Each bilinear sample needs one cycle per `texels_per_cycle` quad;
         // anisotropic filtering multiplies taps on a fraction of samples.
         let aniso_tap_factor = 1.0 + (c.anisotropy - 1.0) * 0.25;
-        let texture_cycles = samples * aniso_tap_factor / (f64::from(c.texture_units) * c.texels_per_cycle);
+        let texture_cycles =
+            samples * aniso_tap_factor / (f64::from(c.texture_units) * c.texels_per_cycle);
 
         // DRAM traffic: texture misses + tile flush. Unique texels scale
         // with *visible* pixels; the miss amplification grows once the
         // texture working set exceeds the L2.
         let visible_pixels = w.target_pixels() * w.coverage();
-        let unique_texel_bytes = visible_pixels * TEXEL_BYTES * w.texture_samples_per_fragment().min(2.0);
+        let unique_texel_bytes =
+            visible_pixels * TEXEL_BYTES * w.texture_samples_per_fragment().min(2.0);
         let l2 = c.l2_bytes as f64;
         let amplification = 1.0 + (unique_texel_bytes / l2).log2().max(0.0) * 0.25;
         let texture_dram_bytes = unique_texel_bytes * amplification;
@@ -270,7 +272,10 @@ mod tests {
         let fast = GpuTimingModel::new(GpuConfig::mali_g76_class().with_frequency_mhz(500.0));
         let slow = GpuTimingModel::new(GpuConfig::mali_g76_class().with_frequency_mhz(250.0));
         let ratio = slow.frame_time(&w).total_ms() / fast.frame_time(&w).total_ms();
-        assert!((ratio - 2.0).abs() < 1e-9, "halving clock doubles time, got {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 1e-9,
+            "halving clock doubles time, got {ratio}"
+        );
     }
 
     #[test]
@@ -287,8 +292,12 @@ mod tests {
     #[test]
     fn more_triangles_cost_more() {
         let m = GpuTimingModel::new(GpuConfig::mali_g76_class());
-        let base = FrameWorkload::builder(1920, 2160).triangles(100_000).build();
-        let more = FrameWorkload::builder(1920, 2160).triangles(4_000_000).build();
+        let base = FrameWorkload::builder(1920, 2160)
+            .triangles(100_000)
+            .build();
+        let more = FrameWorkload::builder(1920, 2160)
+            .triangles(4_000_000)
+            .build();
         assert!(m.frame_time(&more).total_ms() > m.frame_time(&base).total_ms());
     }
 

@@ -288,13 +288,19 @@ mod tests {
 
     #[test]
     fn fragments_formula() {
-        let w = FrameWorkload::builder(100, 100).coverage(0.5).overdraw(2.0).build();
+        let w = FrameWorkload::builder(100, 100)
+            .coverage(0.5)
+            .overdraw(2.0)
+            .build();
         assert!((w.fragments() - 10_000.0).abs() < 1e-9);
     }
 
     #[test]
     fn scaled_region_shrinks_work() {
-        let full = FrameWorkload::builder(1000, 1000).triangles(1_000_000).batches(100).build();
+        let full = FrameWorkload::builder(1000, 1000)
+            .triangles(1_000_000)
+            .batches(100)
+            .build();
         let part = full.scaled_region(0.25, 0.1);
         assert_eq!(part.triangles(), 100_000);
         assert!((part.coverage() - full.coverage() * 0.25).abs() < 1e-12);

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use qvr_gpu::{
-    Framebuffer, FrameWorkload, GpuConfig, GpuTimingModel, Mat4, RasterPipeline, Rgba, Triangle,
+    FrameWorkload, Framebuffer, GpuConfig, GpuTimingModel, Mat4, RasterPipeline, Rgba, Triangle,
     Vec3, Vertex,
 };
 

@@ -71,7 +71,10 @@ impl GazePoint {
     /// Creates a gaze point, clamping both coordinates into `[-1, 1]`.
     #[must_use]
     pub fn clamped(x: f64, y: f64) -> Self {
-        GazePoint { x: x.clamp(-1.0, 1.0), y: y.clamp(-1.0, 1.0) }
+        GazePoint {
+            x: x.clamp(-1.0, 1.0),
+            y: y.clamp(-1.0, 1.0),
+        }
     }
 
     /// Euclidean distance to another gaze point in NDC units.
@@ -120,11 +123,15 @@ impl DisplayGeometry {
         fov_v_deg: f64,
     ) -> Result<Self, HvsError> {
         if width_px == 0 || height_px == 0 {
-            return Err(HvsError::InvalidDisplay { what: "zero pixel dimension" });
+            return Err(HvsError::InvalidDisplay {
+                what: "zero pixel dimension",
+            });
         }
         for fov in [fov_h_deg, fov_v_deg] {
             if !fov.is_finite() || fov <= 0.0 || fov > 180.0 {
-                return Err(HvsError::InvalidDisplay { what: "field of view outside (0, 180]" });
+                return Err(HvsError::InvalidDisplay {
+                    what: "field of view outside (0, 180]",
+                });
             }
         }
         Ok(DisplayGeometry {

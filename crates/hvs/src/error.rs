@@ -42,7 +42,10 @@ impl fmt::Display for HvsError {
                 write!(f, "eccentricity {value} degrees outside [0, {max}]")
             }
             HvsError::InvertedPartition { e1, e2 } => {
-                write!(f, "fovea eccentricity {e1} exceeds middle eccentricity {e2}")
+                write!(
+                    f,
+                    "fovea eccentricity {e1} exceeds middle eccentricity {e2}"
+                )
             }
             HvsError::InvalidMarParameter { name, value } => {
                 write!(f, "non-physical value {value} for MAR parameter {name}")
@@ -63,9 +66,15 @@ mod tests {
     #[test]
     fn display_messages_are_nonempty_and_lowercase() {
         let errs = [
-            HvsError::InvalidEccentricity { value: -1.0, max: 90.0 },
+            HvsError::InvalidEccentricity {
+                value: -1.0,
+                max: 90.0,
+            },
             HvsError::InvertedPartition { e1: 30.0, e2: 10.0 },
-            HvsError::InvalidMarParameter { name: "slope", value: -0.5 },
+            HvsError::InvalidMarParameter {
+                name: "slope",
+                value: -0.5,
+            },
             HvsError::InvalidDisplay { what: "zero width" },
         ];
         for e in errs {

@@ -106,7 +106,10 @@ impl LayerPartition {
     pub fn new(e1: f64, e2: f64) -> Result<Self, HvsError> {
         for e in [e1, e2] {
             if !e.is_finite() || e <= 0.0 || e > Self::MAX_E1 {
-                return Err(HvsError::InvalidEccentricity { value: e, max: Self::MAX_E1 });
+                return Err(HvsError::InvalidEccentricity {
+                    value: e,
+                    max: Self::MAX_E1,
+                });
             }
         }
         if e1 > e2 {
@@ -127,7 +130,10 @@ impl LayerPartition {
         mar: &MarModel,
     ) -> Result<Self, HvsError> {
         if !e1.is_finite() || e1 <= 0.0 || e1 > Self::MAX_E1 {
-            return Err(HvsError::InvalidEccentricity { value: e1, max: Self::MAX_E1 });
+            return Err(HvsError::InvalidEccentricity {
+                value: e1,
+                max: Self::MAX_E1,
+            });
         }
         let e2 = optimal_middle_eccentricity(e1, display, mar);
         LayerPartition::new(e1, e2)
@@ -210,14 +216,19 @@ impl LayerPartition {
         // is what matters for workload and network volume.
         let outer_px = total_px * out_scale * out_scale;
 
-        LayerBudget { fovea_px, middle_px, outer_px }
+        LayerBudget {
+            fovea_px,
+            middle_px,
+            outer_px,
+        }
     }
 
     /// Remote (middle + outer) pixel volume for one eye; the paper's
     /// `P_middle + P_outer` objective.
     #[must_use]
     pub fn periphery_pixels(&self, display: &DisplayGeometry, mar: &MarModel) -> f64 {
-        self.layer_budget(display, mar, GazePoint::center()).periphery()
+        self.layer_budget(display, mar, GazePoint::center())
+            .periphery()
     }
 
     /// Fraction by which the total rendered pixel volume is reduced relative
@@ -405,8 +416,14 @@ mod tests {
     fn retargeted_clamps() {
         let (d, m) = setup();
         let p = LayerPartition::new(10.0, 30.0).unwrap();
-        assert_eq!(p.retargeted(2.0, &d, &m).fovea_eccentricity(), LayerPartition::MIN_E1);
-        assert_eq!(p.retargeted(300.0, &d, &m).fovea_eccentricity(), LayerPartition::MAX_E1);
+        assert_eq!(
+            p.retargeted(2.0, &d, &m).fovea_eccentricity(),
+            LayerPartition::MIN_E1
+        );
+        assert_eq!(
+            p.retargeted(300.0, &d, &m).fovea_eccentricity(),
+            LayerPartition::MAX_E1
+        );
     }
 
     #[test]

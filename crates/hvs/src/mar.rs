@@ -50,10 +50,16 @@ impl MarModel {
     /// non-finite, or `omega0` is non-positive or non-finite.
     pub fn new(slope: f64, omega0: f64) -> Result<Self, HvsError> {
         if !slope.is_finite() || slope < 0.0 {
-            return Err(HvsError::InvalidMarParameter { name: "slope", value: slope });
+            return Err(HvsError::InvalidMarParameter {
+                name: "slope",
+                value: slope,
+            });
         }
         if !omega0.is_finite() || omega0 <= 0.0 {
-            return Err(HvsError::InvalidMarParameter { name: "omega0", value: omega0 });
+            return Err(HvsError::InvalidMarParameter {
+                name: "omega0",
+                value: omega0,
+            });
         }
         Ok(MarModel { slope, omega0 })
     }

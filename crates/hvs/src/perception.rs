@@ -192,8 +192,16 @@ impl PerceptionModel {
         }
         SurveyOutcome {
             candidates,
-            fraction_noticing: if candidates == 0 { 0.0 } else { noticed as f64 / candidates as f64 },
-            mean_opinion_score: if candidates == 0 { 0.0 } else { mos_sum / candidates as f64 },
+            fraction_noticing: if candidates == 0 {
+                0.0
+            } else {
+                noticed as f64 / candidates as f64
+            },
+            mean_opinion_score: if candidates == 0 {
+                0.0
+            } else {
+                mos_sum / candidates as f64
+            },
         }
     }
 }
@@ -285,7 +293,11 @@ mod tests {
 
     #[test]
     fn outcome_display_is_informative() {
-        let o = SurveyOutcome { candidates: 50, fraction_noticing: 0.1, mean_opinion_score: 4.5 };
+        let o = SurveyOutcome {
+            candidates: 50,
+            fraction_noticing: 0.1,
+            mean_opinion_score: 4.5,
+        };
         let s = o.to_string();
         assert!(s.contains("5/50"));
         assert!(s.contains("4.5"));

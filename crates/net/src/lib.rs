@@ -25,7 +25,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// The network technologies of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,7 +44,11 @@ impl NetworkPreset {
     /// All presets in Table 2 order.
     #[must_use]
     pub fn all() -> [NetworkPreset; 3] {
-        [NetworkPreset::WiFi, NetworkPreset::Lte4G, NetworkPreset::Early5G]
+        [
+            NetworkPreset::WiFi,
+            NetworkPreset::Lte4G,
+            NetworkPreset::Early5G,
+        ]
     }
 
     /// Downlink (download) bandwidth in Mbps (Table 2).
@@ -104,6 +110,14 @@ pub struct NetworkChannel {
     /// EMA smoothing factor.
     alpha: f64,
     transfers: u64,
+    /// Concurrent sessions drawing from this channel's bandwidth budget.
+    /// The default of 1 is the classic private-channel behaviour; fleets
+    /// raise it so every transfer sees the shared rate.
+    occupancy: usize,
+    /// Concurrent full-rate streams the link can serve (MU-MIMO/OFDMA
+    /// spatial capacity). Sharing degrades rates only once `occupancy`
+    /// exceeds this; the default of 1 is classic single-stream sharing.
+    streams: usize,
 }
 
 impl NetworkChannel {
@@ -128,7 +142,62 @@ impl NetworkChannel {
             observed_mbps: preset.download_mbps(),
             alpha: 0.25,
             transfers: 0,
+            occupancy: 1,
+            streams: 1,
         }
+    }
+
+    /// Switches the channel into shared mode: `n` concurrent sessions draw
+    /// from one bandwidth budget. Every transfer's effective rate is the
+    /// nominal rate divided by the contention factor
+    /// `max(1, occupancy / streams)` — a fair-share MAC that serves up to
+    /// [`NetworkChannel::set_concurrent_streams`] stations at full rate and
+    /// time-shares beyond that. The ACK monitor observes the shared rate,
+    /// which is what lets each session's LIWC adapt its fovea to the crowd.
+    /// `n = 1` restores the private behaviour exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_occupancy(&mut self, n: usize) {
+        assert!(n > 0, "occupancy must be at least 1");
+        self.occupancy = n;
+        // Re-anchor the ACK estimate so planning reflects the new share
+        // immediately instead of after the EMA warms up.
+        self.observed_mbps = self.preset.download_mbps() / self.contention_divisor();
+    }
+
+    /// Sets the number of concurrent full-rate streams the link serves
+    /// (MU-MIMO/OFDMA spatial capacity). With `k` streams, up to `k`
+    /// sharers see private-rate transfers; beyond that the per-transfer
+    /// rate scales down by `occupancy / k`. The default of 1 degrades with
+    /// the very first extra sharer (classic single-stream MAC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn set_concurrent_streams(&mut self, k: usize) {
+        assert!(k > 0, "a link needs at least one stream");
+        self.streams = k;
+        self.observed_mbps = self.preset.download_mbps() / self.contention_divisor();
+    }
+
+    /// Concurrent sessions sharing this channel.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Concurrent full-rate streams the link can serve.
+    #[must_use]
+    pub fn concurrent_streams(&self) -> usize {
+        self.streams
+    }
+
+    /// The rate divisor implied by occupancy over stream capacity, `≥ 1`.
+    #[must_use]
+    pub fn contention_divisor(&self) -> f64 {
+        (self.occupancy as f64 / self.streams as f64).max(1.0)
     }
 
     /// The configured preset.
@@ -178,7 +247,7 @@ impl NetworkChannel {
     /// open stream (the connection pays its RTT once).
     pub fn transfer_only_ms(&mut self, bytes: f64) -> f64 {
         let factor = self.throughput_factor();
-        let mbps = self.preset.download_mbps() * factor;
+        let mbps = self.preset.download_mbps() * factor / self.contention_divisor();
         let transfer = bytes.max(0.0) * 8.0 / (mbps * 1_000.0);
         self.observed_mbps = (1.0 - self.alpha) * self.observed_mbps + self.alpha * mbps;
         self.transfers += 1;
@@ -188,7 +257,7 @@ impl NetworkChannel {
     /// Uploads `bytes` (pose/input stream); returns latency in ms.
     pub fn upload_ms(&mut self, bytes: f64) -> f64 {
         let factor = self.throughput_factor();
-        let mbps = self.preset.upload_mbps() * factor;
+        let mbps = self.preset.upload_mbps() * factor / self.contention_divisor();
         self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (mbps * 1_000.0)
     }
 
@@ -206,6 +275,89 @@ impl NetworkChannel {
     #[must_use]
     pub fn predict_download_ms(&self, bytes: f64) -> f64 {
         self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (self.observed_mbps * 1_000.0)
+    }
+}
+
+/// A cloneable shared handle to one [`NetworkChannel`], so several sessions
+/// can draw from a single bandwidth budget (the multi-tenant shared-link
+/// mode). Mirrors the channel API; all methods take `&self` and borrow
+/// internally. Sampling order across sharers is whatever order they call
+/// in — deterministic under deterministic session scheduling.
+#[derive(Debug, Clone)]
+pub struct SharedChannel(Rc<RefCell<NetworkChannel>>);
+
+impl SharedChannel {
+    /// Wraps a channel in a shareable handle.
+    #[must_use]
+    pub fn new(channel: NetworkChannel) -> Self {
+        SharedChannel(Rc::new(RefCell::new(channel)))
+    }
+
+    /// See [`NetworkChannel::set_occupancy`].
+    pub fn set_occupancy(&self, n: usize) {
+        self.0.borrow_mut().set_occupancy(n);
+    }
+
+    /// See [`NetworkChannel::occupancy`].
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.0.borrow().occupancy()
+    }
+
+    /// See [`NetworkChannel::set_concurrent_streams`].
+    pub fn set_concurrent_streams(&self, k: usize) {
+        self.0.borrow_mut().set_concurrent_streams(k);
+    }
+
+    /// See [`NetworkChannel::concurrent_streams`].
+    #[must_use]
+    pub fn concurrent_streams(&self) -> usize {
+        self.0.borrow().concurrent_streams()
+    }
+
+    /// See [`NetworkChannel::preset`].
+    #[must_use]
+    pub fn preset(&self) -> NetworkPreset {
+        self.0.borrow().preset()
+    }
+
+    /// See [`NetworkChannel::transfers`].
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.0.borrow().transfers()
+    }
+
+    /// See [`NetworkChannel::download_ms`].
+    pub fn download_ms(&self, bytes: f64) -> f64 {
+        self.0.borrow_mut().download_ms(bytes)
+    }
+
+    /// See [`NetworkChannel::transfer_only_ms`].
+    pub fn transfer_only_ms(&self, bytes: f64) -> f64 {
+        self.0.borrow_mut().transfer_only_ms(bytes)
+    }
+
+    /// See [`NetworkChannel::upload_ms`].
+    pub fn upload_ms(&self, bytes: f64) -> f64 {
+        self.0.borrow_mut().upload_ms(bytes)
+    }
+
+    /// See [`NetworkChannel::observed_download_mbps`].
+    #[must_use]
+    pub fn observed_download_mbps(&self) -> f64 {
+        self.0.borrow().observed_download_mbps()
+    }
+
+    /// See [`NetworkChannel::predict_download_ms`].
+    #[must_use]
+    pub fn predict_download_ms(&self, bytes: f64) -> f64 {
+        self.0.borrow().predict_download_ms(bytes)
+    }
+}
+
+impl fmt::Display for SharedChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.borrow().fmt(f)
     }
 }
 
@@ -243,7 +395,10 @@ mod tests {
             sum += ch.download_ms(590.0 * 1024.0);
         }
         let avg = sum / f64::from(n);
-        assert!((24.0..40.0).contains(&avg), "avg Wi-Fi background fetch {avg} ms");
+        assert!(
+            (24.0..40.0).contains(&avg),
+            "avg Wi-Fi background fetch {avg} ms"
+        );
     }
 
     #[test]
@@ -286,8 +441,7 @@ mod tests {
             let mut ch = NetworkChannel::with_snr(NetworkPreset::WiFi, snr, 4);
             let times: Vec<f64> = (0..300).map(|_| ch.download_ms(400_000.0)).collect();
             let mean = times.iter().sum::<f64>() / times.len() as f64;
-            let var =
-                times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+            let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
             var.sqrt() / mean
         };
         assert!(spread(40.0) < spread(10.0));
@@ -351,5 +505,106 @@ mod tests {
     fn display_mentions_preset() {
         let ch = NetworkChannel::new(NetworkPreset::Lte4G, 11);
         assert!(ch.to_string().contains("4G LTE"));
+    }
+
+    #[test]
+    fn occupancy_divides_effective_bandwidth() {
+        let avg = |occ: usize| -> f64 {
+            let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 12);
+            ch.set_occupancy(occ);
+            (0..100)
+                .map(|_| ch.transfer_only_ms(400_000.0))
+                .sum::<f64>()
+                / 100.0
+        };
+        let solo = avg(1);
+        let four = avg(4);
+        let ratio = four / solo;
+        assert!(
+            (3.9..4.1).contains(&ratio),
+            "4 sharers should ~4x transfers, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn occupancy_one_is_the_default_private_behaviour() {
+        let mut private = NetworkChannel::new(NetworkPreset::Early5G, 13);
+        let mut explicit = NetworkChannel::new(NetworkPreset::Early5G, 13);
+        explicit.set_occupancy(1);
+        for _ in 0..20 {
+            assert_eq!(
+                private.download_ms(250_000.0),
+                explicit.download_ms(250_000.0)
+            );
+        }
+        assert_eq!(private.occupancy(), 1);
+    }
+
+    #[test]
+    fn ack_monitor_sees_the_shared_rate() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 14);
+        ch.set_occupancy(8);
+        for _ in 0..50 {
+            ch.transfer_only_ms(400_000.0);
+        }
+        let obs = ch.observed_download_mbps();
+        assert!(
+            obs < 200.0 / 8.0 * 1.05,
+            "observed {obs} Mbps must reflect the 1/8 share"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy")]
+    fn zero_occupancy_rejected() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 15);
+        ch.set_occupancy(0);
+    }
+
+    #[test]
+    fn streams_absorb_contention_until_oversubscribed() {
+        let avg = |occ: usize, streams: usize| -> f64 {
+            let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 17);
+            ch.set_concurrent_streams(streams);
+            ch.set_occupancy(occ);
+            (0..100)
+                .map(|_| ch.transfer_only_ms(400_000.0))
+                .sum::<f64>()
+                / 100.0
+        };
+        let solo = avg(1, 8);
+        let full = avg(8, 8);
+        let over = avg(16, 8);
+        assert!(
+            (full / solo - 1.0).abs() < 1e-9,
+            "8 sharers on 8 streams must see private rates"
+        );
+        let ratio = over / solo;
+        assert!(
+            (1.9..2.1).contains(&ratio),
+            "16 sharers on 8 streams ~2x, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 18);
+        ch.set_concurrent_streams(0);
+    }
+
+    #[test]
+    fn shared_handle_aliases_one_budget() {
+        let a = SharedChannel::new(NetworkChannel::new(NetworkPreset::WiFi, 16));
+        let b = a.clone();
+        a.set_occupancy(2);
+        assert_eq!(b.occupancy(), 2);
+        a.download_ms(1_000.0);
+        b.download_ms(1_000.0);
+        assert_eq!(a.transfers(), 2, "both handles hit the same channel");
+        assert_eq!(a.preset(), NetworkPreset::WiFi);
+        assert!(b.observed_download_mbps() > 0.0);
+        assert!(b.predict_download_ms(1_000.0) > 0.0);
+        assert!(a.to_string().contains("Wi-Fi"));
     }
 }

@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`
+//! (half-open float/integer ranges) and `Rng::gen_bool`.
+//!
+//! The build environment has no registry access, so the real `rand` cannot
+//! be fetched; this crate keeps the call sites source-compatible. The
+//! generator is xoshiro256++ seeded through SplitMix64 — a different stream
+//! than the real `StdRng` (ChaCha12), which is fine: the workspace only
+//! relies on *determinism per seed*, never on specific draw values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable generators (API-compatible subset).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Value types samplable from a half-open [`Range`] by [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        // Guard the upper bound: at large magnitudes `low + u * (high - low)`
+        // can round to exactly `high`; wrap that boundary case to `low`.
+        let v = low + rng.next_f64() * (high - low);
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        // Compute in f64 and guard the cast: a draw just below 1.0 can
+        // round up to `high` in f32, which would violate the half-open
+        // contract; wrap that boundary case to `low`.
+        let v = (f64::from(low) + rng.next_f64() * (f64::from(high) - f64::from(low))) as f32;
+        if v >= high {
+            low
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_half_open(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span.max(1)) as i128;
+                (low as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The raw 64-bit source behind [`Rng`].
+pub trait RngCore {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next float uniform in `[0, 1)` (53-bit precision).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// High-level sampling helpers (API-compatible subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range `low..high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_half_open(self, range.start, range.end)
+    }
+
+    /// Bernoulli sample: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s StdRng).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0..1.0), b.gen_range(0.0..1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(5..9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn floats_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / f64::from(n);
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((0.28..0.32).contains(&rate), "rate {rate}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(1.0..1.0);
+    }
+}

@@ -84,14 +84,17 @@ impl AppProfile {
     #[must_use]
     pub fn fovea_workload(&self, frame: &FrameState, e1_deg: f64) -> FrameWorkload {
         let area = self.display.fovea_area_fraction(e1_deg, frame.sample.gaze);
-        let tris = self.complexity.triangle_fraction(e1_deg, &self.display, frame.sample.gaze);
+        let tris = self
+            .complexity
+            .triangle_fraction(e1_deg, &self.display, frame.sample.gaze);
         self.full_workload(frame).scaled_region(area, tris)
     }
 
     /// Triangle share inside the fovea disc at `e1` (the `%fovea` of Eq. 2).
     #[must_use]
     pub fn fovea_triangle_fraction(&self, frame: &FrameState, e1_deg: f64) -> f64 {
-        self.complexity.triangle_fraction(e1_deg, &self.display, frame.sample.gaze)
+        self.complexity
+            .triangle_fraction(e1_deg, &self.display, frame.sample.gaze)
     }
 
     /// The static baseline's locally rendered interactive-object workload.
@@ -200,7 +203,11 @@ impl AppSession {
         let noise: f64 = self.rng.gen_range(-0.1..0.1);
         let mult = 1.0
             + p.complexity_variation
-                * (0.45 * slow + 0.2 * fast + 0.45 * motion_term + 0.35 * sample.interaction + noise);
+                * (0.45 * slow
+                    + 0.2 * fast
+                    + 0.45 * motion_term
+                    + 0.35 * sample.interaction
+                    + noise);
         let mult = mult.clamp(0.6, 1.7);
 
         let interactive_fraction = p.interactive.fraction_at(sample.interaction);
@@ -541,11 +548,26 @@ mod tests {
 
     #[test]
     fn table1_triangle_budgets() {
-        assert_eq!(CharacterizationApp::Foveated3D.profile().base_triangles, 231_000);
-        assert_eq!(CharacterizationApp::Viking.profile().base_triangles, 2_800_000);
-        assert_eq!(CharacterizationApp::Nature.profile().base_triangles, 1_400_000);
-        assert_eq!(CharacterizationApp::Sponza.profile().base_triangles, 282_000);
-        assert_eq!(CharacterizationApp::SanMiguel.profile().base_triangles, 4_200_000);
+        assert_eq!(
+            CharacterizationApp::Foveated3D.profile().base_triangles,
+            231_000
+        );
+        assert_eq!(
+            CharacterizationApp::Viking.profile().base_triangles,
+            2_800_000
+        );
+        assert_eq!(
+            CharacterizationApp::Nature.profile().base_triangles,
+            1_400_000
+        );
+        assert_eq!(
+            CharacterizationApp::Sponza.profile().base_triangles,
+            282_000
+        );
+        assert_eq!(
+            CharacterizationApp::SanMiguel.profile().base_triangles,
+            4_200_000
+        );
     }
 
     #[test]

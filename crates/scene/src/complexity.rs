@@ -39,13 +39,19 @@ impl ComplexityField {
     pub fn new(concentration: f64, sigma_deg: f64) -> Self {
         assert!(concentration >= 0.0, "concentration must be non-negative");
         assert!(sigma_deg > 0.0, "sigma must be positive");
-        ComplexityField { concentration, sigma_deg }
+        ComplexityField {
+            concentration,
+            sigma_deg,
+        }
     }
 
     /// A uniform field: triangles spread evenly over the view.
     #[must_use]
     pub fn uniform() -> Self {
-        ComplexityField { concentration: 0.0, sigma_deg: 30.0 }
+        ComplexityField {
+            concentration: 0.0,
+            sigma_deg: 30.0,
+        }
     }
 
     /// The center concentration `k`.
@@ -121,7 +127,11 @@ impl Default for ComplexityField {
 
 impl fmt::Display for ComplexityField {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "density(e) = 1 + {:.1}·exp(-e²/2·{:.0}²)", self.concentration, self.sigma_deg)
+        write!(
+            f,
+            "density(e) = 1 + {:.1}·exp(-e²/2·{:.0}²)",
+            self.concentration, self.sigma_deg
+        )
     }
 }
 
@@ -165,13 +175,19 @@ mod tests {
     fn full_disc_captures_everything() {
         let f = ComplexityField::default();
         let frac = f.triangle_fraction(120.0, &display(), GazePoint::center());
-        assert!(frac > 0.999, "whole view must contain all triangles, got {frac}");
+        assert!(
+            frac > 0.999,
+            "whole view must contain all triangles, got {frac}"
+        );
     }
 
     #[test]
     fn zero_radius_captures_nothing() {
         let f = ComplexityField::default();
-        assert_eq!(f.triangle_fraction(0.0, &display(), GazePoint::center()), 0.0);
+        assert_eq!(
+            f.triangle_fraction(0.0, &display(), GazePoint::center()),
+            0.0
+        );
     }
 
     #[test]
@@ -201,7 +217,10 @@ mod tests {
             // clipped disc areas.
             let area_ratio = d.fovea_area_fraction(e1, g)
                 / d.fovea_area_fraction(d.max_eccentricity().0 * 1.5, g);
-            assert!((frac - area_ratio).abs() < 0.02, "e1={e1}: {frac} vs {area_ratio}");
+            assert!(
+                (frac - area_ratio).abs() < 0.02,
+                "e1={e1}: {frac} vs {area_ratio}"
+            );
         }
     }
 

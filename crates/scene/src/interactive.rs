@@ -29,7 +29,11 @@ impl InteractiveObject {
             (0.0..=1.0).contains(&f_min) && (0.0..=1.0).contains(&f_max) && f_min <= f_max,
             "fraction range must satisfy 0 <= f_min <= f_max <= 1"
         );
-        InteractiveObject { name: name.into(), f_min, f_max }
+        InteractiveObject {
+            name: name.into(),
+            f_min,
+            f_max,
+        }
     }
 
     /// Display name of the object set (e.g. `"9 Chess"`, `"1 Tree"`).

@@ -162,8 +162,7 @@ impl MotionTrace {
                 // Active segments are more likely at higher activity.
                 active = rng.gen_bool(profile.activity.clamp(0.05, 0.95));
                 let jitter = rng.gen_range(0.6..1.4);
-                segment_left =
-                    ((f64::from(profile.segment_len) * jitter).round() as u32).max(10);
+                segment_left = ((f64::from(profile.segment_len) * jitter).round() as u32).max(10);
                 if active {
                     vel_yaw = rng.gen_range(-1.0..1.0) * profile.peak_head_velocity;
                     vel_pitch = rng.gen_range(-0.5..0.5) * profile.peak_head_velocity;
@@ -178,17 +177,22 @@ impl MotionTrace {
 
             // Head: smooth integration with small noise.
             sample.yaw += vel_yaw + rng.gen_range(-0.05..0.05);
-            sample.pitch = (sample.pitch + vel_pitch + rng.gen_range(-0.03..0.03))
-                .clamp(-60.0, 60.0);
+            sample.pitch =
+                (sample.pitch + vel_pitch + rng.gen_range(-0.03..0.03)).clamp(-60.0, 60.0);
             sample.roll += rng.gen_range(-0.02..0.02);
             for p in &mut sample.position {
                 *p += rng.gen_range(-0.002..0.002) * (1.0 + profile.activity);
             }
 
             // Gaze: smooth pursuit toward a target; saccades jump the target.
-            let saccade_p = if active { profile.saccade_rate } else { profile.saccade_rate * 0.3 };
+            let saccade_p = if active {
+                profile.saccade_rate
+            } else {
+                profile.saccade_rate * 0.3
+            };
             if rng.gen_bool(saccade_p.clamp(0.0, 1.0)) {
-                gaze_target = GazePoint::clamped(rng.gen_range(-0.7..0.7), rng.gen_range(-0.6..0.6));
+                gaze_target =
+                    GazePoint::clamped(rng.gen_range(-0.7..0.7), rng.gen_range(-0.6..0.6));
             }
             let pursuit = 0.15;
             sample.gaze = GazePoint::clamped(
@@ -303,9 +307,8 @@ mod tests {
         let frames = 600;
         let calm = MotionTrace::generate(&MotionProfile::calm(), frames, 11);
         let frantic = MotionTrace::generate(&MotionProfile::frantic(), frames, 11);
-        let total_rotation = |t: &MotionTrace| -> f64 {
-            (1..frames).map(|i| t.delta(i).rotation_magnitude()).sum()
-        };
+        let total_rotation =
+            |t: &MotionTrace| -> f64 { (1..frames).map(|i| t.delta(i).rotation_magnitude()).sum() };
         assert!(
             total_rotation(&frantic) > 1.5 * total_rotation(&calm),
             "frantic {:.1} vs calm {:.1}",

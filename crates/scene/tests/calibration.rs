@@ -32,7 +32,11 @@ fn benchmarks_land_in_mobile_band() {
 #[test]
 fn grid_is_the_heaviest_benchmark() {
     let model = GpuTimingModel::new(GpuConfig::mali_g76_class());
-    let grid = mean_stereo_ms(&model, AppSession::start(Benchmark::Grid.profile(), 42), 200);
+    let grid = mean_stereo_ms(
+        &model,
+        AppSession::start(Benchmark::Grid.profile(), 42),
+        200,
+    );
     for b in Benchmark::all() {
         if b != Benchmark::Grid {
             let t = mean_stereo_ms(&model, AppSession::start(b.profile(), 42), 200);
@@ -44,8 +48,16 @@ fn grid_is_the_heaviest_benchmark() {
 #[test]
 fn low_res_variants_are_lighter() {
     let model = GpuTimingModel::new(GpuConfig::mali_g76_class());
-    let d3h = mean_stereo_ms(&model, AppSession::start(Benchmark::Doom3H.profile(), 1), 200);
-    let d3l = mean_stereo_ms(&model, AppSession::start(Benchmark::Doom3L.profile(), 1), 200);
+    let d3h = mean_stereo_ms(
+        &model,
+        AppSession::start(Benchmark::Doom3H.profile(), 1),
+        200,
+    );
+    let d3l = mean_stereo_ms(
+        &model,
+        AppSession::start(Benchmark::Doom3L.profile(), 1),
+        200,
+    );
     let h2h = mean_stereo_ms(&model, AppSession::start(Benchmark::Hl2H.profile(), 1), 200);
     let h2l = mean_stereo_ms(&model, AppSession::start(Benchmark::Hl2L.profile(), 1), 200);
     assert!(d3l < d3h);
@@ -67,7 +79,10 @@ fn characterization_apps_match_table1_full_frame_times() {
     ];
     for (app, target) in expect {
         let t = mean_stereo_ms(&model, AppSession::start(app.profile(), 42), 200);
-        println!("{:12} full-frame: {t:7.1} ms (target = {target} ms)", app.label());
+        println!(
+            "{:12} full-frame: {t:7.1} ms (target = {target} ms)",
+            app.label()
+        );
         assert!(
             (t - target).abs() / target < 0.35,
             "{app}: {t:.1} ms vs target {target} ms (>35% off)"
@@ -97,7 +112,10 @@ fn static_interactive_latencies_match_table1() {
             sum += model.stereo_frame_time(&w).total_ms();
         }
         let t = sum / frames as f64;
-        println!("{:12} static T_local: {t:6.1} ms (target = {target} ms)", app.label());
+        println!(
+            "{:12} static T_local: {t:6.1} ms (target = {target} ms)",
+            app.label()
+        );
         assert!(
             t < target * tolerance_factor && t > target / tolerance_factor,
             "{app}: {t:.1} ms vs target {target} ms"

@@ -19,6 +19,12 @@
 //! Per-resource busy time is tracked for the energy model, and the full
 //! task timeline can be dumped as a text Gantt chart for inspection.
 //!
+//! For multi-tenant simulation, [`Engine::resource_pool`] groups `k`
+//! schedulable units behind one handle with least-loaded unit selection on
+//! [`Engine::submit_to_pool`] (an `mcm_8_gpu` server becomes 8 contended
+//! units instead of an analytic constant), and [`SharedEngine`] is a
+//! cloneable handle letting several session rigs submit into one schedule.
+//!
 //! # Example
 //!
 //! ```
@@ -37,11 +43,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// Identifies a resource within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResourceId(usize);
+
+/// Identifies a resource pool within one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolId(usize);
 
 /// Identifies a submitted task within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,6 +65,12 @@ struct Resource {
     free_at: f64,
     busy_ms: f64,
     intervals: Vec<(f64, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct Pool {
+    name: String,
+    units: Vec<ResourceId>,
 }
 
 /// A scheduled task record.
@@ -72,6 +90,7 @@ pub struct ScheduledTask {
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     resources: Vec<Resource>,
+    pools: Vec<Pool>,
     tasks: Vec<ScheduledTask>,
 }
 
@@ -96,6 +115,139 @@ impl Engine {
         ResourceId(self.resources.len() - 1)
     }
 
+    /// Returns the pool with this name, creating it with `k` schedulable
+    /// units if needed. A `k = 1` pool shares its unit with the plain
+    /// resource of the same name, so pooled and non-pooled submission paths
+    /// produce identical schedules for single units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, or if a pool with this name already exists
+    /// with a different unit count.
+    pub fn resource_pool(&mut self, name: &str, k: usize) -> PoolId {
+        assert!(k > 0, "a pool needs at least one unit");
+        if let Some(i) = self.pools.iter().position(|p| p.name == name) {
+            assert_eq!(
+                self.pools[i].units.len(),
+                k,
+                "pool {name:?} already exists with a different unit count"
+            );
+            return PoolId(i);
+        }
+        let units = if k == 1 {
+            vec![self.resource(name)]
+        } else {
+            (0..k)
+                .map(|i| self.resource(&format!("{name}[{i}]")))
+                .collect()
+        };
+        self.pools.push(Pool {
+            name: name.to_owned(),
+            units,
+        });
+        PoolId(self.pools.len() - 1)
+    }
+
+    /// The schedulable units behind a pool, in index order.
+    #[must_use]
+    pub fn pool_units(&self, pool: PoolId) -> &[ResourceId] {
+        &self.pools[pool.0].units
+    }
+
+    /// Number of units in a pool.
+    #[must_use]
+    pub fn pool_size(&self, pool: PoolId) -> usize {
+        self.pools[pool.0].units.len()
+    }
+
+    /// Pool name.
+    #[must_use]
+    pub fn pool_name(&self, pool: PoolId) -> &str {
+        &self.pools[pool.0].name
+    }
+
+    /// Index of the least-loaded unit for work becoming ready at
+    /// `ready_at_ms`: the unit that can start it earliest, tie-broken by
+    /// earliest free time, then lowest index. Greedy earliest-start
+    /// selection is work-conserving — no unit sits idle past `ready_at_ms`
+    /// while the submitted task waits on a busier one.
+    #[must_use]
+    pub fn least_loaded_unit(&self, pool: PoolId, ready_at_ms: f64) -> usize {
+        let units = &self.pools[pool.0].units;
+        let mut best = 0usize;
+        let mut best_start = f64::INFINITY;
+        let mut best_free = f64::INFINITY;
+        for (i, rid) in units.iter().enumerate() {
+            let free = self.resources[rid.0].free_at;
+            let start = free.max(ready_at_ms);
+            if start < best_start - 1e-12
+                || (start < best_start + 1e-12 && free < best_free - 1e-12)
+            {
+                best = i;
+                best_start = start;
+                best_free = free;
+            }
+        }
+        best
+    }
+
+    /// Latest end time of a dependency set (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency id is stale.
+    #[must_use]
+    pub fn deps_ready_ms(&self, deps: &[TaskId]) -> f64 {
+        deps.iter()
+            .map(|d| {
+                self.tasks
+                    .get(d.0)
+                    .unwrap_or_else(|| panic!("unknown dependency task id {}", d.0))
+                    .end
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Submits a task to the least-loaded unit of a pool and returns its id.
+    ///
+    /// Unit choice is greedy earliest-start (see [`Engine::least_loaded_unit`]);
+    /// for `k = 1` pools this reduces exactly to [`Engine::submit`] on the
+    /// single unit.
+    pub fn submit_to_pool(
+        &mut self,
+        label: &str,
+        pool: PoolId,
+        duration_ms: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        let ready = self.deps_ready_ms(deps);
+        let unit = self.pools[pool.0].units[self.least_loaded_unit(pool, ready)];
+        self.submit(label, Some(unit), duration_ms, deps)
+    }
+
+    /// Accumulated busy time across all units of a pool, ms.
+    #[must_use]
+    pub fn pool_busy_ms(&self, pool: PoolId) -> f64 {
+        self.pools[pool.0]
+            .units
+            .iter()
+            .map(|r| self.resources[r.0].busy_ms)
+            .sum()
+    }
+
+    /// Utilisation of a pool over the makespan: busy time over
+    /// `units × makespan`, in `[0, 1]`.
+    #[must_use]
+    pub fn pool_utilization(&self, pool: PoolId) -> f64 {
+        let span = self.makespan();
+        let k = self.pools[pool.0].units.len();
+        if span <= 0.0 || k == 0 {
+            0.0
+        } else {
+            (self.pool_busy_ms(pool) / (span * k as f64)).clamp(0.0, 1.0)
+        }
+    }
+
     /// Submits a task and schedules it immediately.
     ///
     /// The task starts at the later of its dependencies' ends and its
@@ -116,15 +268,7 @@ impl Engine {
             duration_ms.is_finite() && duration_ms >= 0.0,
             "duration must be finite and non-negative, got {duration_ms}"
         );
-        let deps_ready = deps
-            .iter()
-            .map(|d| {
-                self.tasks
-                    .get(d.0)
-                    .unwrap_or_else(|| panic!("unknown dependency task id {}", d.0))
-                    .end
-            })
-            .fold(0.0f64, f64::max);
+        let deps_ready = self.deps_ready_ms(deps);
         let start = match resource {
             Some(rid) => deps_ready.max(self.resources[rid.0].free_at),
             None => deps_ready,
@@ -248,7 +392,11 @@ impl Engine {
             let s = ((t.start / span) * COLS as f64).floor() as usize;
             let e = (((t.end / span) * COLS as f64).ceil() as usize).clamp(s + 1, COLS);
             let rname = t.resource.map_or("-", |r| self.resource_name(r));
-            out.push_str(&format!("{:18} {:8}|", truncate(&t.label, 18), truncate(rname, 8)));
+            out.push_str(&format!(
+                "{:18} {:8}|",
+                truncate(&t.label, 18),
+                truncate(rname, 8)
+            ));
             for c in 0..COLS {
                 out.push(if c >= s && c < e { '#' } else { '.' });
             }
@@ -256,6 +404,225 @@ impl Engine {
         }
         out
     }
+}
+
+/// A cloneable shared handle to one [`Engine`], so several sessions (each
+/// holding its own rig) can submit into a single schedule — the substrate of
+/// multi-tenant fleets. Mirrors the [`Engine`] API; all methods take `&self`
+/// and borrow the engine internally.
+///
+/// # Panics
+///
+/// Methods panic if called re-entrantly while another borrow is live (not
+/// possible through this API's non-reentrant methods).
+#[derive(Debug, Clone, Default)]
+pub struct SharedEngine(Rc<RefCell<Engine>>);
+
+impl SharedEngine {
+    /// Creates a handle to a fresh empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedEngine::default()
+    }
+
+    /// See [`Engine::resource`].
+    pub fn resource(&self, name: &str) -> ResourceId {
+        self.0.borrow_mut().resource(name)
+    }
+
+    /// See [`Engine::resource_pool`].
+    pub fn resource_pool(&self, name: &str, k: usize) -> PoolId {
+        self.0.borrow_mut().resource_pool(name, k)
+    }
+
+    /// See [`Engine::pool_units`] (returns an owned copy).
+    #[must_use]
+    pub fn pool_units(&self, pool: PoolId) -> Vec<ResourceId> {
+        self.0.borrow().pool_units(pool).to_vec()
+    }
+
+    /// One unit of a pool by index (no allocation, for hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn pool_unit(&self, pool: PoolId, idx: usize) -> ResourceId {
+        self.0.borrow().pool_units(pool)[idx]
+    }
+
+    /// See [`Engine::pool_size`].
+    #[must_use]
+    pub fn pool_size(&self, pool: PoolId) -> usize {
+        self.0.borrow().pool_size(pool)
+    }
+
+    /// See [`Engine::least_loaded_unit`].
+    #[must_use]
+    pub fn least_loaded_unit(&self, pool: PoolId, ready_at_ms: f64) -> usize {
+        self.0.borrow().least_loaded_unit(pool, ready_at_ms)
+    }
+
+    /// See [`Engine::deps_ready_ms`].
+    #[must_use]
+    pub fn deps_ready_ms(&self, deps: &[TaskId]) -> f64 {
+        self.0.borrow().deps_ready_ms(deps)
+    }
+
+    /// See [`Engine::submit`].
+    pub fn submit(
+        &self,
+        label: &str,
+        resource: Option<ResourceId>,
+        duration_ms: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.0
+            .borrow_mut()
+            .submit(label, resource, duration_ms, deps)
+    }
+
+    /// See [`Engine::submit_at`].
+    pub fn submit_at(
+        &self,
+        label: &str,
+        resource: Option<ResourceId>,
+        ready_at_ms: f64,
+        duration_ms: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.0
+            .borrow_mut()
+            .submit_at(label, resource, ready_at_ms, duration_ms, deps)
+    }
+
+    /// See [`Engine::submit_to_pool`].
+    pub fn submit_to_pool(
+        &self,
+        label: &str,
+        pool: PoolId,
+        duration_ms: f64,
+        deps: &[TaskId],
+    ) -> TaskId {
+        self.0
+            .borrow_mut()
+            .submit_to_pool(label, pool, duration_ms, deps)
+    }
+
+    /// See [`Engine::start_of`].
+    #[must_use]
+    pub fn start_of(&self, id: TaskId) -> f64 {
+        self.0.borrow().start_of(id)
+    }
+
+    /// See [`Engine::end_of`].
+    #[must_use]
+    pub fn end_of(&self, id: TaskId) -> f64 {
+        self.0.borrow().end_of(id)
+    }
+
+    /// See [`Engine::free_at`].
+    #[must_use]
+    pub fn free_at(&self, id: ResourceId) -> f64 {
+        self.0.borrow().free_at(id)
+    }
+
+    /// See [`Engine::busy_ms`].
+    #[must_use]
+    pub fn busy_ms(&self, id: ResourceId) -> f64 {
+        self.0.borrow().busy_ms(id)
+    }
+
+    /// See [`Engine::pool_busy_ms`].
+    #[must_use]
+    pub fn pool_busy_ms(&self, pool: PoolId) -> f64 {
+        self.0.borrow().pool_busy_ms(pool)
+    }
+
+    /// See [`Engine::pool_utilization`].
+    #[must_use]
+    pub fn pool_utilization(&self, pool: PoolId) -> f64 {
+        self.0.borrow().pool_utilization(pool)
+    }
+
+    /// See [`Engine::makespan`].
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.0.borrow().makespan()
+    }
+
+    /// See [`Engine::utilization`].
+    #[must_use]
+    pub fn utilization(&self, id: ResourceId) -> f64 {
+        self.0.borrow().utilization(id)
+    }
+
+    /// See [`Engine::verify_exclusivity`].
+    #[must_use]
+    pub fn verify_exclusivity(&self) -> bool {
+        self.0.borrow().verify_exclusivity()
+    }
+
+    /// See [`Engine::timeline`].
+    #[must_use]
+    pub fn timeline(&self, max_tasks: usize) -> String {
+        self.0.borrow().timeline(max_tasks)
+    }
+
+    /// Number of tasks submitted so far.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.0.borrow().tasks().len()
+    }
+
+    /// Runs a closure against the underlying engine (escape hatch for
+    /// read-only inspection not covered by the mirror methods).
+    pub fn with<R>(&self, f: impl FnOnce(&Engine) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+impl fmt::Display for SharedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.borrow().fmt(f)
+    }
+}
+
+/// Runs `f` over `items` on up to `available_parallelism` worker threads,
+/// preserving input order. The shared sweep primitive: independent
+/// simulations (fleets, figure rows) fan out without oversubscribing the
+/// machine or holding every result's engine in flight at once.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |w| w.get())
+        .min(n.max(1));
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<&mut Option<R>>> = out.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 fn truncate(s: &str, n: usize) -> &str {
@@ -345,7 +712,11 @@ mod tests {
         let lr1 = sim.submit("f1:LR", Some(gpu), 6.0, &[]);
         let c1 = sim.submit("f1:C+ATW", Some(gpu), 3.0, &[lr1]);
         let lr2 = sim.submit("f2:LR", Some(gpu), 6.0, &[]);
-        assert_eq!(sim.start_of(lr2), sim.end_of(c1), "contention must delay frame 2");
+        assert_eq!(
+            sim.start_of(lr2),
+            sim.end_of(c1),
+            "contention must delay frame 2"
+        );
 
         let mut sim2 = Engine::new();
         let gpu2 = sim2.resource("GPU");
@@ -403,6 +774,110 @@ mod tests {
         assert!(chart.contains("render"));
         assert!(chart.contains('#'));
         assert!(chart.contains("GPU"));
+    }
+
+    #[test]
+    fn pool_units_run_in_parallel() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("RGPU", 4);
+        for i in 0..4 {
+            let t = sim.submit_to_pool(&format!("t{i}"), pool, 5.0, &[]);
+            assert_eq!(sim.start_of(t), 0.0, "unit {i} should be free");
+        }
+        let queued = sim.submit_to_pool("t4", pool, 5.0, &[]);
+        assert_eq!(sim.start_of(queued), 5.0, "fifth task must queue");
+        assert!(sim.verify_exclusivity());
+        assert_eq!(sim.makespan(), 10.0);
+    }
+
+    #[test]
+    fn pool_selection_prefers_earliest_start() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 2);
+        let units = sim.pool_units(pool).to_vec();
+        // Load unit 0 with 10 ms; a new task must land on unit 1.
+        sim.submit("busy", Some(units[0]), 10.0, &[]);
+        let t = sim.submit_to_pool("next", pool, 1.0, &[]);
+        assert_eq!(sim.start_of(t), 0.0);
+        assert_eq!(sim.busy_ms(units[1]), 1.0);
+    }
+
+    #[test]
+    fn single_unit_pool_matches_plain_resource() {
+        // The same submission sequence through a k = 1 pool and through the
+        // classic single-resource API must produce identical schedules.
+        let mut pooled = Engine::new();
+        let pool = pooled.resource_pool("GPU", 1);
+        let mut plain = Engine::new();
+        let gpu = plain.resource("GPU");
+        let durations = [4.0, 2.5, 7.0, 0.5, 3.0];
+        for (i, d) in durations.iter().enumerate() {
+            let a = pooled.submit_to_pool(&format!("t{i}"), pool, *d, &[]);
+            let b = plain.submit(&format!("t{i}"), Some(gpu), *d, &[]);
+            assert_eq!(pooled.start_of(a), plain.start_of(b));
+            assert_eq!(pooled.end_of(a), plain.end_of(b));
+        }
+        assert_eq!(pooled.makespan(), plain.makespan());
+    }
+
+    #[test]
+    fn single_unit_pool_shares_the_plain_resource() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("SENC", 1);
+        let direct = sim.resource("SENC");
+        assert_eq!(sim.pool_units(pool), &[direct]);
+    }
+
+    #[test]
+    fn pool_lookup_is_idempotent() {
+        let mut sim = Engine::new();
+        let a = sim.resource_pool("RGPU", 3);
+        let b = sim.resource_pool("RGPU", 3);
+        assert_eq!(a, b);
+        assert_eq!(sim.pool_size(a), 3);
+        assert_eq!(sim.pool_name(a), "RGPU");
+    }
+
+    #[test]
+    #[should_panic(expected = "different unit count")]
+    fn pool_size_conflict_rejected() {
+        let mut sim = Engine::new();
+        sim.resource_pool("RGPU", 3);
+        sim.resource_pool("RGPU", 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_pool_rejected() {
+        let mut sim = Engine::new();
+        sim.resource_pool("RGPU", 0);
+    }
+
+    #[test]
+    fn pool_busy_and_utilization_aggregate_units() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 2);
+        sim.submit_to_pool("a", pool, 4.0, &[]);
+        sim.submit_to_pool("b", pool, 2.0, &[]);
+        assert_eq!(sim.pool_busy_ms(pool), 6.0);
+        // Makespan 4, two units: 6 / 8 = 0.75.
+        assert!((sim.pool_utilization(pool) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_engine_mirrors_and_aliases() {
+        let eng = SharedEngine::new();
+        let other = eng.clone();
+        let gpu = eng.resource("GPU");
+        let a = eng.submit("a", Some(gpu), 5.0, &[]);
+        // The clone sees the same schedule and extends it.
+        let b = other.submit("b", Some(gpu), 2.0, &[a]);
+        assert_eq!(eng.start_of(b), 5.0);
+        assert_eq!(eng.makespan(), 7.0);
+        assert_eq!(eng.task_count(), 2);
+        assert!(eng.verify_exclusivity());
+        assert!(eng.to_string().contains("2 tasks"));
+        assert_eq!(other.with(|e| e.tasks().len()), 2);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property-based tests for pooled resources: per-unit exclusivity,
+//! work-conservation of the least-loaded selector, and exact equivalence of
+//! `k = 1` pools with the classic single-resource schedules.
+
+use proptest::prelude::*;
+use qvr_sim::{Engine, TaskId};
+
+/// A reproducible pseudo-random workload: `(duration_ms, dep_offset)` pairs.
+/// `dep_offset = 0` means no dependency; `d > 0` depends on the task
+/// submitted `d` positions earlier (if any).
+fn workload_strategy() -> impl Strategy<Value = Vec<(f64, usize)>> {
+    collection::vec((0.1f64..12.0, 0usize..4), 48)
+}
+
+fn submit_pooled(sim: &mut Engine, k: usize, jobs: &[(f64, usize)]) -> Vec<TaskId> {
+    let pool = sim.resource_pool("POOL", k);
+    let mut ids: Vec<TaskId> = Vec::new();
+    for (i, (dur, dep)) in jobs.iter().enumerate() {
+        let deps: Vec<TaskId> = if *dep > 0 && *dep <= i {
+            vec![ids[i - dep]]
+        } else {
+            Vec::new()
+        };
+        ids.push(sim.submit_to_pool(&format!("t{i}"), pool, *dur, &deps));
+    }
+    ids
+}
+
+proptest! {
+    #[test]
+    fn pool_units_never_overlap(jobs in workload_strategy(), k in 1usize..9) {
+        let mut sim = Engine::new();
+        submit_pooled(&mut sim, k, &jobs);
+        prop_assert!(sim.verify_exclusivity(), "a pool unit ran two tasks at once");
+    }
+
+    #[test]
+    fn least_loaded_selection_is_work_conserving(jobs in workload_strategy(), k in 1usize..9) {
+        // No unit may sit idle past a task's ready time while that task
+        // waits on a busier unit: every pooled task must start at the
+        // earliest instant any unit allows.
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("POOL", k);
+        let units = sim.pool_units(pool).to_vec();
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (i, (dur, dep)) in jobs.iter().enumerate() {
+            let deps: Vec<TaskId> = if *dep > 0 && *dep <= i {
+                vec![ids[i - dep]]
+            } else {
+                Vec::new()
+            };
+            let ready = sim.deps_ready_ms(&deps);
+            let earliest = units
+                .iter()
+                .map(|u| sim.free_at(*u).max(ready))
+                .fold(f64::INFINITY, f64::min);
+            let id = sim.submit_to_pool(&format!("t{i}"), pool, *dur, &deps);
+            prop_assert!(
+                (sim.start_of(id) - earliest).abs() < 1e-9,
+                "task {i} started at {} but a unit was free at {earliest}",
+                sim.start_of(id)
+            );
+            ids.push(id);
+        }
+    }
+
+    #[test]
+    fn k1_pool_reproduces_single_resource_schedule(jobs in workload_strategy()) {
+        // The same submission sequence through a k = 1 pool and through the
+        // classic single resource must yield the identical schedule, task
+        // by task — the old API is exactly the degenerate pool.
+        let mut pooled = Engine::new();
+        let pooled_ids = submit_pooled(&mut pooled, 1, &jobs);
+
+        let mut plain = Engine::new();
+        let res = plain.resource("POOL");
+        let mut plain_ids: Vec<TaskId> = Vec::new();
+        for (i, (dur, dep)) in jobs.iter().enumerate() {
+            let deps: Vec<TaskId> = if *dep > 0 && *dep <= i {
+                vec![plain_ids[i - dep]]
+            } else {
+                Vec::new()
+            };
+            plain_ids.push(plain.submit(&format!("t{i}"), Some(res), *dur, &deps));
+        }
+
+        for (a, b) in pooled_ids.iter().zip(&plain_ids) {
+            prop_assert_eq!(pooled.start_of(*a), plain.start_of(*b));
+            prop_assert_eq!(pooled.end_of(*a), plain.end_of(*b));
+        }
+        prop_assert_eq!(pooled.makespan(), plain.makespan());
+        let pool = pooled.resource_pool("POOL", 1);
+        prop_assert_eq!(pooled.pool_busy_ms(pool), plain.busy_ms(res));
+    }
+
+    #[test]
+    fn pool_busy_time_equals_sum_of_durations(jobs in workload_strategy(), k in 1usize..9) {
+        let mut sim = Engine::new();
+        submit_pooled(&mut sim, k, &jobs);
+        let pool = sim.resource_pool("POOL", k);
+        let total: f64 = jobs.iter().map(|(d, _)| d).sum();
+        prop_assert!((sim.pool_busy_ms(pool) - total).abs() < 1e-6);
+        prop_assert!(sim.pool_utilization(pool) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn wider_pools_never_lengthen_the_schedule(jobs in workload_strategy(), k in 1usize..8) {
+        // Adding units can only help a greedy earliest-start scheduler for
+        // independent tasks (with dependencies the argument stays true here
+        // because chains only serialise on task ends, not unit identity).
+        let independent: Vec<(f64, usize)> = jobs.iter().map(|(d, _)| (*d, 0)).collect();
+        let mut narrow = Engine::new();
+        submit_pooled(&mut narrow, k, &independent);
+        let mut wide = Engine::new();
+        submit_pooled(&mut wide, k + 1, &independent);
+        prop_assert!(wide.makespan() <= narrow.makespan() + 1e-9);
+    }
+}

@@ -27,7 +27,10 @@ fn render_layer(size: u32, detail: f64, tint: [f32; 4]) -> qvr::gpu::Framebuffer
         let z = -1.0 + 0.15 * k as f32;
         let mut t = Triangle::new(
             Vertex::colored(Vec3::new(a.cos() * 2.5, a.sin() * 2.5, z), tint),
-            Vertex::colored(Vec3::new((a + 0.9).cos() * 2.5, (a + 0.9).sin() * 2.5, z), tint),
+            Vertex::colored(
+                Vec3::new((a + 0.9).cos() * 2.5, (a + 0.9).sin() * 2.5, z),
+                tint,
+            ),
             Vertex::colored(Vec3::new(0.0, 0.0, z - 0.5), [1.0, 1.0, 1.0, 1.0]),
         );
         t.vertices[0].uv = [0.0, 0.0];
@@ -60,7 +63,11 @@ fn main() {
     );
 
     // Compare the two composition paths under a realistic warp.
-    let warp = WarpParams { dx_ndc: 0.02, dy_ndc: -0.015, ..WarpParams::lens_only() };
+    let warp = WarpParams {
+        dx_ndc: 0.02,
+        dy_ndc: -0.015,
+        ..WarpParams::lens_only()
+    };
     let sequential = Uca::compose_then_atw(&frame, &warp);
     let unified = Uca::unified(&frame, &warp);
     println!("\nEq. (4) check — sequential composition∘ATW vs unified trilinear pass:");

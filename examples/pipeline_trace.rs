@@ -38,7 +38,10 @@ fn build(uca_offload: bool) -> Engine {
 }
 
 fn main() {
-    for (name, uca) in [("DFR (composition on the GPU)", false), ("Q-VR (UCA offload)", true)] {
+    for (name, uca) in [
+        ("DFR (composition on the GPU)", false),
+        ("Q-VR (UCA offload)", true),
+    ] {
         let sim = build(uca);
         println!("== {name} ==  makespan {:.1} ms", sim.makespan());
         print!("{}", sim.timeline(32));

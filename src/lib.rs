@@ -41,6 +41,30 @@
 //! assert!(qvr.mean_mtp_ms() < base.mean_mtp_ms() / 2.0);
 //! println!("speedup: {:.1}x", base.mean_mtp_ms() / qvr.mean_mtp_ms());
 //! ```
+//!
+//! ## Multi-tenant fleets
+//!
+//! The collaborative regime the paper targets — many headsets behind one
+//! multi-GPU server and one wireless link — is a [`prelude::Fleet`]: N
+//! sessions stepped round-robin against a shared server pool and a shared
+//! channel budget, with tail-latency and fairness aggregates.
+//!
+//! ```
+//! use qvr::prelude::*;
+//!
+//! // 8 Q-VR users share the default 8-GPU server and one Wi-Fi link.
+//! let fleet = FleetConfig::uniform(
+//!     SystemConfig::default(),
+//!     SchemeKind::Qvr,
+//!     Benchmark::Hl2H.profile(),
+//!     8,   // sessions
+//!     40,  // frames each
+//!     42,  // seed
+//! );
+//! let summary = Fleet::run(fleet);
+//! assert_eq!(summary.len(), 8);
+//! println!("p95 MTP {:.1} ms, FPS floor {:.0}", summary.mtp_p95_ms, summary.fps_floor);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,8 +81,10 @@ pub use qvr_sim as sim;
 /// The items most programs need, in one import.
 pub mod prelude {
     pub use qvr_codec::{CodecLatencyModel, SizeModel, TransformCodec};
+    pub use qvr_core::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
     pub use qvr_core::metrics::{FrameRecord, RunSummary};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
+    pub use qvr_core::session::Session;
     pub use qvr_core::{FoveationPlan, Liwc, RenderGraph, Uca, VrsRate};
     pub use qvr_energy::{overhead::LiwcOverhead, overhead::UcaOverhead, PowerModel};
     pub use qvr_gpu::{FrameWorkload, GpuConfig, GpuTimingModel, RemoteGpuModel};

@@ -19,7 +19,10 @@ fn scheme_ordering_on_heavy_benchmarks() {
         let ffr = run(SchemeKind::Ffr);
         let dfr = run(SchemeKind::Dfr);
         let qvr = run(SchemeKind::Qvr);
-        assert!(stat < base, "{bench}: static {stat:.1} < baseline {base:.1}");
+        assert!(
+            stat < base,
+            "{bench}: static {stat:.1} < baseline {base:.1}"
+        );
         assert!(ffr < stat, "{bench}: FFR {ffr:.1} < static {stat:.1}");
         assert!(dfr <= ffr * 1.05, "{bench}: DFR {dfr:.1} ~<= FFR {ffr:.1}");
         assert!(qvr < dfr, "{bench}: Q-VR {qvr:.1} < DFR {dfr:.1}");
@@ -59,8 +62,14 @@ fn qvr_speedup_band_over_baseline() {
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let max = speedups.iter().cloned().fold(0.0, f64::max);
-    assert!((2.0..6.0).contains(&avg), "average speedup {avg:.1}x vs paper 3.4x");
-    assert!((4.0..10.0).contains(&max), "max speedup {max:.1}x vs paper 6.7x");
+    assert!(
+        (2.0..6.0).contains(&avg),
+        "average speedup {avg:.1}x vs paper 3.4x"
+    );
+    assert!(
+        (4.0..10.0).contains(&max),
+        "max speedup {max:.1}x vs paper 6.7x"
+    );
 }
 
 #[test]
@@ -100,13 +109,12 @@ fn perception_stays_lossless_under_qvr() {
     let s = SchemeKind::Qvr.run(&cfg, Benchmark::Hl2H.profile(), 100, 11);
     for f in &s.frames {
         let e1 = f.e1_deg.expect("foveated scheme records e1");
-        let p = LayerPartition::with_optimal_middle(
-            e1,
-            model.display(),
-            model.mar(),
-        )
-        .unwrap();
-        assert!(model.score(&p).is_lossless(), "frame {} violates MAR", f.frame_id);
+        let p = LayerPartition::with_optimal_middle(e1, model.display(), model.mar()).unwrap();
+        assert!(
+            model.score(&p).is_lossless(),
+            "frame {} violates MAR",
+            f.frame_id
+        );
     }
     let survey = model.run_survey(
         &LayerPartition::with_optimal_middle(

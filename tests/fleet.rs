@@ -1,0 +1,109 @@
+//! Fleet-level integration tests: determinism, single-session equivalence,
+//! and the acceptance-shape contention curve (flat tails up to the server
+//! pool size, measurable degradation once oversubscribed).
+
+use qvr::prelude::*;
+use qvr::scene::Benchmark;
+
+fn wifi_fleet(n: usize, frames: usize, seed: u64) -> FleetConfig {
+    FleetConfig::uniform(
+        SystemConfig::default(),
+        SchemeKind::Qvr,
+        Benchmark::Hl2H.profile(),
+        n,
+        frames,
+        seed,
+    )
+}
+
+#[test]
+fn same_seed_and_size_give_identical_fleet_aggregates() {
+    let a = Fleet::run(wifi_fleet(8, 60, 42));
+    let b = Fleet::run(wifi_fleet(8, 60, 42));
+    assert_eq!(a.mtp_p50_ms, b.mtp_p50_ms);
+    assert_eq!(a.mtp_p95_ms, b.mtp_p95_ms);
+    assert_eq!(a.mtp_p99_ms, b.mtp_p99_ms);
+    assert_eq!(a.fps_floor, b.fps_floor);
+    assert_eq!(a.server_utilization, b.server_utilization);
+    assert_eq!(a, b, "full fleet summaries must be bit-identical");
+}
+
+#[test]
+fn different_seeds_give_different_fleets() {
+    let a = Fleet::run(wifi_fleet(4, 40, 1));
+    let b = Fleet::run(wifi_fleet(4, 40, 2));
+    assert_ne!(a, b);
+}
+
+#[test]
+fn run_delegates_to_a_private_single_session_fleet() {
+    // The old API and a stepped private session must agree exactly.
+    let config = SystemConfig::default();
+    for kind in [
+        SchemeKind::LocalOnly,
+        SchemeKind::StaticCollab,
+        SchemeKind::Qvr,
+    ] {
+        let via_run = kind.run(&config, Benchmark::Grid.profile(), 50, 7);
+        let mut session = kind.session(&config, Benchmark::Grid.profile(), 7);
+        for _ in 0..50 {
+            session.step();
+        }
+        assert_eq!(via_run, session.finish(), "{kind}");
+    }
+}
+
+#[test]
+fn eight_qvr_sessions_on_default_server_and_wifi_complete() {
+    // The headline acceptance scenario: 8 Q-VR tenants, mcm_8_gpu pool,
+    // shared Wi-Fi.
+    let summary = Fleet::run(wifi_fleet(8, 80, 42));
+    assert_eq!(summary.len(), 8);
+    assert_eq!(summary.server_units, 8);
+    assert!(summary.shared_network);
+    for s in &summary.sessions {
+        assert_eq!(s.len(), 80, "every session reports every frame");
+        assert_eq!(s.scheme, "Q-VR");
+        assert!(
+            s.fps() > 60.0,
+            "tenant holds interactive rates, got {:.0}",
+            s.fps()
+        );
+        assert!(s.energy.total_mj() > 0.0);
+    }
+    assert!(summary.server_utilization > 0.0);
+}
+
+#[test]
+fn p95_flat_up_to_pool_size_then_degrades() {
+    // Real contention shape: within the 8-unit pool (and the link's
+    // concurrent streams) the tail stays flat; oversubscribing degrades it
+    // measurably.
+    let frames = 60;
+    let p95 = |n: usize| Fleet::run(wifi_fleet(n, frames, 42)).mtp_p95_ms;
+    let p1 = p95(1);
+    let p8 = p95(8);
+    let p16 = p95(16);
+    assert!(
+        p8 < p1 * 1.15,
+        "p95 must stay flat up to the pool size: 1 session {p1:.1} ms vs 8 sessions {p8:.1} ms"
+    );
+    assert!(
+        p16 > p8 * 1.15,
+        "oversubscription must degrade the tail: 8 sessions {p8:.1} ms vs 16 {p16:.1} ms"
+    );
+}
+
+#[test]
+fn oversubscribed_sessions_shed_network_load() {
+    // Each tenant's LIWC reacts to the shrinking bandwidth share by growing
+    // its fovea: per-session transmitted bytes must drop.
+    let frames = 60;
+    let bytes = |n: usize| Fleet::run(wifi_fleet(n, frames, 42)).mean_tx_bytes();
+    let at8 = bytes(8);
+    let at32 = bytes(32);
+    assert!(
+        at32 < at8 * 0.95,
+        "32 tenants must ship less per frame than 8: {at32:.0} vs {at8:.0} bytes"
+    );
+}
