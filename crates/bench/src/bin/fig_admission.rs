@@ -1,0 +1,5 @@
+//! Regenerates the SLO admission-control sweep.
+
+fn main() {
+    print!("{}", qvr_bench::fig_admission::report());
+}

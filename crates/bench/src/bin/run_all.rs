@@ -7,7 +7,7 @@
 type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [Section; 10] = [
+    let sections: [Section; 11] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
         (
             "Table 1 + Fig. 5 (static characterisation)",
@@ -23,6 +23,10 @@ fn main() {
         (
             "Fleet scaling (multi-tenant extension)",
             qvr_bench::fig_fleet::report,
+        ),
+        (
+            "SLO admission control (fairness x offered load)",
+            qvr_bench::fig_admission::report,
         ),
     ];
     for (name, f) in sections {

@@ -108,44 +108,21 @@ fn report_with(sizes: &[usize], frames: usize) -> String {
     let mixed = Fleet::run(FleetConfig {
         system: SystemConfig::default(),
         sessions: vec![
-            SessionSpec {
-                scheme: SchemeKind::Qvr,
-                profile: Benchmark::Grid.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::Qvr,
-                profile: Benchmark::Doom3L.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::Qvr,
-                profile: Benchmark::Ut3.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::Qvr,
-                profile: Benchmark::Wolf.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::Dfr,
-                profile: Benchmark::Hl2H.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::Ffr,
-                profile: Benchmark::Hl2L.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::StaticCollab,
-                profile: Benchmark::Doom3H.profile(),
-            },
-            SessionSpec {
-                scheme: SchemeKind::RemoteOnly,
-                profile: Benchmark::Wolf.profile(),
-            },
+            SessionSpec::new(SchemeKind::Qvr, Benchmark::Grid.profile()),
+            SessionSpec::new(SchemeKind::Qvr, Benchmark::Doom3L.profile()),
+            SessionSpec::new(SchemeKind::Qvr, Benchmark::Ut3.profile()),
+            SessionSpec::new(SchemeKind::Qvr, Benchmark::Wolf.profile()),
+            SessionSpec::new(SchemeKind::Dfr, Benchmark::Hl2H.profile()),
+            SessionSpec::new(SchemeKind::Ffr, Benchmark::Hl2L.profile()),
+            SessionSpec::new(SchemeKind::StaticCollab, Benchmark::Doom3H.profile()),
+            SessionSpec::new(SchemeKind::RemoteOnly, Benchmark::Wolf.profile()),
         ],
         frames,
         seed: SEED,
         server_units: SystemConfig::default().remote.count() as usize,
         shared_network: true,
         link_streams: SystemConfig::default().remote.count() as usize,
+        fairness: FairnessPolicy::EqualShare,
     });
     out.push_str(
         "Heterogeneous 8-session fleet (mixed apps + schemes, Wi-Fi) — noisy neighbours\n",

@@ -1,0 +1,575 @@
+//! SLO-driven fleet admission control.
+//!
+//! PR 1's fleets accept any N tenants and let the tail degrade; a real
+//! collaborative-VR operator instead gates joins so the sessions already
+//! paying for an experience keep getting it. An [`AdmissionController`]
+//! holds the accepted roster and decides each join by *probing*: it runs a
+//! short deterministic fleet (the accepted sessions plus the candidate,
+//! same seed every time) and checks the resulting [`FleetSummary`]
+//! aggregates — p95 motion-to-photon latency, the FPS fairness floor, and
+//! server-pool utilization — against an [`AdmissionPolicy`] SLO.
+//!
+//! Admitted tenants come in two classes. **Protected** tenants are the SLO
+//! constituency: every future probe must keep their p95/FPS inside the
+//! policy. **Best-effort** tenants (the product of degraded admission)
+//! ride along at a reduced [`LinkShare`] with no personal SLO claim —
+//! without that exemption a cell-edge (slow-MCS) candidate could never be
+//! degraded in, because its own frames would veto every probe.
+//!
+//! Three outcomes per offer, in order:
+//!
+//! 1. **Admit** — with the candidate at its requested share, the protected
+//!    class *plus the candidate* meets the SLO; the candidate joins
+//!    protected.
+//! 2. **Degrade** — the full-share probe fails, but with the candidate at
+//!    the policy's degraded share the protected class stays inside the
+//!    SLO; the candidate joins best-effort. Against an *empty* protected
+//!    class the check falls back to the full fleet-wide SLO (with nobody
+//!    to protect, best-effort entry would otherwise be vacuously true,
+//!    impossible SLOs included).
+//! 3. **Reject** — neither probe passes; the roster is unchanged.
+//!
+//! Everything is deterministic: the same offer sequence against the same
+//! controller configuration yields the same decision sequence, and the
+//! decision rule is pointwise monotone in the SLO — against an identical
+//! roster, a policy that [`AdmissionPolicy::tightens`] another can only
+//! demote its decisions (Admit → Degrade/Reject, Degrade → Reject), never
+//! promote them.
+
+use crate::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
+use crate::metrics::{RunSummary, SortedSamples};
+use crate::schemes::SystemConfig;
+use qvr_net::{FairnessPolicy, LinkShare};
+use std::fmt;
+
+/// The SLO an [`AdmissionController`] defends, plus how it probes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Highest tolerable p95 motion-to-photon latency over the SLO
+    /// constituency, ms.
+    pub mtp_p95_slo_ms: f64,
+    /// Lowest tolerable per-session frame rate (the fairness floor) over
+    /// the SLO constituency, FPS.
+    pub min_fps_floor: f64,
+    /// Highest tolerable server-pool utilization, `[0, 1]` (always
+    /// fleet-wide: the shared pool doesn't care which class burned it).
+    pub max_server_utilization: f64,
+    /// Frames each admission probe simulates. More frames cost more but
+    /// see deeper into tail behaviour.
+    pub probe_frames: usize,
+    /// The reduced share offered when a full-share probe fails; `None`
+    /// disables degraded admission (reject-only control). Only the weight
+    /// and cap apply — the candidate's `mcs_efficiency` is a physical
+    /// property of its radio, which no admission policy can change, so it
+    /// is preserved from the candidate's requested share.
+    pub degraded: Option<LinkShare>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            mtp_p95_slo_ms: 45.0,
+            min_fps_floor: 60.0,
+            max_server_utilization: 0.95,
+            probe_frames: 24,
+            degraded: Some(LinkShare::weighted(0.5)),
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Returns a copy with a different p95 MTP SLO.
+    #[must_use]
+    pub fn with_mtp_p95_slo_ms(mut self, slo: f64) -> Self {
+        self.mtp_p95_slo_ms = slo;
+        self
+    }
+
+    /// Returns a copy with a different FPS floor SLO.
+    #[must_use]
+    pub fn with_min_fps_floor(mut self, fps: f64) -> Self {
+        self.min_fps_floor = fps;
+        self
+    }
+
+    /// Returns a copy without degraded admission (reject-only).
+    #[must_use]
+    pub fn reject_only(mut self) -> Self {
+        self.degraded = None;
+        self
+    }
+
+    /// Whether a probed fleet meets every SLO dimension fleet-wide.
+    #[must_use]
+    pub fn accepts(&self, summary: &FleetSummary) -> bool {
+        summary.mtp_p95_ms <= self.mtp_p95_slo_ms
+            && summary.fps_floor >= self.min_fps_floor
+            && summary.server_utilization <= self.max_server_utilization
+    }
+
+    /// Whether a probe keeps the masked subset of its sessions (the SLO
+    /// constituency for this decision) inside the SLO. Pool utilization is
+    /// always fleet-wide. Falls back to the fleet-wide
+    /// [`AdmissionPolicy::accepts`] when the mask selects nobody.
+    #[must_use]
+    pub fn accepts_constituency(&self, summary: &FleetSummary, constituency: &[bool]) -> bool {
+        let members: Vec<&RunSummary> = summary
+            .sessions
+            .iter()
+            .zip(constituency)
+            .filter_map(|(s, keep)| keep.then_some(s))
+            .collect();
+        if members.is_empty() {
+            return self.accepts(summary);
+        }
+        let (p95, fps_floor) = constituency_metrics(&members);
+        p95 <= self.mtp_p95_slo_ms
+            && fps_floor >= self.min_fps_floor
+            && summary.server_utilization <= self.max_server_utilization
+    }
+
+    /// Whether `self` is at least as strict as `other` in every dimension
+    /// (the premise of the admission monotonicity property).
+    #[must_use]
+    pub fn tightens(&self, other: &AdmissionPolicy) -> bool {
+        self.mtp_p95_slo_ms <= other.mtp_p95_slo_ms
+            && self.min_fps_floor >= other.min_fps_floor
+            && self.max_server_utilization <= other.max_server_utilization
+    }
+}
+
+/// p95 MTP and FPS floor over a set of per-session summaries.
+fn constituency_metrics(members: &[&RunSummary]) -> (f64, f64) {
+    let mtps = SortedSamples::new(
+        members
+            .iter()
+            .flat_map(|s| s.frames.iter().map(|f| f.mtp_ms))
+            .collect(),
+    );
+    let fps_floor = members
+        .iter()
+        .map(|s| s.fps())
+        .fold(f64::INFINITY, f64::min);
+    (mtps.p95(), fps_floor)
+}
+
+/// The controller's verdict on one offered session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdmissionDecision {
+    /// Joined the protected class at its requested share.
+    Admitted,
+    /// Joined best-effort at the policy's degraded share.
+    Degraded,
+    /// Refused; the roster is unchanged.
+    Rejected,
+}
+
+impl AdmissionDecision {
+    /// Whether the session joined the fleet (at any share).
+    #[must_use]
+    pub fn joined(&self) -> bool {
+        !matches!(self, AdmissionDecision::Rejected)
+    }
+}
+
+impl fmt::Display for AdmissionDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AdmissionDecision::Admitted => "admitted",
+            AdmissionDecision::Degraded => "degraded",
+            AdmissionDecision::Rejected => "rejected",
+        })
+    }
+}
+
+/// Gate for joining sessions: probes each candidate against the SLO and
+/// keeps the accepted roster (protected + best-effort classes).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    system: SystemConfig,
+    fairness: FairnessPolicy,
+    server_units: usize,
+    link_streams: usize,
+    seed: u64,
+    policy: AdmissionPolicy,
+    accepted: Vec<SessionSpec>,
+    /// `protected[i]` — whether `accepted[i]` belongs to the SLO
+    /// constituency (joined via Admit rather than Degrade).
+    protected: Vec<bool>,
+    decisions: Vec<AdmissionDecision>,
+    /// The probe summary of the current accepted roster (the running
+    /// aggregates the operator watches), updated on every join.
+    last_accepted_probe: Option<FleetSummary>,
+}
+
+impl AdmissionController {
+    /// A controller over the system's full server array and a link
+    /// provisioned like [`FleetConfig::uniform`] (one full-rate stream per
+    /// server GPU).
+    #[must_use]
+    pub fn new(
+        system: SystemConfig,
+        fairness: FairnessPolicy,
+        policy: AdmissionPolicy,
+        seed: u64,
+    ) -> Self {
+        let units = system.remote.count() as usize;
+        Self::with_capacity(system, fairness, policy, seed, units, units)
+    }
+
+    /// A controller with explicit server-pool and link-stream capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server_units`, `link_streams`, or the policy's
+    /// `probe_frames` is zero.
+    #[must_use]
+    pub fn with_capacity(
+        system: SystemConfig,
+        fairness: FairnessPolicy,
+        policy: AdmissionPolicy,
+        seed: u64,
+        server_units: usize,
+        link_streams: usize,
+    ) -> Self {
+        assert!(server_units > 0, "the server pool needs at least one unit");
+        assert!(link_streams > 0, "the link needs at least one stream");
+        assert!(policy.probe_frames > 0, "probes need at least one frame");
+        AdmissionController {
+            system,
+            fairness,
+            server_units,
+            link_streams,
+            seed,
+            policy,
+            accepted: Vec::new(),
+            protected: Vec::new(),
+            decisions: Vec::new(),
+            last_accepted_probe: None,
+        }
+    }
+
+    /// The fleet config the controller would run right now with `frames`
+    /// per session; `None` while the roster is empty.
+    #[must_use]
+    pub fn fleet_config(&self, frames: usize) -> Option<FleetConfig> {
+        if self.accepted.is_empty() {
+            return None;
+        }
+        Some(FleetConfig {
+            system: self.system,
+            sessions: self.accepted.clone(),
+            frames,
+            seed: self.seed,
+            server_units: self.server_units,
+            shared_network: true,
+            link_streams: self.link_streams,
+            fairness: self.fairness,
+        })
+    }
+
+    /// Probes the accepted roster plus `candidate` for `probe_frames`.
+    fn probe(&self, candidate: SessionSpec) -> FleetSummary {
+        let mut sessions = self.accepted.clone();
+        sessions.push(candidate);
+        Fleet::run(FleetConfig {
+            system: self.system,
+            sessions,
+            frames: self.policy.probe_frames,
+            seed: self.seed,
+            server_units: self.server_units,
+            shared_network: true,
+            link_streams: self.link_streams,
+            fairness: self.fairness,
+        })
+    }
+
+    /// Offers one session: probes, decides, and (on admit/degrade) joins
+    /// it to the roster.
+    pub fn offer(&mut self, spec: SessionSpec) -> AdmissionDecision {
+        // Full-share probe: the constituency is the protected class plus
+        // the candidate itself (it is applying for protection).
+        let mut constituency = self.protected.clone();
+        constituency.push(true);
+        let full = self.probe(spec.clone());
+        let decision = if self.policy.accepts_constituency(&full, &constituency) {
+            self.accepted.push(spec);
+            self.protected.push(true);
+            self.last_accepted_probe = Some(full);
+            AdmissionDecision::Admitted
+        } else if let Some(degraded_share) = self.policy.degraded {
+            // Degraded probe: the candidate rides best-effort, so the
+            // constituency is the existing protected class alone.
+            let mut constituency = self.protected.clone();
+            constituency.push(false);
+            // Degrade the policy knobs (weight, cap) but keep the station's
+            // physical MCS efficiency.
+            let degraded_spec = spec.clone().with_share(LinkShare {
+                mcs_efficiency: spec.share.mcs_efficiency,
+                ..degraded_share
+            });
+            let degraded = self.probe(degraded_spec.clone());
+            if self.policy.accepts_constituency(&degraded, &constituency) {
+                self.accepted.push(degraded_spec);
+                self.protected.push(false);
+                self.last_accepted_probe = Some(degraded);
+                AdmissionDecision::Degraded
+            } else {
+                AdmissionDecision::Rejected
+            }
+        } else {
+            AdmissionDecision::Rejected
+        };
+        self.decisions.push(decision);
+        decision
+    }
+
+    /// Offers a sequence of sessions in order; returns one decision each.
+    pub fn offer_all(
+        &mut self,
+        specs: impl IntoIterator<Item = SessionSpec>,
+    ) -> Vec<AdmissionDecision> {
+        specs.into_iter().map(|s| self.offer(s)).collect()
+    }
+
+    /// The accepted roster, in admission order (degraded members carry
+    /// their degraded share).
+    #[must_use]
+    pub fn admitted(&self) -> &[SessionSpec] {
+        &self.accepted
+    }
+
+    /// Which accepted roster members are protected (vs best-effort), in
+    /// admission order.
+    #[must_use]
+    pub fn protected(&self) -> &[bool] {
+        &self.protected
+    }
+
+    /// Every decision so far, in offer order.
+    #[must_use]
+    pub fn decisions(&self) -> &[AdmissionDecision] {
+        &self.decisions
+    }
+
+    /// Sessions offered so far.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Count of a given decision so far.
+    #[must_use]
+    pub fn count(&self, decision: AdmissionDecision) -> usize {
+        self.decisions.iter().filter(|d| **d == decision).count()
+    }
+
+    /// The probe summary of the current accepted roster (the running
+    /// aggregates admission is controlled on); `None` while empty.
+    #[must_use]
+    pub fn accepted_summary(&self) -> Option<&FleetSummary> {
+        self.last_accepted_probe.as_ref()
+    }
+
+    /// p95 MTP and FPS floor over the protected class in the latest
+    /// accepted probe — the quantities the SLO actually constrains.
+    /// `None` while the roster holds no protected members.
+    #[must_use]
+    pub fn protected_metrics(&self) -> Option<(f64, f64)> {
+        let probe = self.last_accepted_probe.as_ref()?;
+        let members: Vec<&RunSummary> = probe
+            .sessions
+            .iter()
+            .zip(&self.protected)
+            .filter_map(|(s, keep)| keep.then_some(s))
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        Some(constituency_metrics(&members))
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+}
+
+impl fmt::Display for AdmissionController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} offered / {} admitted / {} degraded / {} rejected under p95 ≤ {:.0} ms, \
+             FPS ≥ {:.0}, util ≤ {:.0}% ({} link)",
+            self.offered(),
+            self.count(AdmissionDecision::Admitted),
+            self.count(AdmissionDecision::Degraded),
+            self.count(AdmissionDecision::Rejected),
+            self.policy.mtp_p95_slo_ms,
+            self.policy.min_fps_floor,
+            self.policy.max_server_utilization * 100.0,
+            self.fairness,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::SchemeKind;
+    use qvr_scene::Benchmark;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::new(SchemeKind::Qvr, Benchmark::Hl2H.profile())
+    }
+
+    fn policy(slo_ms: f64) -> AdmissionPolicy {
+        let mut p = AdmissionPolicy::default()
+            .with_mtp_p95_slo_ms(slo_ms)
+            .with_min_fps_floor(40.0);
+        // Small probes keep the debug-mode unit tests quick; the
+        // integration suite and fig_admission exercise realistic sizes.
+        p.probe_frames = 8;
+        p
+    }
+
+    #[test]
+    fn first_session_admits_under_a_sane_slo() {
+        let mut c = AdmissionController::new(
+            SystemConfig::default(),
+            FairnessPolicy::EqualShare,
+            policy(40.0),
+            42,
+        );
+        assert_eq!(c.offer(spec()), AdmissionDecision::Admitted);
+        assert_eq!(c.admitted().len(), 1);
+        assert_eq!(c.protected(), &[true]);
+        assert_eq!(c.offered(), 1);
+        let probe = c.accepted_summary().expect("roster probed");
+        assert!(probe.mtp_p95_ms <= 40.0);
+        let (p95, floor) = c.protected_metrics().expect("protected class exists");
+        assert!(p95 <= 40.0);
+        assert!(floor >= 40.0);
+        assert!(c.fleet_config(10).is_some());
+    }
+
+    #[test]
+    fn impossible_slo_rejects_everyone() {
+        let mut c = AdmissionController::new(
+            SystemConfig::default(),
+            FairnessPolicy::Weighted,
+            policy(1.0),
+            42,
+        );
+        for _ in 0..3 {
+            assert_eq!(c.offer(spec()), AdmissionDecision::Rejected);
+        }
+        assert!(c.admitted().is_empty());
+        assert!(c.accepted_summary().is_none());
+        assert!(c.protected_metrics().is_none());
+        assert!(c.fleet_config(10).is_none());
+        assert_eq!(c.count(AdmissionDecision::Rejected), 3);
+        assert!(c.to_string().contains("3 rejected"));
+    }
+
+    #[test]
+    fn degraded_tenants_join_best_effort_without_breaking_the_protected_slo() {
+        // A cell-edge candidate (half-rate MCS) under airtime fairness: its
+        // own latency is poor, so full admission fails once the cell has
+        // tenants to protect — but best-effort entry must succeed while the
+        // protected class stays inside the SLO.
+        let mut p = policy(25.0);
+        p.degraded = Some(LinkShare::weighted(0.25));
+        let mut c = AdmissionController::new(
+            SystemConfig::default(),
+            FairnessPolicy::Airtime,
+            p.clone(),
+            42,
+        );
+        // Fill the protected class with full-rate tenants first.
+        for _ in 0..3 {
+            c.offer(spec());
+        }
+        let protected_before = c.count(AdmissionDecision::Admitted);
+        assert!(protected_before > 0, "full-rate tenants must admit");
+        // Now offer cell-edge stations until one degrades or everything
+        // rejects; none may break the protected class.
+        let edge = || spec().with_share(LinkShare::default().with_mcs_efficiency(0.5));
+        for _ in 0..4 {
+            c.offer(edge());
+        }
+        let (p95, _) = c.protected_metrics().expect("protected class exists");
+        assert!(
+            p95 <= p.mtp_p95_slo_ms,
+            "protected p95 {:.1} ms must hold the {:.1} ms SLO",
+            p95,
+            p.mtp_p95_slo_ms
+        );
+        // Best-effort members never enter the protected mask; they carry
+        // the policy's degraded weight but keep their own physical MCS.
+        for (i, protected) in c.protected().iter().enumerate() {
+            let share = c.admitted()[i].share;
+            let degraded = share.weight == p.degraded.unwrap().weight;
+            assert_eq!(*protected, !degraded);
+            if degraded {
+                assert_eq!(
+                    share.mcs_efficiency, 0.5,
+                    "degrade must preserve the station's physical MCS"
+                );
+            }
+        }
+        assert!(
+            c.count(AdmissionDecision::Degraded) > 0,
+            "at least one cell-edge station must come in best-effort"
+        );
+    }
+
+    #[test]
+    fn rejection_leaves_the_roster_untouched() {
+        let mut tight = AdmissionController::new(
+            SystemConfig::default(),
+            FairnessPolicy::EqualShare,
+            policy(40.0).reject_only(),
+            42,
+        );
+        // Admit as many as the SLO allows, then verify the roster stops
+        // growing while decisions keep accruing.
+        let decisions = tight.offer_all((0..12).map(|_| spec()));
+        let joined = decisions.iter().filter(|d| d.joined()).count();
+        assert_eq!(tight.admitted().len(), joined);
+        assert_eq!(tight.offered(), 12);
+        if let Some(probe) = tight.accepted_summary() {
+            assert!(tight.policy().accepts(probe), "roster must meet the SLO");
+        }
+    }
+
+    #[test]
+    fn tightens_orders_policies() {
+        let loose = policy(50.0);
+        let tight = policy(30.0);
+        assert!(tight.tightens(&loose));
+        assert!(!loose.tightens(&tight));
+        assert!(tight.tightens(&tight.clone()));
+    }
+
+    #[test]
+    fn decision_display_labels() {
+        assert_eq!(AdmissionDecision::Admitted.to_string(), "admitted");
+        assert_eq!(AdmissionDecision::Degraded.to_string(), "degraded");
+        assert_eq!(AdmissionDecision::Rejected.to_string(), "rejected");
+        assert!(AdmissionDecision::Admitted.joined());
+        assert!(AdmissionDecision::Degraded.joined());
+        assert!(!AdmissionDecision::Rejected.joined());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_probe_frames_rejected() {
+        let p = AdmissionPolicy {
+            probe_frames: 0,
+            ..AdmissionPolicy::default()
+        };
+        let _ = AdmissionController::new(SystemConfig::default(), FairnessPolicy::EqualShare, p, 1);
+    }
+}

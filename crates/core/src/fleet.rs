@@ -24,21 +24,45 @@
 //! tenants. [`crate::schemes::SchemeKind::run`] delegates to a dedicated
 //! 1-session fleet, reproducing the original single-user numbers exactly.
 
-use crate::metrics::RunSummary;
+use crate::metrics::{RunSummary, SortedSamples};
 use crate::schemes::{SchemeKind, ServerPool, SystemConfig};
 use crate::session::Session;
-use qvr_net::{NetworkChannel, SharedChannel};
+use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, SharedChannel};
 use qvr_scene::AppProfile;
 use qvr_sim::SharedEngine;
 use std::fmt;
 
-/// One tenant's slot in a fleet: which scheme and which app it runs.
+/// One tenant's slot in a fleet: which scheme and which app it runs, and
+/// the share of the shared link it registers with.
 #[derive(Debug, Clone)]
 pub struct SessionSpec {
     /// The design point this user runs.
     pub scheme: SchemeKind,
     /// The app this user plays.
     pub profile: AppProfile,
+    /// The tenant's claim on the shared link (weight, rate cap, MCS
+    /// efficiency) — consumed by the fleet's [`FairnessPolicy`]; the unit
+    /// default is invisible under equal-share.
+    pub share: LinkShare,
+}
+
+impl SessionSpec {
+    /// A spec with the default unit link share.
+    #[must_use]
+    pub fn new(scheme: SchemeKind, profile: AppProfile) -> Self {
+        SessionSpec {
+            scheme,
+            profile,
+            share: LinkShare::default(),
+        }
+    }
+
+    /// Returns a copy with an explicit link share.
+    #[must_use]
+    pub fn with_share(mut self, share: LinkShare) -> Self {
+        self.share = share;
+        self
+    }
 }
 
 /// Full description of one fleet run.
@@ -62,6 +86,11 @@ pub struct FleetConfig {
     /// capacity): per-transfer rates degrade only once the session count
     /// exceeds this. Ignored when `shared_network` is `false`.
     pub link_streams: usize,
+    /// How the shared link arbitrates its budget between streaming tenants.
+    /// [`FairnessPolicy::EqualShare`] (the default) with unit shares is
+    /// bit-identical to the pre-policy engine. Ignored when
+    /// `shared_network` is `false`.
+    pub fairness: FairnessPolicy,
 }
 
 impl FleetConfig {
@@ -83,16 +112,14 @@ impl FleetConfig {
         FleetConfig {
             system,
             sessions: (0..n)
-                .map(|_| SessionSpec {
-                    scheme,
-                    profile: profile.clone(),
-                })
+                .map(|_| SessionSpec::new(scheme, profile.clone()))
                 .collect(),
             frames,
             seed,
             server_units,
             shared_network: true,
             link_streams: server_units,
+            fairness: FairnessPolicy::EqualShare,
         }
     }
 
@@ -160,18 +187,9 @@ impl Fleet {
         let engine = SharedEngine::new();
         let server = ServerPool::on(&engine, config.server_units);
         let shared_channel = if config.shared_network {
-            // Only tenants that actually move frame data over the link
-            // contend for it — a LocalOnly neighbour must not debit the
-            // bandwidth share of the streaming sessions.
-            let occupancy = config
-                .sessions
-                .iter()
-                .filter(|s| s.scheme.uses_network())
-                .count()
-                .max(1);
             let ch = SharedChannel::new(NetworkChannel::new(config.system.network, config.seed));
+            ch.set_policy(config.fairness);
             ch.set_concurrent_streams(config.link_streams.max(1));
-            ch.set_occupancy(occupancy);
             Some(ch)
         } else {
             None
@@ -182,9 +200,16 @@ impl Fleet {
             .enumerate()
             .map(|(i, spec)| {
                 let seed = session_seed(config.seed, i);
-                let channel = shared_channel.clone().unwrap_or_else(|| {
-                    SharedChannel::new(NetworkChannel::new(config.system.network, seed))
-                });
+                // Only tenants that actually move frame data over the link
+                // register as members (and so contend for it) — a LocalOnly
+                // neighbour must not debit the bandwidth share of the
+                // streaming sessions. Membership drives the occupancy the
+                // fairness policy divides by.
+                let channel = match &shared_channel {
+                    Some(ch) if spec.scheme.uses_network() => ch.join(spec.share),
+                    Some(ch) => ch.clone(),
+                    None => SharedChannel::new(NetworkChannel::new(config.system.network, seed)),
+                };
                 Session::in_fleet(
                     spec.scheme,
                     &config.system,
@@ -286,12 +311,13 @@ impl Fleet {
     ) -> RunSummary {
         let fleet = FleetConfig {
             system: *config,
-            sessions: vec![SessionSpec { scheme, profile }],
+            sessions: vec![SessionSpec::new(scheme, profile)],
             frames,
             seed,
             server_units: 1,
             shared_network: false,
             link_streams: 1,
+            fairness: FairnessPolicy::EqualShare,
         };
         Fleet::run(fleet)
             .sessions
@@ -327,15 +353,6 @@ pub struct FleetSummary {
     pub shared_network: bool,
 }
 
-/// Nearest-rank percentile of a sorted slice (`q` in `[0, 100]`).
-fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 impl FleetSummary {
     fn aggregate(
         sessions: Vec<RunSummary>,
@@ -344,18 +361,20 @@ impl FleetSummary {
         server_units: usize,
         shared_network: bool,
     ) -> Self {
-        let mut mtps: Vec<f64> = sessions
-            .iter()
-            .flat_map(|s| s.frames.iter().map(|f| f.mtp_ms))
-            .collect();
-        mtps.sort_by(f64::total_cmp);
+        // One sort serves all three percentile queries.
+        let mtps = SortedSamples::new(
+            sessions
+                .iter()
+                .flat_map(|s| s.frames.iter().map(|f| f.mtp_ms))
+                .collect(),
+        );
         let fps: Vec<f64> = sessions.iter().map(RunSummary::fps).collect();
         let fps_floor = fps.iter().copied().fold(f64::INFINITY, f64::min);
         let mean_fps = fps.iter().sum::<f64>() / fps.len().max(1) as f64;
         FleetSummary {
-            mtp_p50_ms: percentile_sorted(&mtps, 50.0),
-            mtp_p95_ms: percentile_sorted(&mtps, 95.0),
-            mtp_p99_ms: percentile_sorted(&mtps, 99.0),
+            mtp_p50_ms: mtps.p50(),
+            mtp_p95_ms: mtps.p95(),
+            mtp_p99_ms: mtps.p99(),
             fps_floor: if fps_floor.is_finite() {
                 fps_floor
             } else {
@@ -433,14 +452,11 @@ mod tests {
         // session surrounded by 7 LocalOnly users (who never touch the
         // downlink or the server) must behave exactly as it would alone.
         let mixed = |n_local: usize| {
-            let mut sessions = vec![SessionSpec {
-                scheme: SchemeKind::Qvr,
-                profile: Benchmark::Hl2H.profile(),
-            }];
-            sessions.extend((0..n_local).map(|_| SessionSpec {
-                scheme: SchemeKind::LocalOnly,
-                profile: Benchmark::Doom3L.profile(),
-            }));
+            let mut sessions = vec![SessionSpec::new(SchemeKind::Qvr, Benchmark::Hl2H.profile())];
+            sessions.extend(
+                (0..n_local)
+                    .map(|_| SessionSpec::new(SchemeKind::LocalOnly, Benchmark::Doom3L.profile())),
+            );
             Fleet::run(FleetConfig {
                 system: cfg(),
                 sessions,
@@ -449,6 +465,7 @@ mod tests {
                 server_units: 8,
                 shared_network: true,
                 link_streams: 1,
+                fairness: FairnessPolicy::EqualShare,
             })
         };
         let alone = mixed(0);
@@ -463,15 +480,16 @@ mod tests {
     fn solo_fleet_is_dedicated() {
         let f = FleetConfig {
             system: cfg(),
-            sessions: vec![SessionSpec {
-                scheme: SchemeKind::Qvr,
-                profile: Benchmark::Doom3H.profile(),
-            }],
+            sessions: vec![SessionSpec::new(
+                SchemeKind::Qvr,
+                Benchmark::Doom3H.profile(),
+            )],
             frames: 10,
             seed: 1,
             server_units: 1,
             shared_network: false,
             link_streams: 1,
+            fairness: FairnessPolicy::EqualShare,
         };
         assert!(f.is_dedicated());
         let uniform = FleetConfig::uniform(
@@ -541,24 +559,16 @@ mod tests {
         let summary = Fleet::run(FleetConfig {
             system: cfg(),
             sessions: vec![
-                SessionSpec {
-                    scheme: SchemeKind::Qvr,
-                    profile: Benchmark::Grid.profile(),
-                },
-                SessionSpec {
-                    scheme: SchemeKind::Ffr,
-                    profile: Benchmark::Doom3L.profile(),
-                },
-                SessionSpec {
-                    scheme: SchemeKind::RemoteOnly,
-                    profile: Benchmark::Wolf.profile(),
-                },
+                SessionSpec::new(SchemeKind::Qvr, Benchmark::Grid.profile()),
+                SessionSpec::new(SchemeKind::Ffr, Benchmark::Doom3L.profile()),
+                SessionSpec::new(SchemeKind::RemoteOnly, Benchmark::Wolf.profile()),
             ],
             frames: 20,
             seed: 5,
             server_units: 4,
             shared_network: true,
             link_streams: 1,
+            fairness: FairnessPolicy::EqualShare,
         });
         assert_eq!(summary.len(), 3);
         assert_eq!(summary.sessions[0].scheme, "Q-VR");
@@ -608,16 +618,6 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank() {
-        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile_sorted(&sorted, 50.0), 50.0);
-        assert_eq!(percentile_sorted(&sorted, 95.0), 95.0);
-        assert_eq!(percentile_sorted(&sorted, 99.0), 99.0);
-        assert_eq!(percentile_sorted(&sorted, 100.0), 100.0);
-        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
-    }
-
-    #[test]
     #[should_panic(expected = "at least one session")]
     fn empty_fleet_rejected() {
         let _ = Fleet::new(FleetConfig {
@@ -628,6 +628,94 @@ mod tests {
             server_units: 1,
             shared_network: true,
             link_streams: 1,
+            fairness: FairnessPolicy::EqualShare,
         });
+    }
+
+    #[test]
+    fn weighted_fleet_tilts_latency_toward_heavy_tenants() {
+        // Two non-adaptive RemoteOnly tenants (fixed bytes per frame, so no
+        // controller feedback masks the MAC) on one saturated stream. Going
+        // from 1:1 to 4:1 weights must speed up the heavy tenant's remote
+        // chain and slow down the light one's, session-by-session against
+        // its own 1:1 run (same seed, same motion trace). Short run: with
+        // strongly unequal shares the tenants' per-session timelines skew
+        // apart, and after ~10 rounds the slow tenant's far-future pool
+        // frontiers start queueing the fast one (see DESIGN.md §7 on the
+        // round-robin time-skew artifact), which would mask the link tilt.
+        let run = |w0: f64| {
+            Fleet::run(FleetConfig {
+                system: cfg(),
+                sessions: vec![
+                    SessionSpec::new(SchemeKind::RemoteOnly, Benchmark::Hl2H.profile())
+                        .with_share(LinkShare::weighted(w0)),
+                    SessionSpec::new(SchemeKind::RemoteOnly, Benchmark::Hl2H.profile()),
+                ],
+                frames: 8,
+                seed: 17,
+                server_units: 8,
+                shared_network: true,
+                link_streams: 1,
+                fairness: FairnessPolicy::Weighted,
+            })
+        };
+        let rem = |s: &FleetSummary, i: usize| {
+            s.sessions[i]
+                .frames
+                .iter()
+                .map(|f| f.t_remote_ms)
+                .sum::<f64>()
+                / s.sessions[i].frames.len() as f64
+        };
+        let tilted = run(4.0);
+        let flat = run(1.0);
+        assert!(
+            rem(&tilted, 0) < rem(&flat, 0) * 0.9,
+            "4x weight must speed the heavy tenant up: {:.1} vs {:.1} ms",
+            rem(&tilted, 0),
+            rem(&flat, 0)
+        );
+        assert!(
+            rem(&tilted, 1) > rem(&flat, 1) * 1.1,
+            "the light tenant pays for the heavy one: {:.1} vs {:.1} ms",
+            rem(&tilted, 1),
+            rem(&flat, 1)
+        );
+    }
+
+    #[test]
+    fn capped_tenant_sheds_load_via_liwc() {
+        // A hard 20 Mbps cap starves the downlink; that tenant's LIWC must
+        // pull work on-device (bigger fovea, fewer bytes) vs an uncapped
+        // twin in the same fleet position.
+        let run = |share: LinkShare| {
+            Fleet::run(FleetConfig {
+                system: cfg(),
+                sessions: vec![
+                    SessionSpec::new(SchemeKind::Qvr, Benchmark::Hl2H.profile()).with_share(share),
+                    SessionSpec::new(SchemeKind::Qvr, Benchmark::Hl2H.profile()),
+                ],
+                frames: 40,
+                seed: 19,
+                server_units: 2,
+                shared_network: true,
+                link_streams: 2,
+                fairness: FairnessPolicy::Weighted,
+            })
+        };
+        let capped = run(LinkShare::default().with_cap_mbps(20.0));
+        let free = run(LinkShare::default());
+        assert!(
+            capped.sessions[0].mean_tx_bytes() < free.sessions[0].mean_tx_bytes() * 0.9,
+            "capped tenant must ship fewer bytes: {:.0} vs {:.0}",
+            capped.sessions[0].mean_tx_bytes(),
+            free.sessions[0].mean_tx_bytes()
+        );
+        let e1_capped = capped.sessions[0].mean_e1_deg(20).unwrap();
+        let e1_free = free.sessions[0].mean_e1_deg(20).unwrap();
+        assert!(
+            e1_capped > e1_free,
+            "capped tenant's fovea must grow: {e1_capped:.1}° vs {e1_free:.1}°"
+        );
     }
 }

@@ -24,7 +24,11 @@
 //!   steppable frame by frame on private or shared resources.
 //! * [`fleet`] — the multi-tenant session engine: N sessions round-robin on
 //!   one shared server pool and one shared wireless channel, with
-//!   fleet-level tail-latency/FPS/utilisation aggregates.
+//!   fleet-level tail-latency/FPS/utilisation aggregates and pluggable
+//!   link-fairness policies (equal-share / weighted / airtime).
+//! * [`admission`] — SLO admission control: probe-based accept / degrade /
+//!   reject of joining sessions against p95-MTP, FPS-floor, and
+//!   pool-utilization targets.
 //! * [`metrics`] — per-frame records and run summaries (latency breakdowns,
 //!   FPS, transmitted bytes, energy).
 //!
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod f16;
 pub mod fleet;
 pub mod foveation;
@@ -52,6 +57,7 @@ pub mod schemes;
 pub mod session;
 pub mod uca;
 
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
 pub use f16::F16;
 pub use fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 pub use foveation::{FoveationPlan, LayerChannel, RenderGraph, VrsRate};

@@ -152,6 +152,64 @@ impl RunSummary {
     }
 }
 
+/// A latency sample set sorted **once** at construction, serving any number
+/// of nearest-rank percentile queries without re-sorting per call (the
+/// fleet aggregator asks for p50/p95/p99 of the same vector; admission
+/// control asks again per probe).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSamples {
+    sorted: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Sorts the samples (total order, so NaNs cannot poison comparisons).
+    #[must_use]
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(f64::total_cmp);
+        SortedSamples { sorted: samples }
+    }
+
+    /// Nearest-rank percentile, `q` in `[0, 100]`; 0.0 for an empty set.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (q / 100.0 * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (nearest-rank p50).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
@@ -268,5 +326,38 @@ mod tests {
     fn display_mentions_scheme() {
         let s = summary(vec![record(1.0, 1.0, 10.0)], 11.0);
         assert!(s.to_string().contains("test"));
+    }
+
+    #[test]
+    fn sorted_samples_percentiles_on_known_inputs() {
+        // p50/p95/p99 of a fixed 1..=100 vector under nearest-rank, fed in
+        // shuffled order to prove the single up-front sort does its job.
+        let mut values: Vec<f64> = (1..=100).map(f64::from).collect();
+        values.reverse();
+        values.swap(3, 77);
+        let s = SortedSamples::new(values);
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p95(), 95.0);
+        assert_eq!(s.p99(), 99.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sorted_samples_small_and_empty_sets() {
+        let empty = SortedSamples::new(vec![]);
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.p99(), 0.0);
+        assert!(empty.is_empty());
+        let one = SortedSamples::new(vec![7.5]);
+        assert_eq!(one.p50(), 7.5);
+        assert_eq!(one.p95(), 7.5);
+        assert_eq!(one.p99(), 7.5);
+        let five = SortedSamples::new(vec![30.0, 10.0, 50.0, 20.0, 40.0]);
+        assert_eq!(five.p50(), 30.0);
+        assert_eq!(five.p95(), 50.0);
+        assert_eq!(five.p99(), 50.0);
     }
 }

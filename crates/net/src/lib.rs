@@ -7,6 +7,26 @@
 //! 500 Mbps. This crate implements exactly that model, plus the ACK-derived
 //! throughput observability that LIWC's latency predictor reads (Sec. 4.1).
 //!
+//! # Shared links and fairness
+//!
+//! A multi-tenant link arbitrates its budget with a pluggable
+//! [`FairnessPolicy`]. Tenants register a [`LinkShare`] via
+//! [`SharedChannel::join`] and get back a member-bound handle whose
+//! transfers (and ACK observations) resolve through the policy:
+//!
+//! * [`FairnessPolicy::EqualShare`] — the classic MAC: every active member
+//!   time-shares identically (`occupancy / concurrent_streams`). The
+//!   default, and bit-identical to the pre-policy engine.
+//! * [`FairnessPolicy::Weighted`] — byte-fair WFQ: allocated rates are
+//!   proportional to member weights. Each byte a slow-MCS member receives
+//!   costs `1 / mcs_efficiency` airtime, so a cell-edge tenant drags the
+//!   whole cell (the classic 802.11 rate-anomaly).
+//! * [`FairnessPolicy::Airtime`] — airtime-fair: members get *airtime*
+//!   proportional to weight and slow-MCS tenants pay for their own
+//!   modulation rate instead of billing the cell.
+//!
+//! Per-member rate caps apply last in every mode.
+//!
 //! # Example
 //!
 //! ```
@@ -98,6 +118,222 @@ impl fmt::Display for NetworkPreset {
     }
 }
 
+/// How a shared link splits its bandwidth budget between members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FairnessPolicy {
+    /// Equal time-share for every active member (the classic MAC and the
+    /// pre-policy behaviour): each transfer runs at
+    /// `nominal / max(1, occupancy / streams)`. Member weights and MCS
+    /// efficiencies are ignored; per-member caps still clamp.
+    #[default]
+    EqualShare,
+    /// Byte-fair weighted queueing: allocated *byte* rates are proportional
+    /// to member weights. Receiving a byte at a reduced modulation rate
+    /// costs proportionally more airtime, so one slow-MCS member shrinks
+    /// everyone's share (the 802.11 performance anomaly, reproduced on
+    /// purpose as the foil for [`FairnessPolicy::Airtime`]).
+    Weighted,
+    /// Airtime-fair scheduling: members get link *time* proportional to
+    /// weight, and a slow-MCS member's byte rate is discounted by its own
+    /// `mcs_efficiency` instead of being subsidised by the cell.
+    Airtime,
+}
+
+impl FairnessPolicy {
+    /// All policies, default first.
+    #[must_use]
+    pub fn all() -> [FairnessPolicy; 3] {
+        [
+            FairnessPolicy::EqualShare,
+            FairnessPolicy::Weighted,
+            FairnessPolicy::Airtime,
+        ]
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FairnessPolicy::EqualShare => "equal-share",
+            FairnessPolicy::Weighted => "weighted",
+            FairnessPolicy::Airtime => "airtime",
+        }
+    }
+}
+
+impl fmt::Display for FairnessPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One member's claim on a shared link, consumed by the link's
+/// [`FairnessPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkShare {
+    /// Relative share weight, `> 0` and finite. Unit weight is the default;
+    /// under [`FairnessPolicy::EqualShare`] weights are ignored.
+    pub weight: f64,
+    /// Hard cap on this member's allocated downlink rate, Mbps. Applied
+    /// last in every policy mode.
+    pub cap_mbps: Option<f64>,
+    /// Fraction of the nominal PHY rate this station's modulation scheme
+    /// achieves, in `(0, 1]` (1.0 = full-rate MCS near the AP; 0.5 = a
+    /// cell-edge tenant). [`FairnessPolicy::Weighted`] charges the *cell*
+    /// for a low efficiency; [`FairnessPolicy::Airtime`] charges the member.
+    pub mcs_efficiency: f64,
+}
+
+impl Default for LinkShare {
+    fn default() -> Self {
+        LinkShare {
+            weight: 1.0,
+            cap_mbps: None,
+            mcs_efficiency: 1.0,
+        }
+    }
+}
+
+impl LinkShare {
+    /// A share with an explicit weight and defaults elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    #[must_use]
+    pub fn weighted(weight: f64) -> Self {
+        let s = LinkShare {
+            weight,
+            ..LinkShare::default()
+        };
+        s.validate();
+        s
+    }
+
+    /// Returns a copy with a hard downlink rate cap in Mbps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not finite and positive.
+    #[must_use]
+    pub fn with_cap_mbps(mut self, cap: f64) -> Self {
+        self.cap_mbps = Some(cap);
+        self.validate();
+        self
+    }
+
+    /// Returns a copy with an MCS efficiency in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_mcs_efficiency(mut self, eff: f64) -> Self {
+        self.mcs_efficiency = eff;
+        self.validate();
+        self
+    }
+
+    /// Checks the share's invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not finite-positive, the cap (when present)
+    /// is not finite-positive, or the MCS efficiency is outside `(0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.weight.is_finite() && self.weight > 0.0,
+            "link share weight must be finite and positive"
+        );
+        if let Some(cap) = self.cap_mbps {
+            assert!(
+                cap.is_finite() && cap > 0.0,
+                "link rate cap must be finite and positive"
+            );
+        }
+        assert!(
+            self.mcs_efficiency > 0.0 && self.mcs_efficiency <= 1.0,
+            "MCS efficiency must be in (0, 1]"
+        );
+    }
+}
+
+/// Resolves every member's allocated downlink rate (Mbps, pre-jitter) on a
+/// link with `nominal_mbps` per-stream bandwidth and `streams` concurrent
+/// full-rate streams (MU-MIMO/OFDMA spatial capacity).
+///
+/// The link's aggregate budget is `nominal · min(members, streams)`
+/// stream-seconds of airtime per second; no member can exceed the
+/// single-stream rate `nominal · mcs_efficiency`, and per-member caps apply
+/// last. This is a pure function so fairness invariants (non-negativity,
+/// capacity conservation, weight proportionality, cap respect) can be
+/// property-tested in isolation; the stateful [`NetworkChannel`] resolves
+/// every member transfer through it.
+#[must_use]
+pub fn allocate_mbps(
+    policy: FairnessPolicy,
+    nominal_mbps: f64,
+    streams: usize,
+    members: &[LinkShare],
+) -> Vec<f64> {
+    let n = members.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = streams.max(1);
+    // Stream-slots the membership can actually occupy.
+    let slots = n.min(k) as f64;
+    let clamp_cap = |rate: f64, m: &LinkShare| m.cap_mbps.map_or(rate, |c| rate.min(c));
+    match policy {
+        FairnessPolicy::EqualShare => {
+            let share = nominal_mbps / (n as f64 / k as f64).max(1.0);
+            members.iter().map(|m| clamp_cap(share, m)).collect()
+        }
+        FairnessPolicy::Weighted => {
+            // Byte-fair: equalised bytes-per-weight, with each byte costing
+            // `1 / mcs_efficiency` airtime out of the shared `slots` budget.
+            let airtime_weight: f64 = members.iter().map(|m| m.weight / m.mcs_efficiency).sum();
+            members
+                .iter()
+                .map(|m| {
+                    let r = (slots * nominal_mbps * m.weight / airtime_weight)
+                        .min(nominal_mbps * m.mcs_efficiency);
+                    clamp_cap(r, m)
+                })
+                .collect()
+        }
+        FairnessPolicy::Airtime => {
+            // Airtime-fair: weight buys link *time*; the member's own MCS
+            // converts time to bytes.
+            let total_weight: f64 = members.iter().map(|m| m.weight).sum();
+            members
+                .iter()
+                .map(|m| {
+                    let airtime = (slots * m.weight / total_weight).min(1.0);
+                    clamp_cap(nominal_mbps * m.mcs_efficiency * airtime, m)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Per-member state on a shared channel: the registered share, a
+/// member-local ACK monitor (each tenant observes its *own* ACK stream),
+/// and the allocation cache. Allocations only change on join / policy /
+/// share / stream mutations — exactly the `reanchor` call sites — so the
+/// per-transfer hot path reads the cache instead of re-running the
+/// allocator over every member.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Member {
+    share: LinkShare,
+    observed_mbps: f64,
+    /// Policy-allocated downlink rate, Mbps (pre-jitter), caps applied.
+    allocated_mbps: f64,
+    /// The same allocation with per-member caps ignored — the basis for
+    /// the uplink share fraction (caps are downlink-only).
+    allocated_uncapped_mbps: f64,
+}
+
 /// A stateful, seeded channel with SNR-derived throughput jitter and
 /// ACK-based throughput observation.
 #[derive(Debug, Clone)]
@@ -118,6 +354,11 @@ pub struct NetworkChannel {
     /// spatial capacity). Sharing degrades rates only once `occupancy`
     /// exceeds this; the default of 1 is classic single-stream sharing.
     streams: usize,
+    /// How the budget splits between registered members.
+    policy: FairnessPolicy,
+    /// Registered members (weights, caps, MCS, per-member ACK monitors).
+    /// Empty for anonymous sharing driven by [`NetworkChannel::set_occupancy`].
+    members: Vec<Member>,
 }
 
 impl NetworkChannel {
@@ -144,6 +385,8 @@ impl NetworkChannel {
             transfers: 0,
             occupancy: 1,
             streams: 1,
+            policy: FairnessPolicy::EqualShare,
+            members: Vec::new(),
         }
     }
 
@@ -158,13 +401,133 @@ impl NetworkChannel {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero, or if members have already joined (their
+    /// count *is* the occupancy then — see [`NetworkChannel::join`]).
     pub fn set_occupancy(&mut self, n: usize) {
         assert!(n > 0, "occupancy must be at least 1");
+        assert!(
+            self.members.is_empty(),
+            "occupancy is derived from membership once members have joined"
+        );
         self.occupancy = n;
         // Re-anchor the ACK estimate so planning reflects the new share
         // immediately instead of after the EMA warms up.
         self.observed_mbps = self.preset.download_mbps() / self.contention_divisor();
+    }
+
+    /// Sets the fairness policy arbitrating this link's budget.
+    pub fn set_policy(&mut self, policy: FairnessPolicy) {
+        self.policy = policy;
+        self.reanchor();
+    }
+
+    /// The fairness policy in force.
+    #[must_use]
+    pub fn policy(&self) -> FairnessPolicy {
+        self.policy
+    }
+
+    /// Registers a member with the given share and returns its id. The
+    /// link's occupancy becomes the member count, and every member's ACK
+    /// monitor is re-anchored to its new allocated rate (shares shift when
+    /// the membership grows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is invalid (see [`LinkShare::validate`]).
+    pub fn join(&mut self, share: LinkShare) -> usize {
+        share.validate();
+        self.members.push(Member {
+            share,
+            observed_mbps: 0.0,
+            allocated_mbps: 0.0,
+            allocated_uncapped_mbps: 0.0,
+        });
+        self.occupancy = self.members.len();
+        self.reanchor();
+        self.members.len() - 1
+    }
+
+    /// Number of registered members.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The share member `id` registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered member.
+    #[must_use]
+    pub fn member_share(&self, id: usize) -> LinkShare {
+        self.members[id].share
+    }
+
+    /// Replaces member `id`'s share (admission-control degrade/upgrade) and
+    /// re-anchors every member's ACK monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered member or the share is invalid.
+    pub fn set_member_share(&mut self, id: usize, share: LinkShare) {
+        share.validate();
+        self.members[id].share = share;
+        self.reanchor();
+    }
+
+    /// Recomputes the allocation cache and re-anchors the channel-level
+    /// and per-member ACK estimates to the policy-allocated rates, so
+    /// planning reflects a membership/policy/stream change immediately
+    /// instead of after the EMA warms up. Every mutation that can move an
+    /// allocation funnels through here; the per-transfer hot path only
+    /// reads the cache.
+    fn reanchor(&mut self) {
+        self.observed_mbps = self.preset.download_mbps() / self.contention_divisor();
+        let shares: Vec<LinkShare> = self.members.iter().map(|m| m.share).collect();
+        let capped = allocate_mbps(
+            self.policy,
+            self.preset.download_mbps(),
+            self.streams,
+            &shares,
+        );
+        // Caps are downlink-only; the uplink mirrors the cap-free share.
+        let uncapped_shares: Vec<LinkShare> = shares
+            .iter()
+            .map(|s| LinkShare {
+                cap_mbps: None,
+                ..*s
+            })
+            .collect();
+        let uncapped = allocate_mbps(
+            self.policy,
+            self.preset.download_mbps(),
+            self.streams,
+            &uncapped_shares,
+        );
+        for ((member, rate), base) in self.members.iter_mut().zip(capped).zip(uncapped) {
+            member.observed_mbps = rate;
+            member.allocated_mbps = rate;
+            member.allocated_uncapped_mbps = base;
+        }
+    }
+
+    /// The downlink rate (Mbps, pre-jitter) the fairness policy allocates:
+    /// for a registered member, its policy share; anonymously (`None`), the
+    /// plain equal time-share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not a registered member id.
+    #[must_use]
+    pub fn allocated_download_mbps(&self, member: Option<usize>) -> f64 {
+        match member {
+            None => self.preset.download_mbps() / self.contention_divisor(),
+            Some(id) => {
+                assert!(id < self.members.len(), "unknown link member {id}");
+                self.members[id].allocated_mbps
+            }
+        }
     }
 
     /// Sets the number of concurrent full-rate streams the link serves
@@ -179,7 +542,7 @@ impl NetworkChannel {
     pub fn set_concurrent_streams(&mut self, k: usize) {
         assert!(k > 0, "a link needs at least one stream");
         self.streams = k;
-        self.observed_mbps = self.preset.download_mbps() / self.contention_divisor();
+        self.reanchor();
     }
 
     /// Concurrent sessions sharing this channel.
@@ -236,28 +599,82 @@ impl NetworkChannel {
         (1.0 - sigma * (0.5 + 0.8 * g).abs()).clamp(0.3, 1.0)
     }
 
+    /// This transfer's effective downlink rate for `member` after applying
+    /// the fairness policy and the sampled jitter `factor`.
+    ///
+    /// The anonymous equal-share arm keeps the pre-policy expression
+    /// verbatim (multiply-then-divide) so the default mode stays
+    /// bit-identical to the original engine.
+    fn effective_download_mbps(&self, member: Option<usize>, factor: f64) -> f64 {
+        match (self.policy, member) {
+            (FairnessPolicy::EqualShare, m) => {
+                let mut mbps = self.preset.download_mbps() * factor / self.contention_divisor();
+                if let Some(cap) = m.and_then(|id| self.members[id].share.cap_mbps) {
+                    mbps = mbps.min(cap * factor);
+                }
+                mbps
+            }
+            (_, None) => self.preset.download_mbps() * factor / self.contention_divisor(),
+            (_, Some(id)) => self.allocated_download_mbps(Some(id)) * factor,
+        }
+    }
+
     /// Downloads `bytes` over the channel; returns latency in ms and updates
     /// the ACK-observed throughput estimate.
     pub fn download_ms(&mut self, bytes: f64) -> f64 {
-        self.preset.base_latency_ms() + self.transfer_only_ms(bytes)
+        self.download_ms_for(None, bytes)
+    }
+
+    /// [`NetworkChannel::download_ms`] as a registered member (or
+    /// anonymously with `None`): the transfer's rate resolves through the
+    /// fairness policy for that member.
+    pub fn download_ms_for(&mut self, member: Option<usize>, bytes: f64) -> f64 {
+        self.preset.base_latency_ms() + self.transfer_only_ms_for(member, bytes)
     }
 
     /// Pure transfer time for `bytes` with throughput jitter but **without**
     /// the base propagation latency — for follow-on chunks of an already
     /// open stream (the connection pays its RTT once).
     pub fn transfer_only_ms(&mut self, bytes: f64) -> f64 {
+        self.transfer_only_ms_for(None, bytes)
+    }
+
+    /// [`NetworkChannel::transfer_only_ms`] as a registered member.
+    pub fn transfer_only_ms_for(&mut self, member: Option<usize>, bytes: f64) -> f64 {
         let factor = self.throughput_factor();
-        let mbps = self.preset.download_mbps() * factor / self.contention_divisor();
+        let mbps = self.effective_download_mbps(member, factor);
         let transfer = bytes.max(0.0) * 8.0 / (mbps * 1_000.0);
         self.observed_mbps = (1.0 - self.alpha) * self.observed_mbps + self.alpha * mbps;
+        if let Some(id) = member {
+            let m = &mut self.members[id];
+            m.observed_mbps = (1.0 - self.alpha) * m.observed_mbps + self.alpha * mbps;
+        }
         self.transfers += 1;
         transfer
     }
 
     /// Uploads `bytes` (pose/input stream); returns latency in ms.
     pub fn upload_ms(&mut self, bytes: f64) -> f64 {
+        self.upload_ms_for(None, bytes)
+    }
+
+    /// [`NetworkChannel::upload_ms`] as a registered member: the uplink
+    /// mirrors the member's downlink share *fraction* (weights and MCS
+    /// shape both directions; caps are downlink-only).
+    pub fn upload_ms_for(&mut self, member: Option<usize>, bytes: f64) -> f64 {
         let factor = self.throughput_factor();
-        let mbps = self.preset.upload_mbps() * factor / self.contention_divisor();
+        let mbps = match (self.policy, member) {
+            (FairnessPolicy::EqualShare, _) | (_, None) => {
+                self.preset.upload_mbps() * factor / self.contention_divisor()
+            }
+            (_, Some(id)) => {
+                // Cap-free basis: a downlink rate cap must not throttle the
+                // (tiny) pose/input uplink.
+                let fraction =
+                    self.members[id].allocated_uncapped_mbps / self.preset.download_mbps();
+                self.preset.upload_mbps() * fraction * factor
+            }
+        };
         self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (mbps * 1_000.0)
     }
 
@@ -270,11 +687,36 @@ impl NetworkChannel {
         self.observed_mbps
     }
 
+    /// The ACK estimate a member's own monitor sees. Under
+    /// [`FairnessPolicy::EqualShare`] every station observes the common
+    /// time-share, so this is the channel-level estimate (bit-identical to
+    /// the pre-policy engine); under weighted/airtime policies each member
+    /// tracks its own allocated rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not a registered member id.
+    #[must_use]
+    pub fn observed_download_mbps_for(&self, member: Option<usize>) -> f64 {
+        match (self.policy, member) {
+            (FairnessPolicy::EqualShare, _) | (_, None) => self.observed_mbps,
+            (_, Some(id)) => self.members[id].observed_mbps,
+        }
+    }
+
     /// Deterministic latency estimate (no noise sampling, no state change)
     /// for planning: `bytes` at the observed throughput.
     #[must_use]
     pub fn predict_download_ms(&self, bytes: f64) -> f64 {
-        self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (self.observed_mbps * 1_000.0)
+        self.predict_download_ms_for(None, bytes)
+    }
+
+    /// [`NetworkChannel::predict_download_ms`] using a member's own ACK
+    /// estimate.
+    #[must_use]
+    pub fn predict_download_ms_for(&self, member: Option<usize>, bytes: f64) -> f64 {
+        let observed = self.observed_download_mbps_for(member);
+        self.preset.base_latency_ms() + bytes.max(0.0) * 8.0 / (observed * 1_000.0)
     }
 }
 
@@ -283,81 +725,158 @@ impl NetworkChannel {
 /// mode). Mirrors the channel API; all methods take `&self` and borrow
 /// internally. Sampling order across sharers is whatever order they call
 /// in — deterministic under deterministic session scheduling.
+///
+/// A handle is either **unbound** (anonymous equal time-share, the
+/// [`SharedChannel::new`] default) or **member-bound** (returned by
+/// [`SharedChannel::join`]): a bound handle's transfers, ACK observations,
+/// and predictions all resolve through the link's [`FairnessPolicy`] for
+/// that member. Cloning preserves the binding.
 #[derive(Debug, Clone)]
-pub struct SharedChannel(Rc<RefCell<NetworkChannel>>);
+pub struct SharedChannel {
+    channel: Rc<RefCell<NetworkChannel>>,
+    member: Option<usize>,
+}
 
 impl SharedChannel {
-    /// Wraps a channel in a shareable handle.
+    /// Wraps a channel in a shareable, unbound handle.
     #[must_use]
     pub fn new(channel: NetworkChannel) -> Self {
-        SharedChannel(Rc::new(RefCell::new(channel)))
+        SharedChannel {
+            channel: Rc::new(RefCell::new(channel)),
+            member: None,
+        }
+    }
+
+    /// Registers a member with the link (see [`NetworkChannel::join`]) and
+    /// returns a handle bound to it, aliasing the same budget.
+    #[must_use]
+    pub fn join(&self, share: LinkShare) -> SharedChannel {
+        let member = self.channel.borrow_mut().join(share);
+        SharedChannel {
+            channel: Rc::clone(&self.channel),
+            member: Some(member),
+        }
+    }
+
+    /// The member this handle is bound to, if any.
+    #[must_use]
+    pub fn member(&self) -> Option<usize> {
+        self.member
+    }
+
+    /// See [`NetworkChannel::set_policy`].
+    pub fn set_policy(&self, policy: FairnessPolicy) {
+        self.channel.borrow_mut().set_policy(policy);
+    }
+
+    /// See [`NetworkChannel::policy`].
+    #[must_use]
+    pub fn policy(&self) -> FairnessPolicy {
+        self.channel.borrow().policy()
+    }
+
+    /// See [`NetworkChannel::members`].
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.channel.borrow().members()
+    }
+
+    /// This handle's allocated downlink rate (Mbps, pre-jitter) under the
+    /// link's fairness policy.
+    #[must_use]
+    pub fn allocated_download_mbps(&self) -> f64 {
+        self.channel.borrow().allocated_download_mbps(self.member)
+    }
+
+    /// Replaces this handle's member share (see
+    /// [`NetworkChannel::set_member_share`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unbound.
+    pub fn set_share(&self, share: LinkShare) {
+        let member = self
+            .member
+            .expect("cannot set the share of an unbound handle");
+        self.channel.borrow_mut().set_member_share(member, share);
     }
 
     /// See [`NetworkChannel::set_occupancy`].
     pub fn set_occupancy(&self, n: usize) {
-        self.0.borrow_mut().set_occupancy(n);
+        self.channel.borrow_mut().set_occupancy(n);
     }
 
     /// See [`NetworkChannel::occupancy`].
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.0.borrow().occupancy()
+        self.channel.borrow().occupancy()
     }
 
     /// See [`NetworkChannel::set_concurrent_streams`].
     pub fn set_concurrent_streams(&self, k: usize) {
-        self.0.borrow_mut().set_concurrent_streams(k);
+        self.channel.borrow_mut().set_concurrent_streams(k);
     }
 
     /// See [`NetworkChannel::concurrent_streams`].
     #[must_use]
     pub fn concurrent_streams(&self) -> usize {
-        self.0.borrow().concurrent_streams()
+        self.channel.borrow().concurrent_streams()
     }
 
     /// See [`NetworkChannel::preset`].
     #[must_use]
     pub fn preset(&self) -> NetworkPreset {
-        self.0.borrow().preset()
+        self.channel.borrow().preset()
     }
 
     /// See [`NetworkChannel::transfers`].
     #[must_use]
     pub fn transfers(&self) -> u64 {
-        self.0.borrow().transfers()
+        self.channel.borrow().transfers()
     }
 
-    /// See [`NetworkChannel::download_ms`].
+    /// See [`NetworkChannel::download_ms_for`] (as this handle's member).
     pub fn download_ms(&self, bytes: f64) -> f64 {
-        self.0.borrow_mut().download_ms(bytes)
+        self.channel
+            .borrow_mut()
+            .download_ms_for(self.member, bytes)
     }
 
-    /// See [`NetworkChannel::transfer_only_ms`].
+    /// See [`NetworkChannel::transfer_only_ms_for`] (as this handle's
+    /// member).
     pub fn transfer_only_ms(&self, bytes: f64) -> f64 {
-        self.0.borrow_mut().transfer_only_ms(bytes)
+        self.channel
+            .borrow_mut()
+            .transfer_only_ms_for(self.member, bytes)
     }
 
-    /// See [`NetworkChannel::upload_ms`].
+    /// See [`NetworkChannel::upload_ms_for`] (as this handle's member).
     pub fn upload_ms(&self, bytes: f64) -> f64 {
-        self.0.borrow_mut().upload_ms(bytes)
+        self.channel.borrow_mut().upload_ms_for(self.member, bytes)
     }
 
-    /// See [`NetworkChannel::observed_download_mbps`].
+    /// See [`NetworkChannel::observed_download_mbps_for`] (as this handle's
+    /// member).
     #[must_use]
     pub fn observed_download_mbps(&self) -> f64 {
-        self.0.borrow().observed_download_mbps()
+        self.channel
+            .borrow()
+            .observed_download_mbps_for(self.member)
     }
 
-    /// See [`NetworkChannel::predict_download_ms`].
+    /// See [`NetworkChannel::predict_download_ms_for`] (as this handle's
+    /// member).
     #[must_use]
     pub fn predict_download_ms(&self, bytes: f64) -> f64 {
-        self.0.borrow().predict_download_ms(bytes)
+        self.channel
+            .borrow()
+            .predict_download_ms_for(self.member, bytes)
     }
 }
 
 impl fmt::Display for SharedChannel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.borrow().fmt(f)
+        self.channel.borrow().fmt(f)
     }
 }
 
@@ -591,6 +1110,226 @@ mod tests {
     fn zero_streams_rejected() {
         let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 18);
         ch.set_concurrent_streams(0);
+    }
+
+    #[test]
+    fn equal_share_members_match_anonymous_sharing_exactly() {
+        // The golden-compat contract at channel level: a member-bound
+        // transfer under EqualShare with a default share draws the same
+        // bits as the pre-policy anonymous path.
+        let mut legacy = NetworkChannel::new(NetworkPreset::WiFi, 21);
+        legacy.set_concurrent_streams(2);
+        legacy.set_occupancy(3);
+        let mut member = NetworkChannel::new(NetworkPreset::WiFi, 21);
+        member.set_concurrent_streams(2);
+        let ids: Vec<usize> = (0..3).map(|_| member.join(LinkShare::default())).collect();
+        assert_eq!(member.occupancy(), 3);
+        assert_eq!(
+            legacy.observed_download_mbps(),
+            member.observed_download_mbps_for(Some(ids[0]))
+        );
+        for i in 0..30 {
+            let id = ids[i % 3];
+            assert_eq!(
+                legacy.transfer_only_ms(300_000.0),
+                member.transfer_only_ms_for(Some(id), 300_000.0)
+            );
+            assert_eq!(
+                legacy.upload_ms(2_000.0),
+                member.upload_ms_for(Some(id), 2_000.0)
+            );
+            assert_eq!(
+                legacy.observed_download_mbps(),
+                member.observed_download_mbps_for(Some(id))
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_rates_are_proportional_to_weights() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 22);
+        ch.set_policy(FairnessPolicy::Weighted);
+        let heavy = ch.join(LinkShare::weighted(3.0));
+        let light = ch.join(LinkShare::weighted(1.0));
+        // 2 members on 1 stream, weights 3:1 over the 200 Mbps budget.
+        let h = ch.allocated_download_mbps(Some(heavy));
+        let l = ch.allocated_download_mbps(Some(light));
+        assert!((h / l - 3.0).abs() < 1e-9, "3:1 weights, got {h}/{l}");
+        assert!((h + l - 200.0).abs() < 1e-9, "shares must fill the budget");
+    }
+
+    #[test]
+    fn caps_clamp_in_every_mode() {
+        for policy in FairnessPolicy::all() {
+            let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 23);
+            ch.set_policy(policy);
+            let capped = ch.join(LinkShare::default().with_cap_mbps(10.0));
+            let free = ch.join(LinkShare::default());
+            assert!(
+                ch.allocated_download_mbps(Some(capped)) <= 10.0 + 1e-12,
+                "{policy}: cap exceeded"
+            );
+            assert!(ch.allocated_download_mbps(Some(free)) > 10.0);
+            // Transfer time reflects the cap: ~80x slower than the free
+            // member's full share would be at 10 vs ~100 Mbps.
+            let t_capped = ch.transfer_only_ms_for(Some(capped), 100_000.0);
+            let t_free = ch.transfer_only_ms_for(Some(free), 100_000.0);
+            assert!(
+                t_capped > 2.0 * t_free,
+                "{policy}: capped member must run much slower"
+            );
+        }
+    }
+
+    #[test]
+    fn download_caps_do_not_throttle_the_uplink() {
+        // A hard 5 Mbps downlink cap must leave the (tiny) pose uplink at
+        // the member's cap-free share — caps are downlink-only.
+        let mean_upload = |cap: Option<f64>| {
+            let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 31);
+            ch.set_policy(FairnessPolicy::Weighted);
+            let share = cap.map_or(LinkShare::default(), |c| {
+                LinkShare::default().with_cap_mbps(c)
+            });
+            let capped = ch.join(share);
+            let _other = ch.join(LinkShare::default());
+            (0..50)
+                .map(|_| ch.upload_ms_for(Some(capped), 2_048.0))
+                .sum::<f64>()
+                / 50.0
+        };
+        let with_cap = mean_upload(Some(5.0));
+        let without = mean_upload(None);
+        assert!(
+            (with_cap / without - 1.0).abs() < 0.05,
+            "a downlink cap must not slow uploads: {with_cap:.3} vs {without:.3} ms"
+        );
+    }
+
+    #[test]
+    fn airtime_charges_the_slow_station_weighted_charges_the_cell() {
+        // One full-rate member + one half-rate (cell-edge) member. Byte-fair
+        // weighted queueing drags the fast member below its fair half;
+        // airtime fairness preserves the fast member's half and halves the
+        // slow one's bytes.
+        let rate_of_fast = |policy: FairnessPolicy| {
+            let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 24);
+            ch.set_policy(policy);
+            let fast = ch.join(LinkShare::default());
+            let _slow = ch.join(LinkShare::default().with_mcs_efficiency(0.5));
+            ch.allocated_download_mbps(Some(fast))
+        };
+        let fair_half = 100.0;
+        assert!(
+            rate_of_fast(FairnessPolicy::Weighted) < 0.75 * fair_half,
+            "byte-fairness must tax the fast member for the slow one"
+        );
+        assert!(
+            (rate_of_fast(FairnessPolicy::Airtime) - fair_half).abs() < 1e-9,
+            "airtime fairness must not tax the fast member"
+        );
+    }
+
+    #[test]
+    fn member_ack_monitor_tracks_its_own_share() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 25);
+        ch.set_policy(FairnessPolicy::Weighted);
+        let heavy = ch.join(LinkShare::weighted(4.0));
+        let light = ch.join(LinkShare::weighted(1.0));
+        for _ in 0..40 {
+            ch.transfer_only_ms_for(Some(heavy), 200_000.0);
+            ch.transfer_only_ms_for(Some(light), 200_000.0);
+        }
+        let h = ch.observed_download_mbps_for(Some(heavy));
+        let l = ch.observed_download_mbps_for(Some(light));
+        assert!(
+            h > 2.5 * l,
+            "heavy member must observe a much larger share: {h} vs {l} Mbps"
+        );
+    }
+
+    #[test]
+    fn joining_members_drives_occupancy() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 26);
+        assert_eq!(ch.members(), 0);
+        let a = ch.join(LinkShare::default());
+        let b = ch.join(LinkShare::default());
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ch.members(), 2);
+        assert_eq!(ch.occupancy(), 2);
+        assert_eq!(ch.member_share(b), LinkShare::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "derived from membership")]
+    fn manual_occupancy_rejected_after_joins() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 27);
+        ch.join(LinkShare::default());
+        ch.set_occupancy(4);
+    }
+
+    #[test]
+    fn set_member_share_reanchors_the_allocation() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 28);
+        ch.set_policy(FairnessPolicy::Weighted);
+        let a = ch.join(LinkShare::default());
+        let _b = ch.join(LinkShare::default());
+        assert!((ch.allocated_download_mbps(Some(a)) - 100.0).abs() < 1e-9);
+        ch.set_member_share(a, LinkShare::weighted(1.0).with_cap_mbps(25.0));
+        assert!((ch.allocated_download_mbps(Some(a)) - 25.0).abs() < 1e-9);
+        assert!((ch.observed_download_mbps_for(Some(a)) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocate_mbps_empty_membership_is_empty() {
+        assert!(allocate_mbps(FairnessPolicy::Weighted, 200.0, 4, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be finite and positive")]
+    fn invalid_share_rejected_at_join() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 29);
+        ch.join(LinkShare::weighted(1.0));
+        ch.set_member_share(
+            0,
+            LinkShare {
+                weight: 0.0,
+                cap_mbps: None,
+                mcs_efficiency: 1.0,
+            },
+        );
+    }
+
+    #[test]
+    fn bound_handles_resolve_their_member() {
+        let base = SharedChannel::new(NetworkChannel::new(NetworkPreset::WiFi, 30));
+        base.set_policy(FairnessPolicy::Weighted);
+        assert_eq!(base.policy(), FairnessPolicy::Weighted);
+        let heavy = base.join(LinkShare::weighted(3.0));
+        let light = base.join(LinkShare::weighted(1.0));
+        assert_eq!(base.member(), None);
+        assert_eq!(heavy.member(), Some(0));
+        assert_eq!(light.member(), Some(1));
+        assert_eq!(base.members(), 2);
+        let h = heavy.allocated_download_mbps();
+        let l = light.allocated_download_mbps();
+        assert!((h / l - 3.0).abs() < 1e-9);
+        // Transfers through either handle debit the one shared budget.
+        heavy.download_ms(10_000.0);
+        light.download_ms(10_000.0);
+        assert_eq!(base.transfers(), 2);
+        // Degrading through the handle re-resolves immediately.
+        light.set_share(LinkShare::weighted(1.0).with_cap_mbps(5.0));
+        assert!((light.allocated_download_mbps() - 5.0).abs() < 1e-9);
+        assert!(light.predict_download_ms(10_000.0) > heavy.predict_download_ms(10_000.0));
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(FairnessPolicy::EqualShare.to_string(), "equal-share");
+        assert_eq!(FairnessPolicy::Weighted.to_string(), "weighted");
+        assert_eq!(FairnessPolicy::Airtime.to_string(), "airtime");
+        assert_eq!(FairnessPolicy::default(), FairnessPolicy::EqualShare);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the shared-link fairness invariants, over random
+//! occupancy/weight/cap/MCS vectors (vendored `proptest` shim; raise the
+//! case count with `QVR_PROPTEST_CASES`, as the release CI job does).
+//!
+//! The invariants locked down here are what Q-VR's LIWC controllers rely
+//! on fleet-wide: allocated rates are non-negative and finite, the link
+//! never hands out more than its aggregate capacity once oversubscribed,
+//! weighted shares are proportional to weights while unclamped, and
+//! per-member caps are never exceeded in any mode.
+
+use proptest::prelude::*;
+use qvr_net::{allocate_mbps, FairnessPolicy, LinkShare};
+
+/// Builds a valid membership from raw generated vectors, truncated to `n`.
+fn members(n: usize, weights: &[f64], cap_raw: &[f64], effs: &[f64]) -> Vec<LinkShare> {
+    (0..n)
+        .map(|i| LinkShare {
+            weight: weights[i],
+            // Map the raw draw onto "usually uncapped, sometimes capped":
+            // draws above 300 mean no cap, the rest cap in [1, 301) Mbps.
+            cap_mbps: (cap_raw[i] <= 300.0).then_some(cap_raw[i].max(1.0)),
+            mcs_efficiency: effs[i],
+        })
+        .collect()
+}
+
+/// Max members any generated case uses (generated vectors have this length).
+const MAX_N: usize = 24;
+
+proptest! {
+    #[test]
+    fn rates_are_nonnegative_finite_and_bounded_by_nominal(
+        n in 1usize..MAX_N,
+        streams in 1usize..12,
+        nominal in 10.0f64..1_000.0,
+        weights in proptest::collection::vec(0.05f64..20.0, MAX_N),
+        cap_raw in proptest::collection::vec(0.0f64..600.0, MAX_N),
+        effs in proptest::collection::vec(0.05f64..1.0, MAX_N),
+    ) {
+        let shares = members(n, &weights, &cap_raw, &effs);
+        for policy in FairnessPolicy::all() {
+            let rates = allocate_mbps(policy, nominal, streams, &shares);
+            prop_assert_eq!(rates.len(), n);
+            for (rate, share) in rates.iter().zip(&shares) {
+                prop_assert!(rate.is_finite(), "{policy}: rate must be finite");
+                prop_assert!(*rate >= 0.0, "{policy}: rate must be non-negative");
+                prop_assert!(
+                    *rate <= nominal + 1e-9,
+                    "{policy}: no member can beat the single-stream rate"
+                );
+                if policy == FairnessPolicy::Airtime {
+                    prop_assert!(
+                        *rate <= nominal * share.mcs_efficiency + 1e-9,
+                        "airtime: a station cannot beat its own MCS rate"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_links_never_allocate_past_capacity(
+        n in 1usize..MAX_N,
+        streams in 1usize..12,
+        nominal in 10.0f64..1_000.0,
+        weights in proptest::collection::vec(0.05f64..20.0, MAX_N),
+        cap_raw in proptest::collection::vec(0.0f64..600.0, MAX_N),
+        effs in proptest::collection::vec(0.05f64..1.0, MAX_N),
+    ) {
+        let shares = members(n, &weights, &cap_raw, &effs);
+        // Aggregate capacity: `streams` full-rate spatial streams, of which
+        // the membership can occupy at most `n`.
+        let capacity = nominal * streams.min(n) as f64;
+        for policy in FairnessPolicy::all() {
+            let sum: f64 = allocate_mbps(policy, nominal, streams, &shares)
+                .iter()
+                .sum();
+            prop_assert!(
+                sum <= capacity * (1.0 + 1e-12),
+                "{policy}: allocated {sum} Mbps exceeds capacity {capacity} Mbps \
+                 (n={n}, streams={streams})"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_shares_are_proportional_while_unclamped(
+        n in 2usize..MAX_N,
+        streams in 1usize..12,
+        nominal in 10.0f64..1_000.0,
+        weights in proptest::collection::vec(0.05f64..20.0, MAX_N),
+        cap_raw in proptest::collection::vec(0.0f64..600.0, MAX_N),
+        effs in proptest::collection::vec(0.05f64..1.0, MAX_N),
+    ) {
+        let shares = members(n, &weights, &cap_raw, &effs);
+        let rates = allocate_mbps(FairnessPolicy::Weighted, nominal, streams, &shares);
+        // Proportionality must hold between members whose allocation is not
+        // clamped by their MCS ceiling or their cap.
+        let unclamped: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let ceiling = shares[i]
+                    .cap_mbps
+                    .map_or(nominal * shares[i].mcs_efficiency, |c| {
+                        c.min(nominal * shares[i].mcs_efficiency)
+                    });
+                rates[i] < ceiling * (1.0 - 1e-9)
+            })
+            .collect();
+        for pair in unclamped.windows(2) {
+            let (i, j) = (pair[0], pair[1]);
+            let per_weight_i = rates[i] / shares[i].weight;
+            let per_weight_j = rates[j] / shares[j].weight;
+            prop_assert!(
+                (per_weight_i - per_weight_j).abs() <= 1e-9 * per_weight_i.max(per_weight_j),
+                "weighted: unclamped members must get equal rate-per-weight, \
+                 got {per_weight_i} vs {per_weight_j}"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_are_never_exceeded(
+        n in 1usize..MAX_N,
+        streams in 1usize..12,
+        nominal in 10.0f64..1_000.0,
+        weights in proptest::collection::vec(0.05f64..20.0, MAX_N),
+        cap_raw in proptest::collection::vec(0.0f64..300.0, MAX_N),
+        effs in proptest::collection::vec(0.05f64..1.0, MAX_N),
+    ) {
+        // cap_raw drawn entirely below 300: every member is capped.
+        let shares = members(n, &weights, &cap_raw, &effs);
+        for policy in FairnessPolicy::all() {
+            let rates = allocate_mbps(policy, nominal, streams, &shares);
+            for (rate, share) in rates.iter().zip(&shares) {
+                let cap = share.cap_mbps.expect("every member is capped here");
+                prop_assert!(
+                    *rate <= cap * (1.0 + 1e-12),
+                    "{policy}: rate {rate} exceeds cap {cap}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_members_reduce_every_policy_to_equal_share(
+        n in 1usize..MAX_N,
+        streams in 1usize..12,
+        nominal in 10.0f64..1_000.0,
+    ) {
+        // With unit weights, full-rate MCS and no caps, all three policies
+        // agree with the classic `occupancy / streams` time-share.
+        let shares = vec![LinkShare::default(); n];
+        let legacy = nominal / (n as f64 / streams as f64).max(1.0);
+        for policy in FairnessPolicy::all() {
+            for rate in allocate_mbps(policy, nominal, streams, &shares) {
+                prop_assert!(
+                    (rate - legacy).abs() <= 1e-9 * legacy,
+                    "{policy}: unit members must see the legacy share \
+                     ({rate} vs {legacy} Mbps)"
+                );
+            }
+        }
+    }
+}

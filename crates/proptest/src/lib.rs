@@ -6,6 +6,9 @@
 //! cannot be fetched. This shim runs each property over a fixed number of
 //! deterministically generated cases (seeded from the test name), with no
 //! shrinking — a failing case panics with its assertion message directly.
+//! The per-property case count defaults to [`test_runner::CASES`] and can
+//! be raised via the `QVR_PROPTEST_CASES` environment variable (the
+//! release CI job runs every property suite at an elevated count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -116,8 +119,21 @@ pub mod collection {
 
 /// Deterministic case generation for the [`proptest!`] macro.
 pub mod test_runner {
-    /// Cases run per property.
+    /// Default cases run per property (the debug-mode budget).
     pub const CASES: u32 = 64;
+
+    /// Cases to run per property: the `QVR_PROPTEST_CASES` environment
+    /// variable when set to a positive integer, else [`CASES`]. The release
+    /// CI job elevates it so slow debug builds don't silently shrink
+    /// property coverage.
+    #[must_use]
+    pub fn cases() -> u32 {
+        std::env::var("QVR_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|n| *n > 0)
+            .unwrap_or(CASES)
+    }
 
     use rand::rngs::StdRng;
     use rand::{RngCore, SeedableRng};
@@ -168,7 +184,7 @@ macro_rules! proptest {
             fn $name() {
                 let mut rng =
                     $crate::test_runner::TestRng::deterministic(stringify!($name));
-                for _case in 0..$crate::test_runner::CASES {
+                for _case in 0..$crate::test_runner::cases() {
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
                     $body
                 }
@@ -209,6 +225,16 @@ mod tests {
         fn vec_has_fixed_len(v in collection::vec(0.0f32..1.0, 16)) {
             prop_assert_eq!(v.len(), 16);
             prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn case_count_defaults_without_env() {
+        // The suite doesn't set QVR_PROPTEST_CASES, so the default applies.
+        if std::env::var("QVR_PROPTEST_CASES").is_err() {
+            assert_eq!(crate::test_runner::cases(), crate::test_runner::CASES);
+        } else {
+            assert!(crate::test_runner::cases() > 0);
         }
     }
 

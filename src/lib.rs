@@ -81,6 +81,7 @@ pub use qvr_sim as sim;
 /// The items most programs need, in one import.
 pub mod prelude {
     pub use qvr_codec::{CodecLatencyModel, SizeModel, TransformCodec};
+    pub use qvr_core::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
     pub use qvr_core::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
     pub use qvr_core::metrics::{FrameRecord, RunSummary};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
@@ -89,6 +90,6 @@ pub mod prelude {
     pub use qvr_energy::{overhead::LiwcOverhead, overhead::UcaOverhead, PowerModel};
     pub use qvr_gpu::{FrameWorkload, GpuConfig, GpuTimingModel, RemoteGpuModel};
     pub use qvr_hvs::{DisplayGeometry, GazePoint, LayerPartition, MarModel, PerceptionModel};
-    pub use qvr_net::{NetworkChannel, NetworkPreset};
+    pub use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, NetworkPreset, SharedChannel};
     pub use qvr_scene::{AppProfile, AppSession, Benchmark, CharacterizationApp};
 }

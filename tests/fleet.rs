@@ -94,6 +94,92 @@ fn p95_flat_up_to_pool_size_then_degrades() {
     );
 }
 
+/// One pinned fleet outcome: every aggregate as raw `f64` bits, plus an
+/// order-sensitive FNV-1a checksum over every session's per-frame
+/// `(mtp_ms, tx_bytes)` stream.
+struct Golden {
+    preset: NetworkPreset,
+    n: usize,
+    mtp_p50: u64,
+    mtp_p95: u64,
+    mtp_p99: u64,
+    fps_floor: u64,
+    mean_fps: u64,
+    server_utilization: u64,
+    makespan: u64,
+    mean_tx: u64,
+    frame_hash: u64,
+}
+
+/// Captured from the pre-policy engine (PR 1) for the `fig_fleet`
+/// 1/8/32-session configs: `FleetConfig::uniform(default + preset, Qvr,
+/// Hl2H, n, 120 frames, seed 42)`. `FairnessPolicy::EqualShare` with unit
+/// shares must keep reproducing these bits forever.
+#[rustfmt::skip]
+const GOLDENS: [Golden; 9] = [
+    Golden { preset: NetworkPreset::WiFi,    n: 1,  mtp_p50: 0x4031e994ab7b48ff, mtp_p95: 0x40324e6d4bf69b5f, mtp_p99: 0x4032de8129013530, fps_floor: 0x405b1235204b5101, mean_fps: 0x405b1235204b5101, server_utilization: 0x3f8748afa95c173d, makespan: 0x409150c4875b11b2, mean_tx: 0x40fc4f9bd00234a6, frame_hash: 0x30409bc01f977dea },
+    Golden { preset: NetworkPreset::WiFi,    n: 8,  mtp_p50: 0x4031fc7fa77f298e, mtp_p95: 0x40329b837f7d7016, mtp_p99: 0x403327914c5adb02, fps_floor: 0x405ac9e7caf52d54, mean_fps: 0x405affe4cae6249e, server_utilization: 0x3fb719ae3a65783f, makespan: 0x40917f8078347e4a, mean_tx: 0x40fc65c42ca56ca2, frame_hash: 0xaf2b199dfdb60026 },
+    Golden { preset: NetworkPreset::WiFi,    n: 32, mtp_p50: 0x403f220f2b413b5f, mtp_p95: 0x404220c830d35846, mtp_p99: 0x404688bc8900af28, fps_floor: 0x4048c80426040b43, mean_fps: 0x404906cefaac8158, server_utilization: 0x3fc4d017abe7bd6e, makespan: 0x40a2ea5bbe72131b, mean_tx: 0x40f6fb714cf83a9c, frame_hash: 0x1c796aeb7aef6621 },
+    Golden { preset: NetworkPreset::Lte4G,   n: 1,  mtp_p50: 0x404119493fc95a98, mtp_p95: 0x404185306b1b4c9e, mtp_p99: 0x4041f4095627d812, fps_floor: 0x404cdd45ab30e8c0, mean_fps: 0x404cdd45ab30e8c0, server_utilization: 0x3f7856ad95c61eac, makespan: 0x40a03d60db4498cb, mean_tx: 0x40f82df0dd785827, frame_hash: 0xc7b8d4e8b485ae4b },
+    Golden { preset: NetworkPreset::Lte4G,   n: 8,  mtp_p50: 0x40412a41cac8daea, mtp_p95: 0x4041b06d04f9b782, mtp_p99: 0x404229ea33e27f46, fps_floor: 0x404c65de842ccb4f, mean_fps: 0x404cbb25a8f62458, server_utilization: 0x3fa8022039669be4, makespan: 0x40a081a91e4eff93, mean_tx: 0x40f83fc81a9434c8, frame_hash: 0x8d1ca31476f20afb },
+    Golden { preset: NetworkPreset::Lte4G,   n: 32, mtp_p50: 0x404a3325970ff077, mtp_p95: 0x4051b7a41fafea68, mtp_p99: 0x40589d68fd1e6b53, fps_floor: 0x403d09164eeeff98, mean_fps: 0x403d4e350ae4463d, server_utilization: 0x3fb7a5fd78db9fd7, makespan: 0x40b024df4f790438, mean_tx: 0x40f0c279d73f03e8, frame_hash: 0x439f77c76a42e668 },
+    Golden { preset: NetworkPreset::Early5G, n: 1,  mtp_p50: 0x402b8a5ebcff11e8, mtp_p95: 0x402bdd86129ea7ca, mtp_p99: 0x402c564a4864d6a0, fps_floor: 0x40615e49b0aa222f, mean_fps: 0x40615e49b0aa222f, server_utilization: 0x3f8e14c28ccd3fbf, makespan: 0x408afd2262e0b406, mean_tx: 0x40fdb6aff414f27b, frame_hash: 0x54cc4704a4d70d20 },
+    Golden { preset: NetworkPreset::Early5G, n: 8,  mtp_p50: 0x402b9aa6a08d620e, mtp_p95: 0x402c236a2a4392a8, mtp_p99: 0x402c8688f7507834, fps_floor: 0x40614245858ba068, mean_fps: 0x406156b635a60f8f, server_utilization: 0x3fbdf92db6769c7b, makespan: 0x408b28f1f72cc1f8, mean_tx: 0x40fdd90580b5e002, frame_hash: 0x46d8b946595d7f27 },
+    Golden { preset: NetworkPreset::Early5G, n: 32, mtp_p50: 0x403437ddc130aaec, mtp_p95: 0x40351ba707ebc4de, mtp_p99: 0x403665ed2674f947, fps_floor: 0x4057fc597daf5ca9, mean_fps: 0x40582b32085bc978, server_utilization: 0x3fd490e5a8a4af75, makespan: 0x40938af8f5205c45, mean_tx: 0x40fb494288301d1a, frame_hash: 0x2936d85e0ac6635d },
+];
+
+#[test]
+fn equal_share_unit_weights_reproduce_the_pre_policy_engine_bit_exactly() {
+    // The backwards-compatibility contract of the fairness layer: the
+    // default `FairnessPolicy::EqualShare` with unit `LinkShare`s must give
+    // bit-identical `FleetSummary` output to the engine before fairness
+    // policies existed, for the fig_fleet 1/8/32-session configs. Debug
+    // builds skip the 32-session rows (they dominate the runtime); the
+    // release CI job runs all nine.
+    for g in &GOLDENS {
+        if cfg!(debug_assertions) && g.n > 8 {
+            continue;
+        }
+        let config = FleetConfig::uniform(
+            SystemConfig::default().with_network(g.preset),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            g.n,
+            120,
+            42,
+        );
+        assert_eq!(config.fairness, FairnessPolicy::EqualShare);
+        assert!(config
+            .sessions
+            .iter()
+            .all(|s| s.share == LinkShare::default()));
+        let s = Fleet::run(config);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for sess in &s.sessions {
+            for f in &sess.frames {
+                hash ^= f.mtp_ms.to_bits();
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+                hash ^= f.tx_bytes.to_bits();
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let ctx = format!("{} x{}", g.preset.label(), g.n);
+        assert_eq!(s.mtp_p50_ms.to_bits(), g.mtp_p50, "{ctx}: p50");
+        assert_eq!(s.mtp_p95_ms.to_bits(), g.mtp_p95, "{ctx}: p95");
+        assert_eq!(s.mtp_p99_ms.to_bits(), g.mtp_p99, "{ctx}: p99");
+        assert_eq!(s.fps_floor.to_bits(), g.fps_floor, "{ctx}: fps floor");
+        assert_eq!(s.mean_fps.to_bits(), g.mean_fps, "{ctx}: mean fps");
+        assert_eq!(
+            s.server_utilization.to_bits(),
+            g.server_utilization,
+            "{ctx}: server utilization"
+        );
+        assert_eq!(s.makespan_ms.to_bits(), g.makespan, "{ctx}: makespan");
+        assert_eq!(s.mean_tx_bytes().to_bits(), g.mean_tx, "{ctx}: mean tx");
+        assert_eq!(hash, g.frame_hash, "{ctx}: per-frame stream");
+    }
+}
+
 #[test]
 fn oversubscribed_sessions_shed_network_load() {
     // Each tenant's LIWC reacts to the shrinking bandwidth share by growing
