@@ -1,0 +1,5 @@
+//! Regenerates the session-churn sweep (dynamic-fleet extension).
+
+fn main() {
+    println!("{}", qvr_bench::fig_churn::report());
+}

@@ -7,7 +7,7 @@
 type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [Section; 11] = [
+    let sections: [Section; 12] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
         (
             "Table 1 + Fig. 5 (static characterisation)",
@@ -27,6 +27,10 @@ fn main() {
         (
             "SLO admission control (fairness x offered load)",
             qvr_bench::fig_admission::report,
+        ),
+        (
+            "Session churn (dynamic fleets, virtual time)",
+            qvr_bench::fig_churn::report,
         ),
     ];
     for (name, f) in sections {

@@ -123,6 +123,8 @@ fn report_with(sizes: &[usize], frames: usize) -> String {
         shared_network: true,
         link_streams: SystemConfig::default().remote.count() as usize,
         fairness: FairnessPolicy::EqualShare,
+        stepping: SteppingPolicy::RoundRobin,
+        retire_window_ms: None,
     });
     out.push_str(
         "Heterogeneous 8-session fleet (mixed apps + schemes, Wi-Fi) — noisy neighbours\n",

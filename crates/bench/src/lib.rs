@@ -21,6 +21,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig_admission;
+pub mod fig_churn;
 pub mod fig_fleet;
 pub mod overhead;
 pub mod table1;

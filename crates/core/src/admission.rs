@@ -36,6 +36,7 @@
 //! demote its decisions (Admit → Degrade/Reject, Degrade → Reject), never
 //! promote them.
 
+use crate::clock::SteppingPolicy;
 use crate::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 use crate::metrics::{RunSummary, SortedSamples};
 use crate::schemes::SystemConfig;
@@ -196,10 +197,17 @@ pub struct AdmissionController {
     /// `protected[i]` — whether `accepted[i]` belongs to the SLO
     /// constituency (joined via Admit rather than Degrade).
     protected: Vec<bool>,
+    /// The share `accepted[i]` originally asked for (degraded members
+    /// carry a reduced share in `accepted`; reclaim-driven upgrades restore
+    /// this one).
+    requested: Vec<LinkShare>,
     decisions: Vec<AdmissionDecision>,
     /// The probe summary of the current accepted roster (the running
-    /// aggregates the operator watches), updated on every join.
+    /// aggregates the operator watches), updated on every join and leave.
     last_accepted_probe: Option<FleetSummary>,
+    /// Probe fleets actually simulated (the cost incremental probing
+    /// avoids re-paying on single-session roster changes).
+    probes_run: usize,
 }
 
 impl AdmissionController {
@@ -244,8 +252,28 @@ impl AdmissionController {
             policy,
             accepted: Vec::new(),
             protected: Vec::new(),
+            requested: Vec::new(),
             decisions: Vec::new(),
             last_accepted_probe: None,
+            probes_run: 0,
+        }
+    }
+
+    /// The one config shape every controller fleet uses (roster views,
+    /// candidate probes, upgrade probes) — only the session list varies,
+    /// so a future `FleetConfig` field change lands here once.
+    fn config_for(&self, sessions: Vec<SessionSpec>, frames: usize) -> FleetConfig {
+        FleetConfig {
+            system: self.system,
+            sessions,
+            frames,
+            seed: self.seed,
+            server_units: self.server_units,
+            shared_network: true,
+            link_streams: self.link_streams,
+            fairness: self.fairness,
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
         }
     }
 
@@ -256,37 +284,26 @@ impl AdmissionController {
         if self.accepted.is_empty() {
             return None;
         }
-        Some(FleetConfig {
-            system: self.system,
-            sessions: self.accepted.clone(),
-            frames,
-            seed: self.seed,
-            server_units: self.server_units,
-            shared_network: true,
-            link_streams: self.link_streams,
-            fairness: self.fairness,
-        })
+        Some(self.config_for(self.accepted.clone(), frames))
     }
 
     /// Probes the accepted roster plus `candidate` for `probe_frames`.
-    fn probe(&self, candidate: SessionSpec) -> FleetSummary {
+    fn probe(&mut self, candidate: SessionSpec) -> FleetSummary {
         let mut sessions = self.accepted.clone();
         sessions.push(candidate);
-        Fleet::run(FleetConfig {
-            system: self.system,
-            sessions,
-            frames: self.policy.probe_frames,
-            seed: self.seed,
-            server_units: self.server_units,
-            shared_network: true,
-            link_streams: self.link_streams,
-            fairness: self.fairness,
-        })
+        self.probes_run += 1;
+        Fleet::run(self.config_for(sessions, self.policy.probe_frames))
     }
 
     /// Offers one session: probes, decides, and (on admit/degrade) joins
     /// it to the roster.
+    ///
+    /// Probing is already incremental on the join side: the candidate
+    /// probe *is* the new roster's fleet, so a join never re-runs a
+    /// roster-only probe on top of it ([`AdmissionController::release`]
+    /// gives leaves the same property).
     pub fn offer(&mut self, spec: SessionSpec) -> AdmissionDecision {
+        let requested_share = spec.share;
         // Full-share probe: the constituency is the protected class plus
         // the candidate itself (it is applying for protection).
         let mut constituency = self.protected.clone();
@@ -295,6 +312,7 @@ impl AdmissionController {
         let decision = if self.policy.accepts_constituency(&full, &constituency) {
             self.accepted.push(spec);
             self.protected.push(true);
+            self.requested.push(requested_share);
             self.last_accepted_probe = Some(full);
             AdmissionDecision::Admitted
         } else if let Some(degraded_share) = self.policy.degraded {
@@ -312,6 +330,7 @@ impl AdmissionController {
             if self.policy.accepts_constituency(&degraded, &constituency) {
                 self.accepted.push(degraded_spec);
                 self.protected.push(false);
+                self.requested.push(requested_share);
                 self.last_accepted_probe = Some(degraded);
                 AdmissionDecision::Degraded
             } else {
@@ -322,6 +341,93 @@ impl AdmissionController {
         };
         self.decisions.push(decision);
         decision
+    }
+
+    /// Handles a *leaving* session: removes roster member `idx`, reclaims
+    /// its resources, and tries to spend them on upgrading best-effort
+    /// tenants back to their originally-requested (protected) shares.
+    ///
+    /// The departure itself is probed **incrementally**: since exactly one
+    /// session left, the new roster's aggregates are re-derived from the
+    /// cached probe with that session's frames dropped
+    /// ([`FleetSummary::without_session`]) instead of re-simulating the
+    /// whole roster — [`AdmissionController::probes_run`] stays flat when
+    /// there is nothing to upgrade. Each *upgrade attempt* is a real probe
+    /// (the candidate's share actually changes): best-effort members are
+    /// tried in admission order, greedily keeping every upgrade whose probe
+    /// holds the SLO over the protected class plus the upgradee.
+    ///
+    /// Returns the roster indices (post-removal) that were upgraded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a roster index.
+    pub fn release(&mut self, idx: usize) -> Vec<usize> {
+        assert!(idx < self.accepted.len(), "unknown roster member {idx}");
+        self.accepted.remove(idx);
+        self.protected.remove(idx);
+        self.requested.remove(idx);
+        // Incremental probe update: drop the leaver's frames from the
+        // cached probe rather than re-running the surviving roster.
+        self.last_accepted_probe = match self.last_accepted_probe.take() {
+            Some(probe) if probe.len() == self.accepted.len() + 1 => {
+                if self.accepted.is_empty() {
+                    None
+                } else {
+                    Some(probe.without_session(idx))
+                }
+            }
+            other => other,
+        };
+        // Reclaim: offer the freed headroom to best-effort tenants, in
+        // admission order, restoring their originally-requested shares.
+        let mut upgraded = Vec::new();
+        for i in 0..self.accepted.len() {
+            if self.protected[i] {
+                continue;
+            }
+            let candidate = self.accepted[i].clone().with_share(self.requested[i]);
+            // Probe the roster with member `i` at its requested share: the
+            // roster minus the upgradee, plus the upgraded candidate last —
+            // the same shape `offer` probes, so the SLO mask lines up.
+            let mut sessions: Vec<SessionSpec> = self.accepted.clone();
+            sessions.remove(i);
+            let mut constituency: Vec<bool> = self
+                .protected
+                .iter()
+                .enumerate()
+                .filter_map(|(j, p)| (j != i).then_some(*p))
+                .collect();
+            sessions.push(candidate.clone());
+            constituency.push(true);
+            self.probes_run += 1;
+            let probe = Fleet::run(self.config_for(sessions, self.policy.probe_frames));
+            if self.policy.accepts_constituency(&probe, &constituency) {
+                self.accepted[i] = candidate;
+                self.protected[i] = true;
+                upgraded.push(i);
+                // The upgrade probe reordered the roster (upgradee last);
+                // keep the cached aggregates but at the canonical order.
+                let mut sessions = probe.sessions.clone();
+                let upgradee = sessions.pop().expect("upgradee probed last");
+                sessions.insert(i, upgradee);
+                self.last_accepted_probe = Some(FleetSummary::from_sessions(
+                    sessions,
+                    probe.makespan_ms,
+                    probe.server_utilization,
+                    probe.server_units,
+                    probe.shared_network,
+                ));
+            }
+        }
+        upgraded
+    }
+
+    /// Probe fleets simulated so far (joins, degrades, and upgrade
+    /// attempts; incremental leave updates don't add to it).
+    #[must_use]
+    pub fn probes_run(&self) -> usize {
+        self.probes_run
     }
 
     /// Offers a sequence of sessions in order; returns one decision each.
@@ -344,6 +450,13 @@ impl AdmissionController {
     #[must_use]
     pub fn protected(&self) -> &[bool] {
         &self.protected
+    }
+
+    /// The share each roster member originally requested (what a
+    /// reclaim-driven upgrade restores), in admission order.
+    #[must_use]
+    pub fn requested(&self) -> &[LinkShare] {
+        &self.requested
     }
 
     /// Every decision so far, in offer order.
@@ -542,6 +655,108 @@ mod tests {
         if let Some(probe) = tight.accepted_summary() {
             assert!(tight.policy().accepts(probe), "roster must meet the SLO");
         }
+    }
+
+    #[test]
+    fn release_reuses_the_cached_probe_when_nothing_can_upgrade() {
+        // Incremental probing: with no best-effort members, removing one
+        // session must cost zero probe fleets — the cached roster probe is
+        // re-aggregated with the leaver's frames dropped.
+        let mut c = AdmissionController::new(
+            SystemConfig::default(),
+            FairnessPolicy::EqualShare,
+            policy(40.0),
+            42,
+        );
+        c.offer(spec());
+        c.offer(spec());
+        let probes_before = c.probes_run();
+        let before = c.accepted_summary().expect("probed").clone();
+        let upgraded = c.release(0);
+        assert!(upgraded.is_empty());
+        assert_eq!(
+            c.probes_run(),
+            probes_before,
+            "a single leave must not re-run the roster probe"
+        );
+        assert_eq!(c.admitted().len(), 1);
+        assert_eq!(c.protected(), &[true]);
+        let after = c.accepted_summary().expect("still cached");
+        assert_eq!(after.len(), 1, "the leaver's frames are gone");
+        assert_eq!(
+            after.sessions[0].frames, before.sessions[1].frames,
+            "the survivor's frames carry over from the cached probe"
+        );
+        // Draining the roster clears the cache.
+        let _ = c.release(0);
+        assert!(c.admitted().is_empty());
+        assert!(c.accepted_summary().is_none());
+    }
+
+    #[test]
+    fn release_upgrades_best_effort_tenants_with_reclaimed_headroom() {
+        // Load-driven degradation (unlike an MCS handicap, load can be
+        // reclaimed): non-adaptive RemoteOnly tenants on a 2-stream
+        // weighted link admit until the link saturates, the third comes in
+        // best-effort at a quarter weight, and further offers reject. When
+        // a protected member then leaves, the reclaim pass must upgrade the
+        // degraded tenant back to its requested (unit) share — at the cost
+        // of exactly one upgrade probe on top of the incremental leave.
+        let heavy = || SessionSpec::new(SchemeKind::RemoteOnly, Benchmark::Hl2H.profile());
+        let mut p = AdmissionPolicy::default()
+            .with_mtp_p95_slo_ms(100.0)
+            .with_min_fps_floor(10.0);
+        p.probe_frames = 8;
+        p.degraded = Some(LinkShare::weighted(0.25));
+        let mut c = AdmissionController::with_capacity(
+            SystemConfig::default(),
+            FairnessPolicy::Weighted,
+            p,
+            42,
+            8,
+            2,
+        );
+        let decisions = c.offer_all((0..4).map(|_| heavy()));
+        assert_eq!(
+            decisions,
+            vec![
+                AdmissionDecision::Admitted,
+                AdmissionDecision::Admitted,
+                AdmissionDecision::Degraded,
+                AdmissionDecision::Rejected,
+            ]
+        );
+        let best_effort = c.protected().iter().position(|p| !*p).expect("degraded in");
+        assert_eq!(c.admitted()[best_effort].share.weight, 0.25);
+        let probes_before = c.probes_run();
+        let upgraded = c.release(0);
+        assert_eq!(upgraded, vec![1], "the freed headroom upgrades the tenant");
+        assert_eq!(
+            c.probes_run(),
+            probes_before + 1,
+            "one upgrade probe, no roster re-probe"
+        );
+        assert_eq!(c.protected(), &[true, true]);
+        assert_eq!(
+            c.admitted()[1].share,
+            c.requested()[1],
+            "upgrade restores the originally-requested share"
+        );
+        // The refreshed cache still holds the SLO over the protected class.
+        let (p95, _) = c.protected_metrics().expect("protected class exists");
+        assert!(p95 <= c.policy().mtp_p95_slo_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown roster member")]
+    fn release_of_unknown_member_rejected() {
+        let mut c = AdmissionController::new(
+            SystemConfig::default(),
+            FairnessPolicy::EqualShare,
+            policy(40.0),
+            1,
+        );
+        let _ = c.release(0);
     }
 
     #[test]

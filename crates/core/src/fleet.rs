@@ -24,6 +24,7 @@
 //! tenants. [`crate::schemes::SchemeKind::run`] delegates to a dedicated
 //! 1-session fleet, reproducing the original single-user numbers exactly.
 
+use crate::clock::{FleetClock, SteppingPolicy};
 use crate::metrics::{RunSummary, SortedSamples};
 use crate::schemes::{SchemeKind, ServerPool, SystemConfig};
 use crate::session::Session;
@@ -91,6 +92,19 @@ pub struct FleetConfig {
     /// bit-identical to the pre-policy engine. Ignored when
     /// `shared_network` is `false`.
     pub fairness: FairnessPolicy,
+    /// How sessions advance through simulated time.
+    /// [`SteppingPolicy::RoundRobin`] (the default) is bit-pinned by the
+    /// fig_fleet goldens; [`SteppingPolicy::VirtualTime`] steps the
+    /// globally-earliest session next, which keeps time-skewed tenants
+    /// synchronized (DESIGN.md §8) and is required for churn.
+    pub stepping: SteppingPolicy,
+    /// Windowed task retirement: completed engine history older than this
+    /// many ms behind the slowest unfinished session is dropped, so every
+    /// resource holds O(window) live state instead of the full task
+    /// history. `None` (the default) keeps everything. The window must
+    /// exceed the longest dependency horizon a stepper keeps (render-ahead
+    /// pacing × frame interval); lookups into retired history panic.
+    pub retire_window_ms: Option<f64>,
 }
 
 impl FleetConfig {
@@ -120,6 +134,8 @@ impl FleetConfig {
             shared_network: true,
             link_streams: server_units,
             fairness: FairnessPolicy::EqualShare,
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
         }
     }
 
@@ -133,7 +149,8 @@ impl FleetConfig {
 
 /// Derives session `idx`'s seed from the fleet seed (identity for 0, so a
 /// dedicated 1-session fleet reproduces the classic single-run streams).
-fn session_seed(seed: u64, idx: usize) -> u64 {
+/// Churn fleets reuse it with the session's arrival ordinal as `idx`.
+pub(crate) fn session_seed(seed: u64, idx: usize) -> u64 {
     seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
@@ -146,6 +163,10 @@ pub struct Fleet {
     frames: usize,
     rounds_done: usize,
     shared_network: bool,
+    stepping: SteppingPolicy,
+    /// The virtual-time event queue ([`SteppingPolicy::VirtualTime`] only).
+    clock: FleetClock,
+    retire_window_ms: Option<f64>,
 }
 
 impl Fleet {
@@ -182,6 +203,9 @@ impl Fleet {
                 frames: config.frames,
                 rounds_done: 0,
                 shared_network: false,
+                stepping: config.stepping,
+                clock: Self::primed_clock(config.stepping, 1),
+                retire_window_ms: config.retire_window_ms,
             };
         }
         let engine = SharedEngine::new();
@@ -194,7 +218,7 @@ impl Fleet {
         } else {
             None
         };
-        let sessions = config
+        let sessions: Vec<Session> = config
             .sessions
             .iter()
             .enumerate()
@@ -222,6 +246,7 @@ impl Fleet {
                 )
             })
             .collect();
+        let n = sessions.len();
         Fleet {
             engine,
             server,
@@ -229,7 +254,22 @@ impl Fleet {
             frames: config.frames,
             rounds_done: 0,
             shared_network: config.shared_network,
+            stepping: config.stepping,
+            clock: Self::primed_clock(config.stepping, n),
+            retire_window_ms: config.retire_window_ms,
         }
+    }
+
+    /// A clock with every slot runnable at virtual time 0 (so the first
+    /// pops come out in session-index order); empty under round-robin.
+    fn primed_clock(stepping: SteppingPolicy, n: usize) -> FleetClock {
+        let mut clock = FleetClock::new();
+        if stepping == SteppingPolicy::VirtualTime {
+            for slot in 0..n {
+                clock.schedule(slot, 0.0);
+            }
+        }
+        clock
     }
 
     /// Number of sessions.
@@ -252,24 +292,107 @@ impl Fleet {
 
     /// Steps every session one frame, round-robin in session-index order
     /// (the deterministic arbitration order on shared resources).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`SteppingPolicy::VirtualTime`] — virtual-time fleets
+    /// advance one session at a time via [`Fleet::step_next`].
     pub fn step_round(&mut self) {
+        assert_eq!(
+            self.stepping,
+            SteppingPolicy::RoundRobin,
+            "step_round is round-robin only; virtual-time fleets use step_next"
+        );
         for session in &mut self.sessions {
             session.step();
         }
         self.rounds_done += 1;
+        self.retire_window();
     }
 
-    /// Rounds stepped so far.
+    /// Steps the session with the globally-earliest virtual clock
+    /// (`last_display_end`, ties to the lowest session index) one frame,
+    /// and returns its index — or `None` once every session has simulated
+    /// its frame budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`SteppingPolicy::RoundRobin`] — use
+    /// [`Fleet::step_round`] there.
+    pub fn step_next(&mut self) -> Option<usize> {
+        assert_eq!(
+            self.stepping,
+            SteppingPolicy::VirtualTime,
+            "step_next is virtual-time only; round-robin fleets use step_round"
+        );
+        let (slot, _) = self.clock.pop()?;
+        let session = &mut self.sessions[slot];
+        session.step();
+        if session.frames_stepped() < self.frames {
+            let at = session.last_display_end();
+            self.clock.schedule(slot, at);
+        }
+        self.retire_window();
+        Some(slot)
+    }
+
+    /// Retires completed engine history older than the configured window
+    /// behind the slowest *unfinished* session (no-op without a window, or
+    /// once everyone has finished — finished sessions never look back).
+    fn retire_window(&mut self) {
+        let Some(window) = self.retire_window_ms else {
+            return;
+        };
+        let frontier = match self.stepping {
+            // The clock's head is exactly the earliest unfinished session.
+            SteppingPolicy::VirtualTime => self.clock.peek().map(|(_, t)| t),
+            SteppingPolicy::RoundRobin => {
+                let unfinished = self
+                    .sessions
+                    .iter()
+                    .filter(|s| s.frames_stepped() < self.frames);
+                let min = unfinished
+                    .map(Session::last_display_end)
+                    .fold(f64::INFINITY, f64::min);
+                min.is_finite().then_some(min)
+            }
+        };
+        if let Some(frontier) = frontier {
+            if frontier > window {
+                self.engine.retire_before(frontier - window);
+            }
+        }
+    }
+
+    /// Rounds stepped so far (round-robin mode).
     #[must_use]
     pub fn rounds_done(&self) -> usize {
         self.rounds_done
     }
 
+    /// The stepping policy in force.
+    #[must_use]
+    pub fn stepping(&self) -> SteppingPolicy {
+        self.stepping
+    }
+
+    /// A handle to the engine all sessions submit into (for retention
+    /// inspection in bounded-memory runs).
+    #[must_use]
+    pub fn shared_engine(&self) -> SharedEngine {
+        self.engine.clone()
+    }
+
     /// Steps all remaining rounds and finalises.
     #[must_use]
     pub fn finish(mut self) -> FleetSummary {
-        while self.rounds_done < self.frames {
-            self.step_round();
+        match self.stepping {
+            SteppingPolicy::RoundRobin => {
+                while self.rounds_done < self.frames {
+                    self.step_round();
+                }
+            }
+            SteppingPolicy::VirtualTime => while self.step_next().is_some() {},
         }
         let server_utilization = self.server.utilization(&self.engine);
         let makespan_ms = self.engine.makespan();
@@ -318,6 +441,8 @@ impl Fleet {
             shared_network: false,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
         };
         Fleet::run(fleet)
             .sessions
@@ -401,6 +526,56 @@ impl FleetSummary {
         self.sessions.is_empty()
     }
 
+    /// Re-aggregates a summary from per-session summaries plus carried-over
+    /// schedule-level fields (percentiles, FPS floor, and mean FPS are
+    /// recomputed exactly from the sessions' frames). The building block of
+    /// admission control's incremental probing.
+    #[must_use]
+    pub fn from_sessions(
+        sessions: Vec<RunSummary>,
+        makespan_ms: f64,
+        server_utilization: f64,
+        server_units: usize,
+        shared_network: bool,
+    ) -> Self {
+        FleetSummary::aggregate(
+            sessions,
+            makespan_ms,
+            server_utilization,
+            server_units,
+            shared_network,
+        )
+    }
+
+    /// Re-aggregates this summary with session `idx` dropped — the
+    /// incremental-probe shortcut admission control uses when exactly one
+    /// session leaves: percentiles, FPS floor, and mean FPS recompute
+    /// exactly from the surviving sessions' frames, while makespan, server
+    /// utilization, and capacity fields carry over from the probed run
+    /// (they describe the schedule that was actually simulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn without_session(&self, idx: usize) -> FleetSummary {
+        assert!(idx < self.sessions.len(), "unknown session {idx}");
+        let sessions: Vec<RunSummary> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, s)| s.clone())
+            .collect();
+        FleetSummary::aggregate(
+            sessions,
+            self.makespan_ms,
+            self.server_utilization,
+            self.server_units,
+            self.shared_network,
+        )
+    }
+
     /// Mean downlink bytes per frame across all sessions.
     #[must_use]
     pub fn mean_tx_bytes(&self) -> f64 {
@@ -466,6 +641,8 @@ mod tests {
                 shared_network: true,
                 link_streams: 1,
                 fairness: FairnessPolicy::EqualShare,
+                stepping: SteppingPolicy::RoundRobin,
+                retire_window_ms: None,
             })
         };
         let alone = mixed(0);
@@ -490,6 +667,8 @@ mod tests {
             shared_network: false,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
         };
         assert!(f.is_dedicated());
         let uniform = FleetConfig::uniform(
@@ -569,6 +748,8 @@ mod tests {
             shared_network: true,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
         });
         assert_eq!(summary.len(), 3);
         assert_eq!(summary.sessions[0].scheme, "Q-VR");
@@ -629,7 +810,62 @@ mod tests {
             shared_network: true,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "round-robin only")]
+    fn step_round_rejected_under_virtual_time() {
+        let mut config =
+            FleetConfig::uniform(cfg(), SchemeKind::Qvr, Benchmark::Grid.profile(), 2, 5, 1);
+        config.stepping = SteppingPolicy::VirtualTime;
+        Fleet::new(config).step_round();
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-time only")]
+    fn step_next_rejected_under_round_robin() {
+        let config =
+            FleetConfig::uniform(cfg(), SchemeKind::Qvr, Benchmark::Grid.profile(), 2, 5, 1);
+        let _ = Fleet::new(config).step_next();
+    }
+
+    #[test]
+    fn virtual_time_first_steps_follow_slot_order() {
+        // All clocks start at 0, so the tie-break hands out the first
+        // round in session-index order — the same deterministic
+        // arbitration round-robin uses.
+        let mut config =
+            FleetConfig::uniform(cfg(), SchemeKind::Qvr, Benchmark::Grid.profile(), 3, 2, 1);
+        config.stepping = SteppingPolicy::VirtualTime;
+        let mut fleet = Fleet::new(config);
+        assert_eq!(fleet.stepping(), SteppingPolicy::VirtualTime);
+        let first: Vec<usize> = (0..3).filter_map(|_| fleet.step_next()).collect();
+        assert_eq!(first, vec![0, 1, 2]);
+        while fleet.step_next().is_some() {}
+        for s in fleet.sessions() {
+            assert_eq!(s.frames_stepped(), 2);
+        }
+    }
+
+    #[test]
+    fn summary_without_session_drops_exactly_one() {
+        let s = Fleet::run(FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            3,
+            10,
+            7,
+        ));
+        let without = s.without_session(1);
+        assert_eq!(without.len(), 2);
+        assert_eq!(without.sessions[0].frames, s.sessions[0].frames);
+        assert_eq!(without.sessions[1].frames, s.sessions[2].frames);
+        assert_eq!(without.makespan_ms, s.makespan_ms);
+        assert_eq!(without.server_units, s.server_units);
     }
 
     #[test]
@@ -657,6 +893,8 @@ mod tests {
                 shared_network: true,
                 link_streams: 1,
                 fairness: FairnessPolicy::Weighted,
+                stepping: SteppingPolicy::RoundRobin,
+                retire_window_ms: None,
             })
         };
         let rem = |s: &FleetSummary, i: usize| {
@@ -701,6 +939,8 @@ mod tests {
                 shared_network: true,
                 link_streams: 2,
                 fairness: FairnessPolicy::Weighted,
+                stepping: SteppingPolicy::RoundRobin,
+                retire_window_ms: None,
             })
         };
         let capped = run(LinkShare::default().with_cap_mbps(20.0));

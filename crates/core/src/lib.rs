@@ -48,6 +48,8 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod churn;
+pub mod clock;
 pub mod f16;
 pub mod fleet;
 pub mod foveation;
@@ -58,6 +60,8 @@ pub mod session;
 pub mod uca;
 
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
+pub use churn::{ChurnConfig, ChurnEvent, ChurnFleet, ChurnSummary, ChurnTrace};
+pub use clock::{FleetClock, SteppingPolicy};
 pub use f16::F16;
 pub use fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 pub use foveation::{FoveationPlan, LayerChannel, RenderGraph, VrsRate};

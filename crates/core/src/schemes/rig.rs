@@ -88,8 +88,22 @@ pub struct Rig {
     /// Fleet mode: remote renders cost per-GPU time on a pool unit, and
     /// recorded chain latencies include queueing behind other tenants.
     contended: bool,
-    /// Display tasks of recent frames (for render-ahead pacing).
-    display_tasks: Vec<TaskId>,
+    /// Absolute simulated time this session's life starts (0 unless gated
+    /// by [`Rig::gate_at`]): spans, FPS, and frame intervals measure from
+    /// here, so a mid-run joiner isn't billed for time before it existed.
+    origin_ms: f64,
+    /// Per-resource busy time already accumulated when this rig was built
+    /// — non-zero when a churn fleet reuses a departed session's resource
+    /// slot; subtracted at finish so energy stays per-tenant.
+    busy_baseline: BusyTimes,
+    /// Display tasks of the last `frames_in_flight` frames (for
+    /// render-ahead pacing) — bounded, so retiring engine history never
+    /// leaves a stale pacing reference behind.
+    recent_displays: std::collections::VecDeque<TaskId>,
+    /// End time of every display so far (frame intervals are derived from
+    /// these at finish; times are final at submission, so recording them
+    /// eagerly is exact and keeps no TaskId alive).
+    display_ends: Vec<f64>,
     records: Vec<FrameRecord>,
 }
 
@@ -155,6 +169,15 @@ impl Rig {
         let vdec = engine.resource(&name("VDEC"));
         let uca = engine.resource(&name("UCA"));
         let liwc = engine.resource(&name("LIWC"));
+        let busy_baseline = BusyTimes {
+            span_ms: 0.0,
+            gpu_ms: engine.busy_ms(gpu),
+            radio_ms: engine.busy_ms(net_down) + engine.busy_ms(net_up),
+            vdec_ms: engine.busy_ms(vdec),
+            cpu_ms: engine.busy_ms(cpu),
+            liwc_ms: engine.busy_ms(liwc),
+            uca_ms: engine.busy_ms(uca),
+        };
         Rig {
             engine,
             cpu,
@@ -169,7 +192,10 @@ impl Rig {
             mobile: GpuTimingModel::new(config.gpu),
             config: *config,
             contended,
-            display_tasks: Vec::new(),
+            origin_ms: 0.0,
+            busy_baseline,
+            recent_displays: std::collections::VecDeque::new(),
+            display_ends: Vec::new(),
             records: Vec::new(),
         }
     }
@@ -178,6 +204,27 @@ impl Rig {
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Holds every per-session resource until absolute time `t_ms`: a
+    /// session joining a running fleet starts its pipeline at its *join*
+    /// time instead of simulated time zero. Zero-duration hold tasks pin
+    /// each private resource's frontier; shared resources (server pool,
+    /// link) already sit at the fleet's global frontier.
+    pub(crate) fn gate_at(&mut self, t_ms: f64) {
+        self.origin_ms = t_ms.max(0.0);
+        for rid in [
+            self.cpu,
+            self.gpu,
+            self.net_up,
+            self.net_down,
+            self.vdec,
+            self.uca,
+            self.liwc,
+        ] {
+            self.engine
+                .submit_at("join:hold", Some(rid), t_ms, 0.0, &[]);
+        }
     }
 
     /// Whether this rig contends with other sessions (fleet mode).
@@ -197,8 +244,10 @@ impl Rig {
     #[must_use]
     pub fn pace_deps(&self) -> Vec<TaskId> {
         let in_flight = self.config.frames_in_flight as usize;
-        if self.display_tasks.len() >= in_flight {
-            vec![self.display_tasks[self.display_tasks.len() - in_flight]]
+        if self.display_ends.len() >= in_flight {
+            // The deque holds exactly the last `in_flight` display tasks,
+            // so its front is the display of frame `n - in_flight`.
+            vec![*self.recent_displays.front().expect("deque primed")]
         } else {
             Vec::new()
         }
@@ -334,23 +383,32 @@ impl Rig {
         let t = self
             .engine
             .submit(label, None, self.config.display_ms, deps);
-        self.display_tasks.push(t);
+        self.recent_displays.push_back(t);
+        if self.recent_displays.len() > self.config.frames_in_flight as usize {
+            self.recent_displays.pop_front();
+        }
+        self.display_ends.push(self.engine.end_of(t));
         t
     }
 
-    /// End time of the most recent display task (0 before any frame).
+    /// End time of the most recent display task (0 before any frame) —
+    /// the session's virtual clock.
     #[must_use]
     pub fn last_display_end(&self) -> f64 {
-        self.display_tasks
-            .last()
-            .map_or(0.0, |t| self.engine.end_of(*t))
+        self.display_ends.last().copied().unwrap_or(0.0)
     }
 
     /// The most recent display task, if any (for fully serialised control
     /// loops that block on present).
     #[must_use]
     pub fn last_display_task(&self) -> Option<TaskId> {
-        self.display_tasks.last().copied()
+        self.recent_displays.back().copied()
+    }
+
+    /// The most recently recorded frame, if any.
+    #[must_use]
+    pub(crate) fn last_record(&self) -> Option<&FrameRecord> {
+        self.records.last()
     }
 
     /// Records a completed frame.
@@ -390,34 +448,39 @@ impl Rig {
         // In a fleet the engine's makespan belongs to the whole schedule —
         // a slow tenant must not dilute a fast one's FPS or energy span, so
         // contended sessions close their span at their own last scanout.
-        let span = if self.contended && !self.display_tasks.is_empty() {
+        // Both span and busy times measure from this session's own origin
+        // and baseline (non-zero only for gated/slot-reusing churn
+        // joiners), so FPS and energy are per-tenant.
+        let span = if self.contended && !self.display_ends.is_empty() {
             self.last_display_end()
         } else {
             self.engine.makespan()
-        };
+        } - self.origin_ms;
+        let base = &self.busy_baseline;
         let busy = BusyTimes {
             span_ms: span,
-            gpu_ms: self.engine.busy_ms(self.gpu),
-            radio_ms: self.engine.busy_ms(self.net_down) + self.engine.busy_ms(self.net_up),
-            vdec_ms: self.engine.busy_ms(self.vdec),
-            cpu_ms: self.engine.busy_ms(self.cpu),
+            gpu_ms: self.engine.busy_ms(self.gpu) - base.gpu_ms,
+            radio_ms: self.engine.busy_ms(self.net_down) + self.engine.busy_ms(self.net_up)
+                - base.radio_ms,
+            vdec_ms: self.engine.busy_ms(self.vdec) - base.vdec_ms,
+            cpu_ms: self.engine.busy_ms(self.cpu) - base.cpu_ms,
             liwc_ms: if liwc_always_on {
                 span
             } else {
-                self.engine.busy_ms(self.liwc)
+                self.engine.busy_ms(self.liwc) - base.liwc_ms
             },
-            uca_ms: self.engine.busy_ms(self.uca),
+            uca_ms: self.engine.busy_ms(self.uca) - base.uca_ms,
         };
         let energy =
             self.config
                 .power
                 .energy(&busy, self.config.gpu.frequency_mhz, self.config.network);
-        // Fill in frame intervals now that all display times are known.
-        let mut prev_end = 0.0;
-        for (record, t) in self.records.iter_mut().zip(&self.display_tasks) {
-            let end = self.engine.end_of(*t);
+        // Fill in frame intervals from the display ends recorded at
+        // submission (final the moment they were scheduled).
+        let mut prev_end = self.origin_ms;
+        for (record, end) in self.records.iter_mut().zip(&self.display_ends) {
             record.frame_interval_ms = end - prev_end;
-            prev_end = end;
+            prev_end = *end;
         }
         RunSummary {
             scheme: scheme.to_owned(),

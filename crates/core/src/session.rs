@@ -104,11 +104,56 @@ impl Session {
         self.app_name
     }
 
-    /// End time of this session's most recently displayed frame, ms
-    /// (useful for fairness monitoring while a fleet is running).
+    /// End time of this session's most recently displayed frame, ms —
+    /// the session's virtual clock (what [`crate::clock::FleetClock`] keys
+    /// on, and useful for fairness monitoring while a fleet is running).
     #[must_use]
     pub fn last_display_end(&self) -> f64 {
         self.rig.last_display_end()
+    }
+
+    /// Motion-to-photon latency of the most recent frame, if any (for
+    /// online fleet telemetry such as churn timelines).
+    #[must_use]
+    pub fn last_mtp_ms(&self) -> Option<f64> {
+        self.rig.last_record().map(|r| r.mtp_ms)
+    }
+
+    /// Fovea eccentricity of the most recent frame, if the scheme is
+    /// foveated (the warm-start seed churn hands to joining sessions).
+    #[must_use]
+    pub fn last_e1_deg(&self) -> Option<f64> {
+        self.rig.last_record().and_then(|r| r.e1_deg)
+    }
+
+    /// Releases this session's claim on a shared link, if it holds one
+    /// (called when the session leaves a fleet mid-run, so the remaining
+    /// members' shares renormalize).
+    pub(crate) fn release_link(&self) {
+        if self.rig.channel.member().is_some() && self.rig.channel.member_is_active() {
+            self.rig.channel.leave();
+        }
+    }
+
+    /// Replaces this session's link share (a reclaim-driven upgrade), if
+    /// the session is a link member; no-op for local-only tenants.
+    pub(crate) fn set_link_share(&self, share: qvr_net::LinkShare) {
+        if self.rig.channel.member().is_some() {
+            self.rig.channel.set_share(share);
+        }
+    }
+
+    /// A clone of this session's channel handle (churn banks departed
+    /// members' handles so later joiners reuse the slot).
+    pub(crate) fn channel_handle(&self) -> SharedChannel {
+        self.rig.channel.clone()
+    }
+
+    /// Gates every per-session resource until absolute simulated time
+    /// `t_ms` (see [`crate::schemes::Rig::gate_at`]) — called once, before
+    /// the first step, for sessions that join a fleet mid-run.
+    pub(crate) fn gate_at(&mut self, t_ms: f64) {
+        self.rig.gate_at(t_ms);
     }
 
     /// A handle to the engine this session submits into.

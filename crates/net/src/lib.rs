@@ -332,6 +332,10 @@ struct Member {
     /// The same allocation with per-member caps ignored — the basis for
     /// the uplink share fraction (caps are downlink-only).
     allocated_uncapped_mbps: f64,
+    /// Whether the member currently occupies the link. Leavers keep their
+    /// slot (ids stay stable) but stop counting toward occupancy and drop
+    /// out of the allocation, so the remaining members' shares renormalize.
+    active: bool,
 }
 
 /// A stateful, seeded channel with SNR-derived throughput jitter and
@@ -442,16 +446,65 @@ impl NetworkChannel {
             observed_mbps: 0.0,
             allocated_mbps: 0.0,
             allocated_uncapped_mbps: 0.0,
+            active: true,
         });
-        self.occupancy = self.members.len();
+        self.occupancy = self.active_members();
         self.reanchor();
         self.members.len() - 1
     }
 
-    /// Number of registered members.
+    /// Deregisters member `id` from the link (a session leaving mid-run):
+    /// its [`LinkShare`] drops out of the allocation, occupancy falls, and
+    /// every remaining member's rate renormalizes over the survivors. The
+    /// slot stays reserved so ids remain stable and the member can
+    /// [`NetworkChannel::rejoin`] later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered member or has already left.
+    pub fn leave(&mut self, id: usize) {
+        assert!(id < self.members.len(), "unknown link member {id}");
+        assert!(self.members[id].active, "link member {id} already left");
+        self.members[id].active = false;
+        self.occupancy = self.active_members();
+        self.reanchor();
+    }
+
+    /// Re-registers a departed member with a (possibly new) share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown, still active, or the share is invalid.
+    pub fn rejoin(&mut self, id: usize, share: LinkShare) {
+        share.validate();
+        assert!(id < self.members.len(), "unknown link member {id}");
+        assert!(!self.members[id].active, "link member {id} is still active");
+        self.members[id].share = share;
+        self.members[id].active = true;
+        self.occupancy = self.active_members();
+        self.reanchor();
+    }
+
+    /// Whether member `id` currently occupies the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered member.
+    #[must_use]
+    pub fn member_active(&self, id: usize) -> bool {
+        self.members[id].active
+    }
+
+    /// Number of registered members (departed slots included).
     #[must_use]
     pub fn members(&self) -> usize {
         self.members.len()
+    }
+
+    /// Number of members currently occupying the link.
+    #[must_use]
+    pub fn active_members(&self) -> usize {
+        self.members.iter().filter(|m| m.active).count()
     }
 
     /// The share member `id` registered with.
@@ -484,7 +537,14 @@ impl NetworkChannel {
     /// reads the cache.
     fn reanchor(&mut self) {
         self.observed_mbps = self.preset.download_mbps() / self.contention_divisor();
-        let shares: Vec<LinkShare> = self.members.iter().map(|m| m.share).collect();
+        // Only active members occupy the link: the allocator runs over the
+        // survivors, so a leave renormalizes everyone else's share.
+        let shares: Vec<LinkShare> = self
+            .members
+            .iter()
+            .filter(|m| m.active)
+            .map(|m| m.share)
+            .collect();
         let capped = allocate_mbps(
             self.policy,
             self.preset.download_mbps(),
@@ -505,10 +565,18 @@ impl NetworkChannel {
             self.streams,
             &uncapped_shares,
         );
-        for ((member, rate), base) in self.members.iter_mut().zip(capped).zip(uncapped) {
-            member.observed_mbps = rate;
-            member.allocated_mbps = rate;
-            member.allocated_uncapped_mbps = base;
+        let mut rates = capped.into_iter().zip(uncapped);
+        for member in &mut self.members {
+            if member.active {
+                let (rate, base) = rates.next().expect("one rate per active member");
+                member.observed_mbps = rate;
+                member.allocated_mbps = rate;
+                member.allocated_uncapped_mbps = base;
+            } else {
+                member.observed_mbps = 0.0;
+                member.allocated_mbps = 0.0;
+                member.allocated_uncapped_mbps = 0.0;
+            }
         }
     }
 
@@ -640,7 +708,17 @@ impl NetworkChannel {
     }
 
     /// [`NetworkChannel::transfer_only_ms`] as a registered member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` names a slot that has left the link.
     pub fn transfer_only_ms_for(&mut self, member: Option<usize>, bytes: f64) -> f64 {
+        if let Some(id) = member {
+            assert!(
+                self.members[id].active,
+                "link member {id} has left and cannot transfer"
+            );
+        }
         let factor = self.throughput_factor();
         let mbps = self.effective_download_mbps(member, factor);
         let transfer = bytes.max(0.0) * 8.0 / (mbps * 1_000.0);
@@ -662,6 +740,12 @@ impl NetworkChannel {
     /// mirrors the member's downlink share *fraction* (weights and MCS
     /// shape both directions; caps are downlink-only).
     pub fn upload_ms_for(&mut self, member: Option<usize>, bytes: f64) -> f64 {
+        if let Some(id) = member {
+            assert!(
+                self.members[id].active,
+                "link member {id} has left and cannot transfer"
+            );
+        }
         let factor = self.throughput_factor();
         let mbps = match (self.policy, member) {
             (FairnessPolicy::EqualShare, _) | (_, None) => {
@@ -762,6 +846,44 @@ impl SharedChannel {
     #[must_use]
     pub fn member(&self) -> Option<usize> {
         self.member
+    }
+
+    /// Deregisters this handle's member from the link (see
+    /// [`NetworkChannel::leave`]): the departed share is released and the
+    /// remaining members' allocations renormalize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unbound or its member already left.
+    pub fn leave(&self) {
+        let member = self.member.expect("cannot leave with an unbound handle");
+        self.channel.borrow_mut().leave(member);
+    }
+
+    /// Re-registers this handle's departed member (see
+    /// [`NetworkChannel::rejoin`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is unbound, the member is still active, or the
+    /// share is invalid.
+    pub fn rejoin(&self, share: LinkShare) {
+        let member = self.member.expect("cannot rejoin with an unbound handle");
+        self.channel.borrow_mut().rejoin(member, share);
+    }
+
+    /// Whether this handle's member currently occupies the link (unbound
+    /// handles are never active members).
+    #[must_use]
+    pub fn member_is_active(&self) -> bool {
+        self.member
+            .is_some_and(|id| self.channel.borrow().member_active(id))
+    }
+
+    /// See [`NetworkChannel::active_members`].
+    #[must_use]
+    pub fn active_members(&self) -> usize {
+        self.channel.borrow().active_members()
     }
 
     /// See [`NetworkChannel::set_policy`].
@@ -1322,6 +1444,96 @@ mod tests {
         light.set_share(LinkShare::weighted(1.0).with_cap_mbps(5.0));
         assert!((light.allocated_download_mbps() - 5.0).abs() < 1e-9);
         assert!(light.predict_download_ms(10_000.0) > heavy.predict_download_ms(10_000.0));
+    }
+
+    #[test]
+    fn leave_renormalizes_allocations_over_remaining_members() {
+        // The post-leave allocation-sum regression: in every policy mode,
+        // after a member leaves the survivors' allocated rates must sum back
+        // to the full single-stream budget (no stranded share), and
+        // occupancy must fall so equal-share transfers speed up.
+        for policy in FairnessPolicy::all() {
+            let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 40);
+            ch.set_policy(policy);
+            let a = ch.join(LinkShare::weighted(2.0));
+            let b = ch.join(LinkShare::default());
+            let c = ch.join(LinkShare::default());
+            assert_eq!(ch.occupancy(), 3);
+            ch.leave(b);
+            assert_eq!(ch.occupancy(), 2, "{policy}: occupancy must fall");
+            assert_eq!(ch.active_members(), 2);
+            assert!(!ch.member_active(b));
+            assert_eq!(ch.allocated_download_mbps(Some(b)), 0.0);
+            let sum = ch.allocated_download_mbps(Some(a)) + ch.allocated_download_mbps(Some(c));
+            if policy == FairnessPolicy::EqualShare {
+                // Equal share ignores weights; with 2 active on 1 stream
+                // each sees the halved time-share via the divisor.
+                assert!((ch.contention_divisor() - 2.0).abs() < 1e-12);
+            } else {
+                assert!(
+                    (sum - 200.0).abs() < 1e-9,
+                    "{policy}: survivors must reclaim the full budget, got {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leave_and_rejoin_round_trip() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 41);
+        ch.set_policy(FairnessPolicy::Weighted);
+        let a = ch.join(LinkShare::default());
+        let b = ch.join(LinkShare::default());
+        let before = ch.allocated_download_mbps(Some(a));
+        ch.leave(b);
+        assert!(ch.allocated_download_mbps(Some(a)) > before);
+        ch.rejoin(b, LinkShare::weighted(3.0));
+        assert!(ch.member_active(b));
+        assert_eq!(ch.occupancy(), 2);
+        let (ra, rb) = (
+            ch.allocated_download_mbps(Some(a)),
+            ch.allocated_download_mbps(Some(b)),
+        );
+        assert!(
+            (rb / ra - 3.0).abs() < 1e-9,
+            "rejoin share applies: {rb}/{ra}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already left")]
+    fn double_leave_rejected() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 42);
+        let a = ch.join(LinkShare::default());
+        ch.leave(a);
+        ch.leave(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot transfer")]
+    fn departed_member_cannot_transfer() {
+        let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 43);
+        ch.set_policy(FairnessPolicy::Airtime);
+        let a = ch.join(LinkShare::default());
+        ch.leave(a);
+        let _ = ch.transfer_only_ms_for(Some(a), 1_000.0);
+    }
+
+    #[test]
+    fn bound_handles_leave_through_the_shared_link() {
+        let base = SharedChannel::new(NetworkChannel::new(NetworkPreset::WiFi, 44));
+        let a = base.join(LinkShare::default());
+        let b = base.join(LinkShare::default());
+        assert!(a.member_is_active() && b.member_is_active());
+        assert_eq!(base.active_members(), 2);
+        b.leave();
+        assert!(!b.member_is_active());
+        assert_eq!(base.active_members(), 1);
+        assert_eq!(base.occupancy(), 1);
+        // The survivor's equal time-share is back to private rate.
+        assert!((a.allocated_download_mbps() - 200.0).abs() < 1e-9);
+        b.rejoin(LinkShare::default());
+        assert_eq!(base.active_members(), 2);
     }
 
     #[test]

@@ -91,7 +91,14 @@ pub struct ScheduledTask {
 pub struct Engine {
     resources: Vec<Resource>,
     pools: Vec<Pool>,
+    /// Live (unretired) tasks; [`TaskId`] `i` lives at `tasks[i - retired]`.
     tasks: Vec<ScheduledTask>,
+    /// Tasks dropped by [`Engine::retire_before`]; the id-space offset of
+    /// `tasks[0]`.
+    retired: usize,
+    /// Latest end time among retired tasks (so [`Engine::makespan`] stays
+    /// exact after retirement). 0 while nothing has retired.
+    retired_makespan: f64,
 }
 
 impl Engine {
@@ -199,13 +206,27 @@ impl Engine {
     #[must_use]
     pub fn deps_ready_ms(&self, deps: &[TaskId]) -> f64 {
         deps.iter()
-            .map(|d| {
-                self.tasks
-                    .get(d.0)
-                    .unwrap_or_else(|| panic!("unknown dependency task id {}", d.0))
-                    .end
-            })
+            .map(|d| self.task(*d).end)
             .fold(0.0f64, f64::max)
+    }
+
+    /// Looks up a live task record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is beyond the submission frontier, or if the task
+    /// was dropped by [`Engine::retire_before`] (callers must keep their
+    /// dependency horizon inside the retirement window).
+    fn task(&self, id: TaskId) -> &ScheduledTask {
+        assert!(
+            id.0 >= self.retired,
+            "task id {} was retired (retirement window too small for the \
+             caller's dependency horizon)",
+            id.0
+        );
+        self.tasks
+            .get(id.0 - self.retired)
+            .unwrap_or_else(|| panic!("unknown task id {}", id.0))
     }
 
     /// Submits a task to the least-loaded unit of a pool and returns its id.
@@ -286,7 +307,79 @@ impl Engine {
             start,
             end,
         });
-        TaskId(self.tasks.len() - 1)
+        TaskId(self.retired + self.tasks.len() - 1)
+    }
+
+    /// Retires completed history: drops every task (and resource interval)
+    /// that ended at or before `t_ms` from the *front* of the schedule, so a
+    /// long-running simulation holds O(window) live state per resource
+    /// instead of the full task history. Returns how many tasks retired.
+    ///
+    /// Retirement is prefix-only (ids stay dense), stops at the first task
+    /// still ending after `t_ms`, and never touches accumulated busy time,
+    /// `free_at` frontiers, or the makespan — aggregates stay exact. Looking
+    /// up a retired task afterwards panics, so callers must keep `t_ms` at
+    /// least one dependency horizon behind every session's frontier (fleets
+    /// use `min(last_display_end) - window`).
+    pub fn retire_before(&mut self, t_ms: f64) -> usize {
+        let k = self
+            .tasks
+            .iter()
+            .position(|t| t.end > t_ms)
+            .unwrap_or(self.tasks.len());
+        if k > 0 {
+            for t in self.tasks.drain(..k) {
+                self.retired_makespan = self.retired_makespan.max(t.end);
+            }
+            self.retired += k;
+        }
+        for r in &mut self.resources {
+            // Per-resource intervals are non-overlapping and time-ordered,
+            // so retired history is a prefix here too.
+            let cut = r
+                .intervals
+                .iter()
+                .position(|iv| iv.1 > t_ms)
+                .unwrap_or(r.intervals.len());
+            r.intervals.drain(..cut);
+        }
+        k
+    }
+
+    /// Tasks currently held live (submitted and not retired).
+    #[must_use]
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Tasks dropped by [`Engine::retire_before`] so far.
+    #[must_use]
+    pub fn retired_tasks(&self) -> usize {
+        self.retired
+    }
+
+    /// Live busy intervals currently held for one resource.
+    #[must_use]
+    pub fn live_intervals(&self, id: ResourceId) -> usize {
+        self.resources[id.0].intervals.len()
+    }
+
+    /// Number of distinct resources created so far (a churn fleet recycling
+    /// its per-session slots keeps this O(peak concurrency)).
+    #[must_use]
+    pub fn resource_count(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// The largest live-interval count across all resources — the
+    /// per-resource retained state a bounded-memory run must keep flat.
+    #[must_use]
+    pub fn max_live_intervals(&self) -> usize {
+        self.resources
+            .iter()
+            .map(|r| r.intervals.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Submits a task that becomes ready at an absolute time (e.g. a sensor
@@ -307,16 +400,16 @@ impl Engine {
         self.submit(label, resource, duration_ms, &all_deps)
     }
 
-    /// Start time of a task.
+    /// Start time of a (live) task.
     #[must_use]
     pub fn start_of(&self, id: TaskId) -> f64 {
-        self.tasks[id.0].start
+        self.task(id).start
     }
 
-    /// End time of a task.
+    /// End time of a (live) task.
     #[must_use]
     pub fn end_of(&self, id: TaskId) -> f64 {
-        self.tasks[id.0].end
+        self.task(id).end
     }
 
     /// The time the resource becomes free under the current schedule.
@@ -337,10 +430,14 @@ impl Engine {
         &self.resources[id.0].name
     }
 
-    /// Latest task end across the whole schedule (0 when empty).
+    /// Latest task end across the whole schedule, retired history included
+    /// (0 when empty).
     #[must_use]
     pub fn makespan(&self) -> f64 {
-        self.tasks.iter().map(|t| t.end).fold(0.0, f64::max)
+        self.tasks
+            .iter()
+            .map(|t| t.end)
+            .fold(self.retired_makespan, f64::max)
     }
 
     /// Utilisation of a resource over the makespan, `[0, 1]`.
@@ -354,7 +451,8 @@ impl Engine {
         }
     }
 
-    /// All scheduled tasks in submission order.
+    /// All *live* scheduled tasks in submission order (retired history is
+    /// gone — that is the point of retirement).
     #[must_use]
     pub fn tasks(&self) -> &[ScheduledTask] {
         &self.tasks
@@ -569,10 +667,46 @@ impl SharedEngine {
         self.0.borrow().timeline(max_tasks)
     }
 
-    /// Number of tasks submitted so far.
+    /// Number of tasks submitted so far (retired history included).
     #[must_use]
     pub fn task_count(&self) -> usize {
-        self.0.borrow().tasks().len()
+        let e = self.0.borrow();
+        e.retired_tasks() + e.live_tasks()
+    }
+
+    /// See [`Engine::retire_before`].
+    pub fn retire_before(&self, t_ms: f64) -> usize {
+        self.0.borrow_mut().retire_before(t_ms)
+    }
+
+    /// See [`Engine::live_tasks`].
+    #[must_use]
+    pub fn live_tasks(&self) -> usize {
+        self.0.borrow().live_tasks()
+    }
+
+    /// See [`Engine::retired_tasks`].
+    #[must_use]
+    pub fn retired_tasks(&self) -> usize {
+        self.0.borrow().retired_tasks()
+    }
+
+    /// See [`Engine::live_intervals`].
+    #[must_use]
+    pub fn live_intervals(&self, id: ResourceId) -> usize {
+        self.0.borrow().live_intervals(id)
+    }
+
+    /// See [`Engine::resource_count`].
+    #[must_use]
+    pub fn resource_count(&self) -> usize {
+        self.0.borrow().resource_count()
+    }
+
+    /// See [`Engine::max_live_intervals`].
+    #[must_use]
+    pub fn max_live_intervals(&self) -> usize {
+        self.0.borrow().max_live_intervals()
     }
 
     /// Runs a closure against the underlying engine (escape hatch for
@@ -878,6 +1012,65 @@ mod tests {
         assert!(eng.verify_exclusivity());
         assert!(eng.to_string().contains("2 tasks"));
         assert_eq!(other.with(|e| e.tasks().len()), 2);
+    }
+
+    #[test]
+    fn retirement_drops_history_but_keeps_aggregates_exact() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let mut last = None;
+        for i in 0..50 {
+            let deps: Vec<TaskId> = last.into_iter().collect();
+            last = Some(sim.submit(&format!("t{i}"), Some(gpu), 2.0, &deps));
+        }
+        let makespan_before = sim.makespan();
+        let busy_before = sim.busy_ms(gpu);
+        let retired = sim.retire_before(60.0);
+        assert_eq!(retired, 30, "tasks ending at or before 60 ms retire");
+        assert_eq!(sim.retired_tasks(), 30);
+        assert_eq!(sim.live_tasks(), 20);
+        assert_eq!(sim.live_intervals(gpu), 20);
+        assert_eq!(sim.makespan(), makespan_before);
+        assert_eq!(sim.busy_ms(gpu), busy_before);
+        // Live ids keep working; new submissions keep dense ids.
+        assert_eq!(sim.end_of(last.unwrap()), 100.0);
+        let next = sim.submit("t50", Some(gpu), 1.0, &[last.unwrap()]);
+        assert_eq!(sim.start_of(next), 100.0);
+        assert!(sim.verify_exclusivity());
+    }
+
+    #[test]
+    fn retirement_is_a_noop_on_future_tasks() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let t = sim.submit("a", Some(gpu), 5.0, &[]);
+        assert_eq!(sim.retire_before(4.9), 0);
+        assert_eq!(sim.end_of(t), 5.0);
+        assert_eq!(sim.retired_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retired")]
+    fn retired_dependency_lookup_panics() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let old = sim.submit("old", Some(gpu), 1.0, &[]);
+        sim.retire_before(1.0);
+        let _ = sim.end_of(old);
+    }
+
+    #[test]
+    fn retirement_keeps_pool_accounting() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 2);
+        for i in 0..8 {
+            sim.submit_to_pool(&format!("t{i}"), pool, 3.0, &[]);
+        }
+        let util_before = sim.pool_utilization(pool);
+        sim.retire_before(6.0);
+        assert_eq!(sim.pool_utilization(pool), util_before);
+        assert_eq!(sim.pool_busy_ms(pool), 24.0);
+        assert!(sim.max_live_intervals() <= 2);
     }
 
     #[test]

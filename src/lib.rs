@@ -82,6 +82,10 @@ pub use qvr_sim as sim;
 pub mod prelude {
     pub use qvr_codec::{CodecLatencyModel, SizeModel, TransformCodec};
     pub use qvr_core::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
+    pub use qvr_core::churn::{
+        ChurnConfig, ChurnEvent, ChurnEventKind, ChurnFleet, ChurnSummary, ChurnTrace, TenantRecord,
+    };
+    pub use qvr_core::clock::{FleetClock, SteppingPolicy};
     pub use qvr_core::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
     pub use qvr_core::metrics::{FrameRecord, RunSummary};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
