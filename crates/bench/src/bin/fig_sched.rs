@@ -1,0 +1,6 @@
+//! Regenerates the server scheduling policy sweep (mixed noisy-neighbour
+//! fleet × networks × placement policies).
+
+fn main() {
+    println!("{}", qvr_bench::fig_sched::report());
+}

@@ -7,7 +7,7 @@
 type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [Section; 12] = [
+    let sections: [Section; 13] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
         (
             "Table 1 + Fig. 5 (static characterisation)",
@@ -23,6 +23,10 @@ fn main() {
         (
             "Fleet scaling (multi-tenant extension)",
             qvr_bench::fig_fleet::report,
+        ),
+        (
+            "Server scheduling policies (noisy neighbours x placement)",
+            qvr_bench::fig_sched::report,
         ),
         (
             "SLO admission control (fairness x offered load)",

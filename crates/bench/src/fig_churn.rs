@@ -63,6 +63,7 @@ fn burst_policy(system: &SystemConfig, probe_frames: usize) -> AdmissionPolicy {
         shared_network: true,
         link_streams: 2,
         fairness: FairnessPolicy::Weighted,
+        server_policy: ServerPolicy::default(),
         stepping: SteppingPolicy::RoundRobin,
         retire_window_ms: None,
     });

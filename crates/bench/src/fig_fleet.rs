@@ -107,22 +107,16 @@ fn report_with(sizes: &[usize], frames: usize) -> String {
     // of the same size runs near private-rate latencies (tables above).
     let mixed = Fleet::run(FleetConfig {
         system: SystemConfig::default(),
-        sessions: vec![
-            SessionSpec::new(SchemeKind::Qvr, Benchmark::Grid.profile()),
-            SessionSpec::new(SchemeKind::Qvr, Benchmark::Doom3L.profile()),
-            SessionSpec::new(SchemeKind::Qvr, Benchmark::Ut3.profile()),
-            SessionSpec::new(SchemeKind::Qvr, Benchmark::Wolf.profile()),
-            SessionSpec::new(SchemeKind::Dfr, Benchmark::Hl2H.profile()),
-            SessionSpec::new(SchemeKind::Ffr, Benchmark::Hl2L.profile()),
-            SessionSpec::new(SchemeKind::StaticCollab, Benchmark::Doom3H.profile()),
-            SessionSpec::new(SchemeKind::RemoteOnly, Benchmark::Wolf.profile()),
-        ],
+        // The canonical noisy-neighbour roster (shared with the fig_sched
+        // policy sweep, which shows how to fix what this table exposes).
+        sessions: crate::fig_sched::mixed_sessions(),
         frames,
         seed: SEED,
         server_units: SystemConfig::default().remote.count() as usize,
         shared_network: true,
         link_streams: SystemConfig::default().remote.count() as usize,
         fairness: FairnessPolicy::EqualShare,
+        server_policy: ServerPolicy::default(),
         stepping: SteppingPolicy::RoundRobin,
         retire_window_ms: None,
     });

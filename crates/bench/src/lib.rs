@@ -23,6 +23,7 @@ pub mod fig15;
 pub mod fig_admission;
 pub mod fig_churn;
 pub mod fig_fleet;
+pub mod fig_sched;
 pub mod overhead;
 pub mod table1;
 pub mod table4;

@@ -39,6 +39,7 @@
 use crate::clock::SteppingPolicy;
 use crate::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 use crate::metrics::{RunSummary, SortedSamples};
+use crate::sched::ServerPolicy;
 use crate::schemes::SystemConfig;
 use qvr_net::{FairnessPolicy, LinkShare};
 use std::fmt;
@@ -189,6 +190,7 @@ impl fmt::Display for AdmissionDecision {
 pub struct AdmissionController {
     system: SystemConfig,
     fairness: FairnessPolicy,
+    server_policy: ServerPolicy,
     server_units: usize,
     link_streams: usize,
     seed: u64,
@@ -246,6 +248,7 @@ impl AdmissionController {
         AdmissionController {
             system,
             fairness,
+            server_policy: ServerPolicy::default(),
             server_units,
             link_streams,
             seed,
@@ -272,9 +275,23 @@ impl AdmissionController {
             shared_network: true,
             link_streams: self.link_streams,
             fairness: self.fairness,
+            server_policy: self.server_policy,
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
         }
+    }
+
+    /// Returns a copy probing under a server scheduling policy (so
+    /// admission decisions reflect the placement the fleet actually runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid for the controller's server pool.
+    #[must_use]
+    pub fn with_server_policy(mut self, policy: ServerPolicy) -> Self {
+        policy.validate(self.server_units);
+        self.server_policy = policy;
+        self
     }
 
     /// The fleet config the controller would run right now with `frames`

@@ -36,6 +36,7 @@ use crate::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
 use crate::clock::FleetClock;
 use crate::fleet::{session_seed, SessionSpec};
 use crate::metrics::{RunSummary, SortedSamples};
+use crate::sched::ServerPolicy;
 use crate::schemes::{ServerPool, SystemConfig};
 use crate::session::Session;
 use qvr_net::{FairnessPolicy, NetworkChannel, SharedChannel};
@@ -208,6 +209,9 @@ pub struct ChurnConfig {
     pub link_streams: usize,
     /// How the shared link arbitrates its budget.
     pub fairness: FairnessPolicy,
+    /// How the shared server pool places tenants' remote chains, by
+    /// tenant class (see [`crate::sched::ServerPolicy`]).
+    pub server_policy: ServerPolicy,
     /// SLO gate for joins (and upgrade engine for leaves); `None` admits
     /// everyone at their requested share.
     pub admission: Option<AdmissionPolicy>,
@@ -241,10 +245,18 @@ impl ChurnConfig {
             server_units: units,
             link_streams: units,
             fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
             admission: None,
             retire_window_ms: None,
             warm_start: true,
         }
+    }
+
+    /// Returns a copy with a server scheduling policy.
+    #[must_use]
+    pub fn with_server_policy(mut self, policy: ServerPolicy) -> Self {
+        self.server_policy = policy;
+        self
     }
 
     /// Returns a copy with an admission gate.
@@ -361,6 +373,14 @@ impl ChurnSummary {
     /// one displayed frame. This is the series that shows tails spiking at
     /// join bursts and recovering after reclaim.
     ///
+    /// Buckets are uniformly **half-open**: bucket `k` covers
+    /// `[k·window, (k+1)·window)`, so a sample at an interior boundary
+    /// `k·window` belongs to bucket `k`, and a sample at or past
+    /// `horizon_ms` (a final frame can overshoot the horizon) gets the
+    /// bucket its time actually falls in — an earlier version clamped it
+    /// *down* into the last pre-horizon bucket, treating the horizon
+    /// boundary differently from every interior one.
+    ///
     /// # Panics
     ///
     /// Panics if `window_ms` is not positive-finite.
@@ -373,7 +393,10 @@ impl ChurnSummary {
         let buckets = (self.horizon_ms / window_ms).ceil().max(1.0) as usize;
         let mut per: Vec<Vec<f64>> = vec![Vec::new(); buckets];
         for (t, mtp) in &self.samples {
-            let b = ((t / window_ms) as usize).min(buckets - 1);
+            let b = (t / window_ms).floor() as usize;
+            if b >= per.len() {
+                per.resize(b + 1, Vec::new());
+            }
             per[b].push(*mtp);
         }
         per.into_iter()
@@ -433,6 +456,7 @@ pub struct ChurnFleet {
     system: SystemConfig,
     seed: u64,
     horizon_ms: f64,
+    server_policy: ServerPolicy,
     retire_window_ms: Option<f64>,
     warm_start: bool,
     engine: SharedEngine,
@@ -499,6 +523,7 @@ impl ChurnFleet {
             config.link_streams > 0,
             "the link needs at least one stream"
         );
+        config.server_policy.validate(config.server_units);
         let engine = SharedEngine::new();
         let server = ServerPool::on(&engine, config.server_units);
         let link = SharedChannel::new(NetworkChannel::new(config.system.network, config.seed));
@@ -513,6 +538,7 @@ impl ChurnFleet {
                 config.server_units,
                 config.link_streams,
             )
+            .with_server_policy(config.server_policy)
         });
         let mut pending: VecDeque<ChurnEvent> = config
             .initial
@@ -524,6 +550,7 @@ impl ChurnFleet {
             system: config.system,
             seed: config.seed,
             horizon_ms: config.horizon_ms,
+            server_policy: config.server_policy,
             retire_window_ms: config.retire_window_ms,
             warm_start: config.warm_start,
             engine,
@@ -683,7 +710,10 @@ impl ChurnFleet {
                 None => self.link.join(spec.share),
             }
         } else {
-            self.link.clone()
+            // Non-streaming tenants get a private channel — a clone of the
+            // shared handle would let future link touches mutate the
+            // shared RNG/ACK state without membership (see `Fleet::new`).
+            SharedChannel::new(NetworkChannel::new(self.system.network, seed))
         };
         // Warm start: begin at the crowd's operating point instead of the
         // cold default (only meaningful for adaptive-controller schemes).
@@ -706,6 +736,9 @@ impl ChurnFleet {
                 self.slots.len() - 1
             }
         };
+        let directive = self
+            .server_policy
+            .directive(spec.scheme.tenant_class(), self.server.units());
         let mut session = Session::in_fleet(
             spec.scheme,
             &system,
@@ -715,6 +748,7 @@ impl ChurnFleet {
             channel,
             self.server,
             slot,
+            directive,
         );
         session.gate_at(at_ms);
         self.live.push(Some(Box::new(Tenant {
@@ -981,6 +1015,43 @@ mod tests {
         assert!(
             max < 6.0 * min.max(1e-9),
             "slot reuse must not leak busy time across tenants: {radios:?}"
+        );
+    }
+
+    #[test]
+    fn windowed_p95_buckets_are_uniformly_half_open() {
+        // Interval convention: bucket k covers [k·w, (k+1)·w). A sample at
+        // an interior boundary k·w lands in bucket k, and a sample at
+        // exactly the horizon (or past it — final frames can overshoot)
+        // lands in the bucket its time falls in, never clamped down.
+        let summary = ChurnSummary {
+            tenants: Vec::new(),
+            samples: vec![
+                (0.0, 10.0),   // bucket 0 start
+                (99.9, 11.0),  // bucket 0 interior
+                (100.0, 20.0), // interior boundary → bucket 1, not 0
+                (300.0, 30.0), // exactly the horizon → bucket 3, not 2
+                (310.0, 31.0), // overshoot past the horizon → bucket 3
+            ],
+            occupancy: Vec::new(),
+            rejected: 0,
+            degraded: 0,
+            upgrades: 0,
+            dropped_leaves: 0,
+            horizon_ms: 300.0,
+            peak_live_per_resource: 0,
+            retired_tasks: 0,
+            total_tasks: 0,
+        };
+        let windows = summary.windowed_p95(100.0);
+        let starts: Vec<f64> = windows.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(starts, vec![0.0, 100.0, 300.0], "bucket 2 is empty");
+        let counts: Vec<usize> = windows.iter().map(|(_, n, _)| *n).collect();
+        assert_eq!(counts, vec![2, 1, 2]);
+        let (_, _, p95_boundary) = windows[1];
+        assert_eq!(
+            p95_boundary, 20.0,
+            "the interior-boundary sample belongs to its own bucket"
         );
     }
 

@@ -26,6 +26,7 @@
 
 use crate::clock::{FleetClock, SteppingPolicy};
 use crate::metrics::{RunSummary, SortedSamples};
+use crate::sched::ServerPolicy;
 use crate::schemes::{SchemeKind, ServerPool, SystemConfig};
 use crate::session::Session;
 use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, SharedChannel};
@@ -92,6 +93,11 @@ pub struct FleetConfig {
     /// bit-identical to the pre-policy engine. Ignored when
     /// `shared_network` is `false`.
     pub fairness: FairnessPolicy,
+    /// How the shared server pool places tenants' remote chains on GPU
+    /// units, by tenant class ([`SchemeKind::tenant_class`]).
+    /// [`ServerPolicy::LeastLoaded`] (the default) is bit-pinned by the
+    /// fig_fleet goldens; ignored in dedicated single-tenant mode.
+    pub server_policy: ServerPolicy,
     /// How sessions advance through simulated time.
     /// [`SteppingPolicy::RoundRobin`] (the default) is bit-pinned by the
     /// fig_fleet goldens; [`SteppingPolicy::VirtualTime`] steps the
@@ -134,6 +140,7 @@ impl FleetConfig {
             shared_network: true,
             link_streams: server_units,
             fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
         }
@@ -208,6 +215,7 @@ impl Fleet {
                 retire_window_ms: config.retire_window_ms,
             };
         }
+        config.server_policy.validate(config.server_units);
         let engine = SharedEngine::new();
         let server = ServerPool::on(&engine, config.server_units);
         let shared_channel = if config.shared_network {
@@ -228,12 +236,18 @@ impl Fleet {
                 // register as members (and so contend for it) — a LocalOnly
                 // neighbour must not debit the bandwidth share of the
                 // streaming sessions. Membership drives the occupancy the
-                // fairness policy divides by.
+                // fairness policy divides by. Non-streaming tenants get a
+                // *private* channel: handing them a clone of the shared
+                // handle would let any future code path that touches the
+                // link mutate the shared channel's RNG/ACK state without
+                // being a member, silently coupling tenants.
                 let channel = match &shared_channel {
                     Some(ch) if spec.scheme.uses_network() => ch.join(spec.share),
-                    Some(ch) => ch.clone(),
-                    None => SharedChannel::new(NetworkChannel::new(config.system.network, seed)),
+                    _ => SharedChannel::new(NetworkChannel::new(config.system.network, seed)),
                 };
+                let directive = config
+                    .server_policy
+                    .directive(spec.scheme.tenant_class(), config.server_units);
                 Session::in_fleet(
                     spec.scheme,
                     &config.system,
@@ -243,6 +257,7 @@ impl Fleet {
                     channel,
                     server,
                     i,
+                    directive,
                 )
             })
             .collect();
@@ -441,6 +456,7 @@ impl Fleet {
             shared_network: false,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
         };
@@ -493,9 +509,21 @@ impl FleetSummary {
                 .flat_map(|s| s.frames.iter().map(|f| f.mtp_ms))
                 .collect(),
         );
-        let fps: Vec<f64> = sessions.iter().map(RunSummary::fps).collect();
+        // Sessions that recorded no frames (possible for a churn join that
+        // leaves immediately) carry no FPS signal: their `fps()` is a
+        // 0-over-span division, which would drag the floor to a meaningless
+        // 0 and dilute the mean, so they are excluded from the rate stats.
+        let fps: Vec<f64> = sessions
+            .iter()
+            .filter(|s| !s.frames.is_empty())
+            .map(RunSummary::fps)
+            .collect();
         let fps_floor = fps.iter().copied().fold(f64::INFINITY, f64::min);
-        let mean_fps = fps.iter().sum::<f64>() / fps.len().max(1) as f64;
+        let mean_fps = if fps.is_empty() {
+            0.0
+        } else {
+            fps.iter().sum::<f64>() / fps.len() as f64
+        };
         FleetSummary {
             mtp_p50_ms: mtps.p50(),
             mtp_p95_ms: mtps.p95(),
@@ -576,6 +604,54 @@ impl FleetSummary {
         )
     }
 
+    /// p95 motion-to-photon latency over the masked subset of sessions
+    /// (`mask[i]` keeps session `i`) — how a class-aware sweep reads one
+    /// tenant class's tail out of a mixed fleet. 0 when the subset has no
+    /// frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length doesn't match the session count.
+    #[must_use]
+    pub fn mtp_p95_over(&self, mask: &[bool]) -> f64 {
+        assert_eq!(mask.len(), self.sessions.len(), "mask/session mismatch");
+        let samples: Vec<f64> = self
+            .sessions
+            .iter()
+            .zip(mask)
+            .filter(|(_, keep)| **keep)
+            .flat_map(|(s, _)| s.frames.iter().map(|f| f.mtp_ms))
+            .collect();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        SortedSamples::new(samples).p95()
+    }
+
+    /// The slowest frame rate over the masked subset of sessions
+    /// (zero-frame sessions excluded, as in the fleet-wide floor). 0 when
+    /// the subset has no frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length doesn't match the session count.
+    #[must_use]
+    pub fn fps_floor_over(&self, mask: &[bool]) -> f64 {
+        assert_eq!(mask.len(), self.sessions.len(), "mask/session mismatch");
+        let floor = self
+            .sessions
+            .iter()
+            .zip(mask)
+            .filter(|(s, keep)| **keep && !s.frames.is_empty())
+            .map(|(s, _)| s.fps())
+            .fold(f64::INFINITY, f64::min);
+        if floor.is_finite() {
+            floor
+        } else {
+            0.0
+        }
+    }
+
     /// Mean downlink bytes per frame across all sessions.
     #[must_use]
     pub fn mean_tx_bytes(&self) -> f64 {
@@ -641,6 +717,7 @@ mod tests {
                 shared_network: true,
                 link_streams: 1,
                 fairness: FairnessPolicy::EqualShare,
+                server_policy: ServerPolicy::default(),
                 stepping: SteppingPolicy::RoundRobin,
                 retire_window_ms: None,
             })
@@ -651,6 +728,118 @@ mod tests {
             alone.sessions[0].frames, crowded.sessions[0].frames,
             "idle neighbours must not change the streaming session's frames"
         );
+    }
+
+    #[test]
+    fn local_only_neighbours_hold_private_channels() {
+        // Regression: `Fleet::new` used to hand non-streaming tenants a
+        // clone of the *shared* channel handle, so any code path touching
+        // the neighbour's link would mutate the shared RNG/ACK state
+        // without being a member. The neighbour must get a private channel:
+        // hammering it leaves the shared channel's occupancy, transfer
+        // counter, and RNG stream (and therefore the streaming session's
+        // frames) untouched.
+        let config = FleetConfig {
+            system: cfg(),
+            sessions: vec![
+                SessionSpec::new(SchemeKind::Qvr, Benchmark::Hl2H.profile()),
+                SessionSpec::new(SchemeKind::LocalOnly, Benchmark::Doom3L.profile()),
+            ],
+            frames: 12,
+            seed: 5,
+            server_units: 4,
+            shared_network: true,
+            link_streams: 2,
+            fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
+            stepping: SteppingPolicy::RoundRobin,
+            retire_window_ms: None,
+        };
+        let run = |poke: bool| {
+            let mut fleet = Fleet::new(config.clone());
+            let streaming = fleet.sessions()[0].channel_handle();
+            let local = fleet.sessions()[1].channel_handle();
+            assert_eq!(
+                local.members(),
+                0,
+                "a non-streaming tenant must hold a private channel"
+            );
+            assert_eq!(streaming.members(), 1, "only the streamer joined");
+            assert_eq!(streaming.occupancy(), 1);
+            let transfers_before = streaming.transfers();
+            for _ in 0..12 {
+                fleet.step_round();
+                if poke {
+                    // A future code path touching the neighbour's link.
+                    let _ = local.download_ms(512.0 * 1024.0);
+                }
+            }
+            assert!(streaming.transfers() > transfers_before);
+            (streaming.transfers(), fleet.finish())
+        };
+        let (quiet_transfers, quiet) = run(false);
+        let (poked_transfers, poked) = run(true);
+        assert_eq!(
+            quiet_transfers, poked_transfers,
+            "poking the private neighbour channel must not reach the shared one"
+        );
+        assert_eq!(
+            quiet.sessions[0].frames, poked.sessions[0].frames,
+            "the streaming session's RNG stream must be unaffected"
+        );
+    }
+
+    #[test]
+    fn zero_frame_sessions_do_not_poison_fps_aggregates() {
+        // A churn join that leaves immediately can finish with a positive
+        // residency span and zero recorded frames; the floor/mean must skip
+        // it instead of collapsing to 0 (or NaN).
+        let normal = SchemeKind::LocalOnly.run(&cfg(), Benchmark::Doom3L.profile(), 5, 3);
+        let mut empty = normal.clone();
+        empty.frames.clear();
+        empty.makespan_ms = 50.0;
+        let s =
+            FleetSummary::from_sessions(vec![normal.clone(), empty.clone()], 100.0, 0.5, 8, true);
+        assert_eq!(s.fps_floor, normal.fps());
+        assert_eq!(s.mean_fps, normal.fps());
+        assert!(s.fps_floor.is_finite() && s.mean_fps.is_finite());
+        // An all-empty fleet reports zero rates, never NaN.
+        let s2 = FleetSummary::from_sessions(vec![empty], 100.0, 0.5, 8, true);
+        assert_eq!(s2.fps_floor, 0.0);
+        assert_eq!(s2.mean_fps, 0.0);
+    }
+
+    #[test]
+    fn subset_metrics_select_by_mask() {
+        let s = Fleet::run(FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            3,
+            10,
+            7,
+        ));
+        let all = vec![true; 3];
+        assert_eq!(s.mtp_p95_over(&all), s.mtp_p95_ms);
+        assert_eq!(s.fps_floor_over(&all), s.fps_floor);
+        let one = vec![false, true, false];
+        assert_eq!(s.fps_floor_over(&one), s.sessions[1].fps());
+        assert_eq!(s.mtp_p95_over(&[false, false, false]), 0.0);
+        assert_eq!(s.fps_floor_over(&[false, false, false]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask/session mismatch")]
+    fn subset_mask_length_must_match() {
+        let s = Fleet::run(FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Grid.profile(),
+            2,
+            5,
+            1,
+        ));
+        let _ = s.mtp_p95_over(&[true]);
     }
 
     #[test]
@@ -667,6 +856,7 @@ mod tests {
             shared_network: false,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
         };
@@ -748,6 +938,7 @@ mod tests {
             shared_network: true,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
         });
@@ -810,6 +1001,7 @@ mod tests {
             shared_network: true,
             link_streams: 1,
             fairness: FairnessPolicy::EqualShare,
+            server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
         });
@@ -893,6 +1085,7 @@ mod tests {
                 shared_network: true,
                 link_streams: 1,
                 fairness: FairnessPolicy::Weighted,
+                server_policy: ServerPolicy::default(),
                 stepping: SteppingPolicy::RoundRobin,
                 retire_window_ms: None,
             })
@@ -939,6 +1132,7 @@ mod tests {
                 shared_network: true,
                 link_streams: 2,
                 fairness: FairnessPolicy::Weighted,
+                server_policy: ServerPolicy::default(),
                 stepping: SteppingPolicy::RoundRobin,
                 retire_window_ms: None,
             })

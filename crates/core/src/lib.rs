@@ -29,6 +29,10 @@
 //! * [`admission`] — SLO admission control: probe-based accept / degrade /
 //!   reject of joining sessions against p95-MTP, FPS-floor, and
 //!   pool-utilization targets.
+//! * [`sched`] — server-side GPU scheduling policies for heterogeneous
+//!   fleets: class-aware unit placement (least-loaded / quota-partition /
+//!   adaptive-priority) isolating adaptive tenants from noisy
+//!   non-adaptive neighbours.
 //! * [`metrics`] — per-frame records and run summaries (latency breakdowns,
 //!   FPS, transmitted bytes, energy).
 //!
@@ -55,6 +59,7 @@ pub mod fleet;
 pub mod foveation;
 pub mod liwc;
 pub mod metrics;
+pub mod sched;
 pub mod schemes;
 pub mod session;
 pub mod uca;
@@ -67,6 +72,7 @@ pub use fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 pub use foveation::{FoveationPlan, LayerChannel, RenderGraph, VrsRate};
 pub use liwc::Liwc;
 pub use metrics::{FrameRecord, RunSummary};
+pub use sched::{ServerPolicy, TenantClass};
 pub use schemes::{SchemeKind, SystemConfig};
 pub use session::Session;
 pub use uca::Uca;

@@ -1,0 +1,310 @@
+//! Server-side GPU scheduling policies for heterogeneous fleets.
+//!
+//! The `fig_fleet` noisy-neighbour table shows the failure mode Q-VR's
+//! collaborative regime predicts: non-adaptive tenants (static collaborative
+//! rendering ships full colour+depth frames, remote-only streams
+//! everything) saturate the shared server pool under least-loaded placement
+//! and drag every *adaptive* session — the tenants whose LIWC could
+//! otherwise absorb contention — down with them. Multi-party VR studies
+//! consistently find that per-user experience floors under shared
+//! infrastructure are the make-or-break property of these systems, so the
+//! server needs an isolation lever of its own.
+//!
+//! A [`ServerPolicy`] is that lever. Every fleet submission carries a
+//! [`TenantClass`] derived from its scheme
+//! ([`crate::schemes::SchemeKind::tenant_class`]): schemes with a dynamic
+//! workload controller (DFR, software Q-VR, full Q-VR) are
+//! [`TenantClass::Adaptive`]; fixed-split schemes (remote-only, static
+//! collaborative, FFR) are [`TenantClass::BestEffort`]. The policy resolves
+//! each class to a per-session placement directive over the GPU pool:
+//!
+//! * [`ServerPolicy::LeastLoaded`] — the default: every chain takes the
+//!   earliest-start unit of the whole pool, exactly the pre-policy engine
+//!   (bit-pinned by the `fig_fleet` goldens).
+//! * [`ServerPolicy::QuotaPartition`] — a static split: the first
+//!   `reserved` units are reserved for adaptive tenants and the rest belong
+//!   to best-effort tenants; neither class crosses the boundary, so a
+//!   best-effort task is *never* scheduled on a reserved unit (the quota
+//!   invariant) and the adaptive slice sees only its own class's queueing.
+//! * [`ServerPolicy::AdaptivePriority`] — work-stealing priority: adaptive
+//!   tenants keep whole-pool earliest-start selection while best-effort
+//!   chains *pack* onto the most-loaded unit, vacating the quiet units for
+//!   adaptive work — unless the packed unit's start would exceed the
+//!   task's ready time by more than `aging_ms`, in which case the
+//!   best-effort task falls back to the earliest-start unit (the bounded
+//!   aging guarantee: best-effort work is deprioritised, never starved
+//!   beyond the bound relative to the work-conserving choice).
+//!
+//! Policies act on *placement only*: per-unit arbitration stays FIFO in
+//! submission order, schedules stay deterministic, and single-tenant
+//! (dedicated) rigs ignore the policy entirely — there is nobody to
+//! isolate a lone session from.
+
+use std::fmt;
+
+/// The server-side scheduling class of a tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TenantClass {
+    /// Schemes with a dynamic workload controller (DFR, software Q-VR,
+    /// full Q-VR): they re-balance around contention, and server policies
+    /// protect them so that feedback loop has headroom to work with.
+    Adaptive,
+    /// Fixed-split schemes (remote-only, static collaborative, FFR): their
+    /// server demand is inelastic, so isolation policies confine or
+    /// deprioritise them.
+    BestEffort,
+}
+
+impl TenantClass {
+    /// Display label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantClass::Adaptive => "adaptive",
+            TenantClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl fmt::Display for TenantClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the shared server pool places tenants' remote chains on GPU units
+/// (see the module docs for the three designs).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ServerPolicy {
+    /// Earliest-start over the whole pool for every tenant — the
+    /// pre-policy engine, bit-pinned by the `fig_fleet` goldens.
+    #[default]
+    LeastLoaded,
+    /// Static split: units `[0, reserved)` serve adaptive tenants only,
+    /// units `[reserved, pool)` serve best-effort tenants only.
+    QuotaPartition {
+        /// GPU units reserved for the adaptive class; must leave at least
+        /// one unit for best-effort work (`1 ≤ reserved < pool units`).
+        reserved: usize,
+    },
+    /// Adaptive tenants keep whole-pool earliest-start; best-effort chains
+    /// pack onto the most-loaded unit unless that would delay their start
+    /// more than `aging_ms` past ready (then they take the earliest-start
+    /// unit — the bounded aging guarantee).
+    AdaptivePriority {
+        /// Longest queueing delay (beyond the task's ready time) a packed
+        /// best-effort chain accepts before falling back to the
+        /// work-conserving earliest-start unit, ms.
+        aging_ms: f64,
+    },
+}
+
+impl ServerPolicy {
+    /// Checks the policy against a concrete pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quota partition doesn't leave both classes at least one
+    /// unit, or if the aging bound is not finite and non-negative.
+    pub fn validate(&self, units: usize) {
+        match self {
+            ServerPolicy::LeastLoaded => {}
+            ServerPolicy::QuotaPartition { reserved } => {
+                assert!(
+                    *reserved >= 1 && *reserved < units,
+                    "QuotaPartition must leave both classes at least one unit: \
+                     reserved {reserved} of {units}"
+                );
+            }
+            ServerPolicy::AdaptivePriority { aging_ms } => {
+                assert!(
+                    aging_ms.is_finite() && *aging_ms >= 0.0,
+                    "the aging bound must be finite and non-negative, got {aging_ms}"
+                );
+            }
+        }
+    }
+
+    /// Resolves the policy to one session's placement directive over a
+    /// `units`-wide pool.
+    #[must_use]
+    pub(crate) fn directive(&self, class: TenantClass, units: usize) -> UnitDirective {
+        match (self, class) {
+            (ServerPolicy::LeastLoaded, _)
+            | (ServerPolicy::AdaptivePriority { .. }, TenantClass::Adaptive) => {
+                UnitDirective::EarliestStart { lo: 0, hi: units }
+            }
+            // `validate` guarantees 1 ≤ reserved < units; an unvalidated
+            // policy fails loudly in the engine's range assert rather than
+            // being silently clamped into an overlapping split.
+            (ServerPolicy::QuotaPartition { reserved }, TenantClass::Adaptive) => {
+                UnitDirective::EarliestStart {
+                    lo: 0,
+                    hi: *reserved,
+                }
+            }
+            (ServerPolicy::QuotaPartition { reserved }, TenantClass::BestEffort) => {
+                UnitDirective::EarliestStart {
+                    lo: *reserved,
+                    hi: units,
+                }
+            }
+            (ServerPolicy::AdaptivePriority { aging_ms }, TenantClass::BestEffort) => {
+                UnitDirective::PackLatest {
+                    aging_ms: *aging_ms,
+                    units,
+                }
+            }
+        }
+    }
+
+    /// Display label (short, for sweep tables).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ServerPolicy::LeastLoaded => "least-loaded".to_owned(),
+            ServerPolicy::QuotaPartition { reserved } => format!("quota(res={reserved})"),
+            ServerPolicy::AdaptivePriority { aging_ms } => format!("priority(age={aging_ms:.0}ms)"),
+        }
+    }
+}
+
+impl fmt::Display for ServerPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A resolved per-session placement rule, applied by
+/// [`crate::schemes::Rig::remote_chain`] at every submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum UnitDirective {
+    /// Earliest-start selection over units `[lo, hi)` (the exact
+    /// `(start, free_at, index)` order of
+    /// [`qvr_sim::Engine::least_loaded_unit_in`]).
+    EarliestStart {
+        /// First eligible unit index.
+        lo: usize,
+        /// One past the last eligible unit index.
+        hi: usize,
+    },
+    /// Pack onto the most-loaded unit of the whole pool, falling back to
+    /// earliest-start once the packed start would exceed ready + bound.
+    PackLatest {
+        /// The aging bound, ms.
+        aging_ms: f64,
+        /// Pool width.
+        units: usize,
+    },
+}
+
+impl UnitDirective {
+    /// The whole-pool earliest-start rule (dedicated rigs, default policy).
+    #[must_use]
+    pub(crate) fn whole_pool(units: usize) -> Self {
+        UnitDirective::EarliestStart { lo: 0, hi: units }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::SchemeKind;
+
+    #[test]
+    fn class_derivation_matches_controller_presence() {
+        assert!(SchemeKind::Qvr.is_adaptive());
+        assert!(SchemeKind::QvrSw.is_adaptive());
+        assert!(SchemeKind::Dfr.is_adaptive());
+        assert!(!SchemeKind::Ffr.is_adaptive());
+        assert!(!SchemeKind::StaticCollab.is_adaptive());
+        assert!(!SchemeKind::RemoteOnly.is_adaptive());
+        assert!(!SchemeKind::LocalOnly.is_adaptive());
+        assert_eq!(SchemeKind::Qvr.tenant_class(), TenantClass::Adaptive);
+        assert_eq!(
+            SchemeKind::RemoteOnly.tenant_class(),
+            TenantClass::BestEffort
+        );
+    }
+
+    #[test]
+    fn least_loaded_maps_everyone_to_the_whole_pool() {
+        for class in [TenantClass::Adaptive, TenantClass::BestEffort] {
+            assert_eq!(
+                ServerPolicy::LeastLoaded.directive(class, 8),
+                UnitDirective::whole_pool(8)
+            );
+        }
+    }
+
+    #[test]
+    fn quota_partition_splits_the_pool() {
+        let p = ServerPolicy::QuotaPartition { reserved: 6 };
+        assert_eq!(
+            p.directive(TenantClass::Adaptive, 8),
+            UnitDirective::EarliestStart { lo: 0, hi: 6 }
+        );
+        assert_eq!(
+            p.directive(TenantClass::BestEffort, 8),
+            UnitDirective::EarliestStart { lo: 6, hi: 8 }
+        );
+    }
+
+    #[test]
+    fn adaptive_priority_packs_best_effort_only() {
+        let p = ServerPolicy::AdaptivePriority { aging_ms: 50.0 };
+        assert_eq!(
+            p.directive(TenantClass::Adaptive, 8),
+            UnitDirective::whole_pool(8)
+        );
+        assert_eq!(
+            p.directive(TenantClass::BestEffort, 8),
+            UnitDirective::PackLatest {
+                aging_ms: 50.0,
+                units: 8
+            }
+        );
+    }
+
+    #[test]
+    fn validation_accepts_sane_policies() {
+        ServerPolicy::LeastLoaded.validate(1);
+        ServerPolicy::QuotaPartition { reserved: 1 }.validate(2);
+        ServerPolicy::QuotaPartition { reserved: 7 }.validate(8);
+        ServerPolicy::AdaptivePriority { aging_ms: 0.0 }.validate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn quota_must_leave_best_effort_a_unit() {
+        ServerPolicy::QuotaPartition { reserved: 8 }.validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn quota_must_reserve_at_least_one_unit() {
+        ServerPolicy::QuotaPartition { reserved: 0 }.validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "aging bound")]
+    fn negative_aging_rejected() {
+        ServerPolicy::AdaptivePriority { aging_ms: -1.0 }.validate(8);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ServerPolicy::default(), ServerPolicy::LeastLoaded);
+        assert_eq!(ServerPolicy::LeastLoaded.to_string(), "least-loaded");
+        assert_eq!(
+            ServerPolicy::QuotaPartition { reserved: 6 }.to_string(),
+            "quota(res=6)"
+        );
+        assert_eq!(
+            ServerPolicy::AdaptivePriority { aging_ms: 50.0 }.to_string(),
+            "priority(age=50ms)"
+        );
+        assert_eq!(TenantClass::Adaptive.to_string(), "adaptive");
+        assert_eq!(TenantClass::BestEffort.to_string(), "best-effort");
+    }
+}

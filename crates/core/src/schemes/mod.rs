@@ -224,6 +224,29 @@ impl SchemeKind {
         !matches!(self, SchemeKind::LocalOnly)
     }
 
+    /// Whether this scheme carries a *dynamic* workload controller (LIWC
+    /// or the software controller) that re-balances local/remote work in
+    /// response to contention. Server scheduling policies
+    /// ([`crate::sched::ServerPolicy`]) derive each tenant's class from
+    /// this: adaptive schemes get protected placement, fixed-split schemes
+    /// (remote-only, static collaborative, FFR's fixed fovea) ride
+    /// best-effort.
+    #[must_use]
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, SchemeKind::Dfr | SchemeKind::QvrSw | SchemeKind::Qvr)
+    }
+
+    /// The server scheduling class this scheme belongs to (see
+    /// [`SchemeKind::is_adaptive`]).
+    #[must_use]
+    pub fn tenant_class(&self) -> crate::sched::TenantClass {
+        if self.is_adaptive() {
+            crate::sched::TenantClass::Adaptive
+        } else {
+            crate::sched::TenantClass::BestEffort
+        }
+    }
+
     /// The paper's label.
     #[must_use]
     pub fn label(&self) -> &'static str {

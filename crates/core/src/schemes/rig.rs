@@ -10,6 +10,7 @@
 
 use super::SystemConfig;
 use crate::metrics::{FrameRecord, RunSummary};
+use crate::sched::UnitDirective;
 use qvr_energy::BusyTimes;
 use qvr_gpu::{FrameWorkload, GpuTimingModel};
 use qvr_net::{NetworkChannel, SharedChannel};
@@ -88,6 +89,10 @@ pub struct Rig {
     /// Fleet mode: remote renders cost per-GPU time on a pool unit, and
     /// recorded chain latencies include queueing behind other tenants.
     contended: bool,
+    /// How this session's remote chains pick a server unit — resolved by
+    /// the fleet's [`crate::sched::ServerPolicy`] from the session's
+    /// tenant class (whole-pool earliest-start outside a policy fleet).
+    directive: UnitDirective,
     /// Absolute simulated time this session's life starts (0 unless gated
     /// by [`Rig::gate_at`]): spans, FPS, and frame intervals measure from
     /// here, so a mid-run joiner isn't billed for time before it existed.
@@ -133,23 +138,35 @@ impl Rig {
         let engine = SharedEngine::new();
         let channel = SharedChannel::new(NetworkChannel::new(config.network, seed));
         let server = ServerPool::on(&engine, 1);
-        Self::build(config, engine, channel, server, None, false)
+        let directive = UnitDirective::whole_pool(1);
+        Self::build(config, engine, channel, server, None, false, directive)
     }
 
     /// Builds a rig that joins a fleet: per-session mobile-side resources
     /// (tagged with the session index), shared server pools, and a shared
-    /// (or per-session) channel on a shared engine.
+    /// (or per-session) channel on a shared engine. `directive` is the
+    /// fleet policy's placement rule for this tenant's class.
     #[must_use]
-    pub fn in_fleet(
+    pub(crate) fn in_fleet(
         config: &SystemConfig,
         engine: SharedEngine,
         channel: SharedChannel,
         server: ServerPool,
         session_idx: usize,
+        directive: UnitDirective,
     ) -> Self {
-        Self::build(config, engine, channel, server, Some(session_idx), true)
+        Self::build(
+            config,
+            engine,
+            channel,
+            server,
+            Some(session_idx),
+            true,
+            directive,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         config: &SystemConfig,
         engine: SharedEngine,
@@ -157,6 +174,7 @@ impl Rig {
         server: ServerPool,
         session_idx: Option<usize>,
         contended: bool,
+        directive: UnitDirective,
     ) -> Self {
         let name = |base: &str| match session_idx {
             Some(i) => format!("{base}#{i}"),
@@ -192,6 +210,7 @@ impl Rig {
             mobile: GpuTimingModel::new(config.gpu),
             config: *config,
             contended,
+            directive,
             origin_ms: 0.0,
             busy_baseline,
             recent_displays: std::collections::VecDeque::new(),
@@ -285,13 +304,38 @@ impl Rig {
         }
     }
 
+    /// Resolves this session's placement directive to a concrete server
+    /// unit for a chain becoming ready at `ready` ms.
+    fn select_chain_unit(&self, ready: f64) -> usize {
+        let pool = self.server.rgpu;
+        match self.directive {
+            UnitDirective::EarliestStart { lo, hi } => {
+                self.engine.least_loaded_unit_in(pool, ready, lo..hi)
+            }
+            UnitDirective::PackLatest { aging_ms, units } => {
+                let packed = self.engine.most_loaded_unit_in(pool, ready, 0..units);
+                let free = self.engine.free_at(self.engine.pool_unit(pool, packed));
+                if free > ready + aging_ms {
+                    // Aging bound hit: take the work-conserving choice so
+                    // deprioritised work never waits more than `aging_ms`
+                    // beyond what least-loaded placement would give it.
+                    self.engine.least_loaded_unit_in(pool, ready, 0..units)
+                } else {
+                    packed
+                }
+            }
+        }
+    }
+
     /// Submits the remote render → encode → transmit → decode chain, split
     /// into `tx_chunks` streaming chunks so the stages overlap (the paper:
     /// "remote rendering, network transmission and video codex can be
     /// streamed in parallel").
     ///
-    /// The whole chain is pinned to one server unit — the least-loaded GPU
-    /// (and its encoder) at the time the chain becomes ready — so a frame
+    /// The whole chain is pinned to one server unit — chosen by the
+    /// session's placement directive (least-loaded by default; a fleet's
+    /// [`crate::sched::ServerPolicy`] may confine or deprioritise the
+    /// choice by tenant class) together with its encoder — so a frame
     /// never straddles GPUs while chunks still pipeline against the network
     /// and the decoder. With a 1-unit pool this reduces exactly to the
     /// classic single-resource schedule.
@@ -314,7 +358,7 @@ impl Rig {
         let encode_ms = self.config.codec_latency.encode_ms(decode_px);
         let decode_ms = self.config.codec_latency.decode_ms(decode_px);
         let ready = self.engine.deps_ready_ms(deps);
-        let unit = self.engine.least_loaded_unit(self.server.rgpu, ready);
+        let unit = self.select_chain_unit(ready);
         let rgpu = self.engine.pool_unit(self.server.rgpu, unit);
         let senc = self.engine.pool_unit(self.server.senc, unit);
         let mut tx_total_ms = 0.0;

@@ -10,6 +10,7 @@
 //! on shared resources by a [`crate::fleet::Fleet`].
 
 use crate::metrics::RunSummary;
+use crate::sched::UnitDirective;
 use crate::schemes::{Rig, SchemeKind, ServerPool, Stepper, SystemConfig};
 use qvr_net::SharedChannel;
 use qvr_scene::{AppProfile, AppSession};
@@ -42,7 +43,8 @@ impl Session {
 
     /// Opens a session that joins a fleet: per-session mobile resources on
     /// the shared engine, the shared server pool, and the given channel
-    /// view (shared or per-session).
+    /// view (shared or per-session). `directive` is the fleet's server
+    /// policy resolved for this tenant's class.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn in_fleet(
@@ -54,8 +56,9 @@ impl Session {
         channel: SharedChannel,
         server: ServerPool,
         session_idx: usize,
+        directive: UnitDirective,
     ) -> Self {
-        let rig = Rig::in_fleet(config, engine, channel, server, session_idx);
+        let rig = Rig::in_fleet(config, engine, channel, server, session_idx, directive);
         Self::with_rig(scheme, config, profile, seed, rig)
     }
 

@@ -175,20 +175,89 @@ impl Engine {
 
     /// Index of the least-loaded unit for work becoming ready at
     /// `ready_at_ms`: the unit that can start it earliest, tie-broken by
-    /// earliest free time, then lowest index. Greedy earliest-start
-    /// selection is work-conserving — no unit sits idle past `ready_at_ms`
-    /// while the submitted task waits on a busier one.
+    /// earliest free time, then lowest index — the exact lexicographic
+    /// total order on `(start, free_at, index)`, so selection is transitive
+    /// and independent of unit iteration order (an earlier epsilon-banded
+    /// comparison was not). Greedy earliest-start selection is
+    /// work-conserving — no unit sits idle past `ready_at_ms` while the
+    /// submitted task waits on a busier one.
     #[must_use]
     pub fn least_loaded_unit(&self, pool: PoolId, ready_at_ms: f64) -> usize {
+        self.least_loaded_unit_in(pool, ready_at_ms, 0..self.pools[pool.0].units.len())
+    }
+
+    /// [`Engine::least_loaded_unit`] restricted to the unit-index subrange
+    /// `range` — the substrate of class-aware server scheduling policies
+    /// (a tenant class confined to a slice of the pool selects only inside
+    /// its slice). Same exact `(start, free_at, index)` total order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty or out of the pool's bounds.
+    #[must_use]
+    pub fn least_loaded_unit_in(
+        &self,
+        pool: PoolId,
+        ready_at_ms: f64,
+        range: std::ops::Range<usize>,
+    ) -> usize {
         let units = &self.pools[pool.0].units;
-        let mut best = 0usize;
+        assert!(
+            range.start < range.end && range.end <= units.len(),
+            "unit range {range:?} invalid for a {}-unit pool",
+            units.len()
+        );
+        let mut best = range.start;
         let mut best_start = f64::INFINITY;
         let mut best_free = f64::INFINITY;
-        for (i, rid) in units.iter().enumerate() {
-            let free = self.resources[rid.0].free_at;
+        for i in range {
+            let free = self.resources[units[i].0].free_at;
             let start = free.max(ready_at_ms);
-            if start < best_start - 1e-12
-                || (start < best_start + 1e-12 && free < best_free - 1e-12)
+            if start
+                .total_cmp(&best_start)
+                .then(free.total_cmp(&best_free))
+                .is_lt()
+            {
+                best = i;
+                best_start = start;
+                best_free = free;
+            }
+        }
+        best
+    }
+
+    /// The *most*-loaded unit of the subrange: the one whose next task
+    /// would start latest (maximising `(start, free_at)`, ties to the
+    /// lowest index). Packing policies use it to concentrate best-effort
+    /// work on already-hot units, keeping the rest of the pool clear for
+    /// priority tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty or out of the pool's bounds.
+    #[must_use]
+    pub fn most_loaded_unit_in(
+        &self,
+        pool: PoolId,
+        ready_at_ms: f64,
+        range: std::ops::Range<usize>,
+    ) -> usize {
+        let units = &self.pools[pool.0].units;
+        assert!(
+            range.start < range.end && range.end <= units.len(),
+            "unit range {range:?} invalid for a {}-unit pool",
+            units.len()
+        );
+        let mut best = range.start;
+        let mut best_start = f64::NEG_INFINITY;
+        let mut best_free = f64::NEG_INFINITY;
+        for i in range {
+            let free = self.resources[units[i].0].free_at;
+            let start = free.max(ready_at_ms);
+            if start
+                .total_cmp(&best_start)
+                .then(free.total_cmp(&best_free))
+                .is_gt()
             {
                 best = i;
                 best_start = start;
@@ -243,6 +312,25 @@ impl Engine {
     ) -> TaskId {
         let ready = self.deps_ready_ms(deps);
         let unit = self.pools[pool.0].units[self.least_loaded_unit(pool, ready)];
+        self.submit(label, Some(unit), duration_ms, deps)
+    }
+
+    /// [`Engine::submit_to_pool`] restricted to the unit-index subrange
+    /// `range` (earliest-start selection within the slice only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty or out of the pool's bounds.
+    pub fn submit_to_pool_in(
+        &mut self,
+        label: &str,
+        pool: PoolId,
+        duration_ms: f64,
+        deps: &[TaskId],
+        range: std::ops::Range<usize>,
+    ) -> TaskId {
+        let ready = self.deps_ready_ms(deps);
+        let unit = self.pools[pool.0].units[self.least_loaded_unit_in(pool, ready, range)];
         self.submit(label, Some(unit), duration_ms, deps)
     }
 
@@ -561,6 +649,32 @@ impl SharedEngine {
         self.0.borrow().least_loaded_unit(pool, ready_at_ms)
     }
 
+    /// See [`Engine::least_loaded_unit_in`].
+    #[must_use]
+    pub fn least_loaded_unit_in(
+        &self,
+        pool: PoolId,
+        ready_at_ms: f64,
+        range: std::ops::Range<usize>,
+    ) -> usize {
+        self.0
+            .borrow()
+            .least_loaded_unit_in(pool, ready_at_ms, range)
+    }
+
+    /// See [`Engine::most_loaded_unit_in`].
+    #[must_use]
+    pub fn most_loaded_unit_in(
+        &self,
+        pool: PoolId,
+        ready_at_ms: f64,
+        range: std::ops::Range<usize>,
+    ) -> usize {
+        self.0
+            .borrow()
+            .most_loaded_unit_in(pool, ready_at_ms, range)
+    }
+
     /// See [`Engine::deps_ready_ms`].
     #[must_use]
     pub fn deps_ready_ms(&self, deps: &[TaskId]) -> f64 {
@@ -605,6 +719,20 @@ impl SharedEngine {
         self.0
             .borrow_mut()
             .submit_to_pool(label, pool, duration_ms, deps)
+    }
+
+    /// See [`Engine::submit_to_pool_in`].
+    pub fn submit_to_pool_in(
+        &self,
+        label: &str,
+        pool: PoolId,
+        duration_ms: f64,
+        deps: &[TaskId],
+        range: std::ops::Range<usize>,
+    ) -> TaskId {
+        self.0
+            .borrow_mut()
+            .submit_to_pool_in(label, pool, duration_ms, deps, range)
     }
 
     /// See [`Engine::start_of`].
@@ -922,6 +1050,70 @@ mod tests {
         assert_eq!(sim.start_of(queued), 5.0, "fifth task must queue");
         assert!(sim.verify_exclusivity());
         assert_eq!(sim.makespan(), 10.0);
+    }
+
+    #[test]
+    fn restricted_selection_stays_inside_its_slice() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 4);
+        let units = sim.pool_units(pool).to_vec();
+        // Unit 2 is the emptiest overall, but a [0, 2) restriction must
+        // never pick it.
+        sim.submit("l0", Some(units[0]), 9.0, &[]);
+        sim.submit("l1", Some(units[1]), 5.0, &[]);
+        sim.submit("l3", Some(units[3]), 7.0, &[]);
+        assert_eq!(sim.least_loaded_unit(pool, 0.0), 2);
+        assert_eq!(sim.least_loaded_unit_in(pool, 0.0, 0..2), 1);
+        let t = sim.submit_to_pool_in("confined", pool, 1.0, &[], 0..2);
+        assert_eq!(sim.start_of(t), 5.0, "queued on unit 1, not free unit 2");
+        assert_eq!(sim.busy_ms(units[2]), 0.0, "the excluded unit stays idle");
+    }
+
+    #[test]
+    fn selection_total_order_breaks_exact_ties_by_free_then_index() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 3);
+        let units = sim.pool_units(pool).to_vec();
+        // Every unit starts a ready-at-6 task at exactly 6.0 (free at 4, 2,
+        // and 0) — the start-time tie breaks to the earliest-free unit.
+        sim.submit("a", Some(units[0]), 4.0, &[]);
+        sim.submit("b", Some(units[1]), 2.0, &[]);
+        assert_eq!(sim.least_loaded_unit(pool, 6.0), 2, "lowest free_at wins");
+        // All units exactly equal → lowest index.
+        let mut e = Engine::new();
+        let q = e.resource_pool("Q", 3);
+        assert_eq!(e.least_loaded_unit(q, 0.0), 0);
+    }
+
+    #[test]
+    fn most_loaded_unit_picks_the_latest_start() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 3);
+        let units = sim.pool_units(pool).to_vec();
+        sim.submit("a", Some(units[0]), 3.0, &[]);
+        sim.submit("b", Some(units[2]), 8.0, &[]);
+        assert_eq!(sim.most_loaded_unit_in(pool, 0.0, 0..3), 2);
+        assert_eq!(sim.most_loaded_unit_in(pool, 0.0, 0..2), 0);
+        // Exact ties break to the lowest index.
+        let mut e = Engine::new();
+        let q = e.resource_pool("Q", 2);
+        assert_eq!(e.most_loaded_unit_in(q, 0.0, 0..2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn empty_selection_range_rejected() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 2);
+        let _ = sim.least_loaded_unit_in(pool, 0.0, 1..1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn out_of_bounds_selection_range_rejected() {
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("P", 2);
+        let _ = sim.most_loaded_unit_in(pool, 0.0, 0..3);
     }
 
     #[test]

@@ -65,6 +65,77 @@ proptest! {
     }
 
     #[test]
+    fn selection_is_an_exact_total_order(jobs in workload_strategy(), k in 2usize..9) {
+        // The chosen unit must be the lexicographic minimum of
+        // (start, free_at, index) over all units — computed here by
+        // scanning in *reverse* index order, so any iteration-order
+        // dependence (the failure mode of the old epsilon tie-break, which
+        // was not transitive near 1e-12 boundaries) would be caught.
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("POOL", k);
+        let units = sim.pool_units(pool).to_vec();
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (i, (dur, dep)) in jobs.iter().enumerate() {
+            let deps: Vec<TaskId> = if *dep > 0 && *dep <= i {
+                vec![ids[i - dep]]
+            } else {
+                Vec::new()
+            };
+            let ready = sim.deps_ready_ms(&deps);
+            let expected = units
+                .iter()
+                .enumerate()
+                .rev()
+                .min_by(|(ia, ua), (ib, ub)| {
+                    let (fa, fb) = (sim.free_at(**ua), sim.free_at(**ub));
+                    fa.max(ready)
+                        .total_cmp(&fb.max(ready))
+                        .then(fa.total_cmp(&fb))
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty pool");
+            prop_assert_eq!(sim.least_loaded_unit(pool, ready), expected);
+            ids.push(sim.submit_to_pool(&format!("t{i}"), pool, *dur, &deps));
+        }
+    }
+
+    #[test]
+    fn restricted_selection_is_work_conserving_within_its_slice(
+        jobs in workload_strategy(),
+        k in 2usize..9,
+        split in 1usize..8,
+    ) {
+        // Class-aware scheduling: tasks confined to units[lo..k] must start
+        // at the earliest instant any unit *of the slice* allows, and must
+        // never touch a unit outside it.
+        let lo = split.min(k - 1);
+        let mut sim = Engine::new();
+        let pool = sim.resource_pool("POOL", k);
+        let units = sim.pool_units(pool).to_vec();
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (i, (dur, dep)) in jobs.iter().enumerate() {
+            let deps: Vec<TaskId> = if *dep > 0 && *dep <= i {
+                vec![ids[i - dep]]
+            } else {
+                Vec::new()
+            };
+            let ready = sim.deps_ready_ms(&deps);
+            let earliest = units[lo..]
+                .iter()
+                .map(|u| sim.free_at(*u).max(ready))
+                .fold(f64::INFINITY, f64::min);
+            let id = sim.submit_to_pool_in(&format!("t{i}"), pool, *dur, &deps, lo..k);
+            prop_assert_eq!(sim.start_of(id), earliest);
+            ids.push(id);
+        }
+        for u in &units[..lo] {
+            prop_assert_eq!(sim.busy_ms(*u), 0.0, "excluded units must stay idle");
+        }
+        prop_assert!(sim.verify_exclusivity());
+    }
+
+    #[test]
     fn k1_pool_reproduces_single_resource_schedule(jobs in workload_strategy()) {
         // The same submission sequence through a k = 1 pool and through the
         // classic single resource must yield the identical schedule, task

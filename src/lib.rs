@@ -88,6 +88,7 @@ pub mod prelude {
     pub use qvr_core::clock::{FleetClock, SteppingPolicy};
     pub use qvr_core::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
     pub use qvr_core::metrics::{FrameRecord, RunSummary};
+    pub use qvr_core::sched::{ServerPolicy, TenantClass};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
     pub use qvr_core::session::Session;
     pub use qvr_core::{FoveationPlan, Liwc, RenderGraph, Uca, VrsRate};

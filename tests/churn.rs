@@ -151,6 +151,7 @@ fn virtual_time_retires_the_section7_skew_artifact() {
         shared_network: true,
         link_streams: 1,
         fairness: FairnessPolicy::Weighted,
+        server_policy: ServerPolicy::default(),
         stepping,
         retire_window_ms: None,
     };
