@@ -1,0 +1,5 @@
+//! Regenerates the fleet energy sweep (sessions × network × policy).
+
+fn main() {
+    println!("{}", qvr_bench::fig_energy::report());
+}

@@ -7,7 +7,7 @@
 type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [Section; 13] = [
+    let sections: [Section; 14] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
         (
             "Table 1 + Fig. 5 (static characterisation)",
@@ -35,6 +35,10 @@ fn main() {
         (
             "Session churn (dynamic fleets, virtual time)",
             qvr_bench::fig_churn::report,
+        ),
+        (
+            "Fleet energy (sessions x network x placement)",
+            qvr_bench::fig_energy::report,
         ),
     ];
     for (name, f) in sections {

@@ -66,6 +66,7 @@ fn burst_policy(system: &SystemConfig, probe_frames: usize) -> AdmissionPolicy {
         server_policy: ServerPolicy::default(),
         stepping: SteppingPolicy::RoundRobin,
         retire_window_ms: None,
+        telemetry: TelemetryConfig::default(),
     });
     let mut policy = AdmissionPolicy::default()
         .with_mtp_p95_slo_ms(1.4 * duo.mtp_p95_ms)

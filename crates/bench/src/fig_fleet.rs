@@ -119,6 +119,7 @@ fn report_with(sizes: &[usize], frames: usize) -> String {
         server_policy: ServerPolicy::default(),
         stepping: SteppingPolicy::RoundRobin,
         retire_window_ms: None,
+        telemetry: TelemetryConfig::default(),
     });
     out.push_str(
         "Heterogeneous 8-session fleet (mixed apps + schemes, Wi-Fi) — noisy neighbours\n",

@@ -9,7 +9,7 @@
 //! heavy far-future chains over *every* unit's frontier, so the adaptive
 //! tenants queue behind them on whichever unit they pick (DESIGN.md
 //! §7/§9 — pool frontier coupling). This sweep re-runs exactly that
-//! 8-session roster on Wi-Fi / 4G LTE / early 5G under the three
+//! 8-session roster on Wi-Fi / 4G LTE / early 5G under the four
 //! [`ServerPolicy`] designs and reports each tenant class's tail latency
 //! and FPS floor side by side, with a uniform 8×Q-VR fleet of the same
 //! size as the recovery target. Expected shape: under `QuotaPartition`
@@ -18,7 +18,12 @@
 //! 50 ms aging bound), the adaptive tenants' p95 MTP and FPS floor
 //! recover toward uniform-fleet levels while the Static/Remote tenants
 //! keep paying their own (network-dominated) costs plus the queueing they
-//! used to externalise.
+//! used to externalise. `MeasuredLoad` (same 6/2 split, membership by the
+//! telemetry `LoadTracker` EWMA instead of scheme class) matches the
+//! quota row's adaptive recovery while freeing FFR — best-effort by
+//! class, light by measurement — from the heavy slice: its frame rate
+//! recovers ~7× vs quota on Wi-Fi, and the fleet floor (set by the
+//! network-bound Static/Remote tenants either way) stays put.
 
 use crate::{TextTable, SEED};
 use qvr::prelude::*;
@@ -35,9 +40,27 @@ pub const QUOTA_RESERVED: usize = 6;
 /// Aging bound for packed best-effort chains under the priority policy, ms.
 pub const PRIORITY_AGING_MS: f64 = 50.0;
 
-/// The three policies swept, default first.
+/// EWMA server-ms/frame above which `MeasuredLoad` places a tenant on the
+/// heavy slice. On the mixed roster the adaptive tenants and FFR measure
+/// 0.7–3.9 ms/frame while Static and Remote measure 14–20 ms on every
+/// network, so 8 ms splits the two populations with wide margin.
+pub const MEASURED_HEAVY_MS: f64 = 8.0;
+
+/// The measured-load policy cell: same 6/2 unit split as the quota row,
+/// but membership decided by each tenant's *measured* server time (the
+/// telemetry `LoadTracker` EWMA) instead of its scheme class — so FFR,
+/// best-effort by class but light by measurement, earns light placement.
 #[must_use]
-pub fn policies() -> [ServerPolicy; 3] {
+pub fn measured_policy() -> ServerPolicy {
+    ServerPolicy::MeasuredLoad {
+        reserved: QUOTA_RESERVED,
+        heavy_ms: MEASURED_HEAVY_MS,
+    }
+}
+
+/// The four policies swept, default first.
+#[must_use]
+pub fn policies() -> [ServerPolicy; 4] {
     [
         ServerPolicy::LeastLoaded,
         ServerPolicy::QuotaPartition {
@@ -46,6 +69,7 @@ pub fn policies() -> [ServerPolicy; 3] {
         ServerPolicy::AdaptivePriority {
             aging_ms: PRIORITY_AGING_MS,
         },
+        measured_policy(),
     ]
 }
 
@@ -83,6 +107,7 @@ pub fn mixed_config(preset: NetworkPreset, policy: ServerPolicy, frames: usize) 
         server_policy: policy,
         stepping: SteppingPolicy::RoundRobin,
         retire_window_ms: None,
+        telemetry: TelemetryConfig::default(),
     }
 }
 
@@ -122,19 +147,22 @@ fn report_with(frames: usize) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Server scheduling policies — the mixed noisy-neighbour fleet ({} adaptive + {} \
-         best-effort tenants, 8 GPU units) under 3 placement policies\n",
+         best-effort tenants, 8 GPU units) under {} placement policies\n",
         adaptive.iter().filter(|a| **a).count(),
         best_effort.iter().filter(|b| **b).count(),
+        policies().len(),
     ));
     out.push_str(
         "least-loaded spreads the slow tenants' heavy (far-future) chains over every\n\
          unit's frontier, queueing the adaptive class behind them; quota confines them\n\
-         to the unreserved slice and priority packs them onto the hottest unit, so the\n\
-         adaptive tail and FPS floor recover toward the uniform reference while the\n\
-         Static/Remote tenants keep their own network-dominated latencies\n\n",
+         to the unreserved slice, priority packs them onto the hottest unit, and\n\
+         measured re-derives the quota split from each tenant's *streamed* server\n\
+         time (freeing light-by-measurement FFR), so the adaptive tail and FPS floor\n\
+         recover toward the uniform reference while the Static/Remote tenants keep\n\
+         their own network-dominated latencies\n\n",
     );
 
-    // Per preset: the 3 policy rows plus the uniform reference.
+    // Per preset: the policy rows plus the uniform reference.
     let rows_per_preset = policies().len() + 1;
     for (preset, preset_results) in NetworkPreset::all()
         .iter()
@@ -196,6 +224,7 @@ mod tests {
         assert!(r.contains("least-loaded"));
         assert!(r.contains("quota(res=6)"));
         assert!(r.contains("priority(age=50ms)"));
+        assert!(r.contains("measured(res=6,heavy=8ms)"));
         assert!(r.contains("adaptive p95"));
     }
 }

@@ -22,6 +22,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig_admission;
 pub mod fig_churn;
+pub mod fig_energy;
 pub mod fig_fleet;
 pub mod fig_sched;
 pub mod overhead;

@@ -41,6 +41,7 @@ use crate::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 use crate::metrics::{RunSummary, SortedSamples};
 use crate::sched::ServerPolicy;
 use crate::schemes::SystemConfig;
+use crate::telemetry::TelemetryConfig;
 use qvr_net::{FairnessPolicy, LinkShare};
 use std::fmt;
 
@@ -278,6 +279,7 @@ impl AdmissionController {
             server_policy: self.server_policy,
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

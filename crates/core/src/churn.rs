@@ -39,6 +39,8 @@ use crate::metrics::{RunSummary, SortedSamples};
 use crate::sched::ServerPolicy;
 use crate::schemes::{ServerPool, SystemConfig};
 use crate::session::Session;
+use crate::telemetry::{client_energy_mj, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink};
+use qvr_energy::FleetEnergy;
 use qvr_net::{FairnessPolicy, NetworkChannel, SharedChannel};
 use qvr_sim::SharedEngine;
 use rand::rngs::StdRng;
@@ -221,6 +223,12 @@ pub struct ChurnConfig {
     /// Whether joiners warm-start their LIWC at the live fleet's mean
     /// operating eccentricity instead of the cold default.
     pub warm_start: bool,
+    /// Which built-in telemetry sinks stream this run's frame events
+    /// (default-on). With [`TelemetryConfig::window_ms`] set, the MTP
+    /// timeline streams through a [`crate::telemetry::WindowedStatsSink`] at O(window) live
+    /// memory and [`ChurnSummary::samples`] stays empty — the scalable
+    /// replacement for the per-run series.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ChurnConfig {
@@ -249,7 +257,17 @@ impl ChurnConfig {
             admission: None,
             retire_window_ms: None,
             warm_start: true,
+            telemetry: TelemetryConfig::default(),
         }
+    }
+
+    /// Returns a copy that streams its MTP timeline through a
+    /// [`crate::telemetry::WindowedStatsSink`] at this bucket width instead of retaining the
+    /// O(run) sample series.
+    #[must_use]
+    pub fn with_stats_window_ms(mut self, window_ms: f64) -> Self {
+        self.telemetry = self.telemetry.with_window_ms(window_ms);
+        self
     }
 
     /// Returns a copy with a server scheduling policy.
@@ -324,8 +342,23 @@ pub struct ChurnSummary {
     /// in arrival-ordinal order).
     pub tenants: Vec<TenantRecord>,
     /// `(display_end_ms, mtp_ms)` for every frame displayed, in step order
-    /// (the raw series behind [`ChurnSummary::windowed_p95`]).
+    /// (the raw series behind [`ChurnSummary::windowed_p95`]). **Empty**
+    /// when the run streamed its timeline instead
+    /// ([`ChurnConfig::with_stats_window_ms`]) — read
+    /// [`ChurnSummary::windows`] there.
     pub samples: Vec<(f64, f64)>,
+    /// The streamed windowed-p95 timeline `(start_ms, frames, p95_ms)`
+    /// when stats streaming was configured; empty otherwise. Same bucket
+    /// convention (and bit-identical values) as
+    /// [`ChurnSummary::windowed_p95`] over the retained series.
+    pub windows: Vec<(f64, usize, f64)>,
+    /// Largest raw-sample count the streaming stats sink ever held live
+    /// (0 when streaming was off) — the O(window) memory bound the
+    /// bounded-memory CI job asserts.
+    pub peak_open_samples: usize,
+    /// Fleet-level energy over the run (server pool + AP + every tenant's
+    /// headset), streamed by the telemetry [`crate::telemetry::EnergyMeter`].
+    pub energy: FleetEnergy,
     /// `(at_ms, live_count_after)` at every membership change.
     pub occupancy: Vec<(f64, usize)>,
     /// Join offers that were rejected at admission.
@@ -488,6 +521,14 @@ pub struct ChurnFleet {
     roster_ordinals: Vec<usize>,
     controller: Option<AdmissionController>,
     pending: VecDeque<ChurnEvent>,
+    /// The telemetry fan-out every frame event streams through.
+    sinks: SinkSet,
+    /// The measured-load handle placement directives read
+    /// (`sinks.load()`, kept here so joins can reset recycled slots).
+    load: LoadTracker,
+    /// Whether the MTP timeline streams through the windowed sink (the
+    /// sample series then stays empty).
+    stream_stats: bool,
     // --- outputs under construction ---
     finished: Vec<TenantRecord>,
     samples: Vec<(f64, f64)>,
@@ -546,6 +587,14 @@ impl ChurnFleet {
             .map(|spec| ChurnEvent::join(0.0, spec))
             .collect();
         pending.extend(config.trace.events.iter().cloned());
+        let sinks = SinkSet::from_config(
+            &config.telemetry,
+            &config.system,
+            config.server_units,
+            false, // churn has its own summary shape; no aggregate stream
+        );
+        let load = sinks.load();
+        let stream_stats = config.telemetry.window_ms.is_some();
         ChurnFleet {
             system: config.system,
             seed: config.seed,
@@ -565,6 +614,9 @@ impl ChurnFleet {
             roster_ordinals: Vec::new(),
             controller,
             pending,
+            sinks,
+            load,
+            stream_stats,
             finished: Vec::new(),
             samples: Vec::new(),
             occupancy: Vec::new(),
@@ -631,10 +683,11 @@ impl ChurnFleet {
         let tenant = self.live[ordinal]
             .as_mut()
             .expect("occupied slots map to live tenants");
-        tenant.session.step();
-        let t = tenant.session.last_display_end();
-        if let Some(mtp) = tenant.session.last_mtp_ms() {
-            self.samples.push((t, mtp));
+        let event = tenant.session.step();
+        self.sinks.emit(&event);
+        let t = event.end_ms;
+        if !self.stream_stats {
+            self.samples.push((t, event.mtp_ms));
         }
         if t < self.horizon_ms {
             self.clock.schedule(slot, t);
@@ -654,7 +707,30 @@ impl ChurnFleet {
                 }
             }
         }
+        if self.stream_stats {
+            // Close streamed stat buckets no future sample can reach: a
+            // future frame ends after its session's clock (≥ the heap
+            // frontier), and a future *joiner*'s first frame ends after its
+            // join event's time — so the safe frontier is the earlier of
+            // the clock head and the next pending membership event.
+            let frontier = self.clock.peek().map(|(_, f)| f);
+            let pending_at = self.pending.front().map(|e| e.at_ms);
+            let safe = match (frontier, pending_at) {
+                (Some(f), Some(p)) => Some(f.min(p)),
+                (Some(f), None) => Some(f),
+                (None, p) => p,
+            };
+            if let Some(t) = safe {
+                self.sinks.close_windows_before(t);
+            }
+        }
         true
+    }
+
+    /// Attaches a custom telemetry sink (receives every frame event from
+    /// now on).
+    pub fn attach_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.attach(sink);
     }
 
     /// Applies one membership event.
@@ -736,9 +812,15 @@ impl ChurnFleet {
                 self.slots.len() - 1
             }
         };
-        let directive = self
-            .server_policy
-            .directive(spec.scheme.tenant_class(), self.server.units());
+        // A recycled slot must not inherit its predecessor's measured-load
+        // profile: the joiner starts unmeasured (presumed light).
+        self.load.reset(slot);
+        let directive = self.server_policy.directive(
+            spec.scheme.tenant_class(),
+            self.server.units(),
+            slot,
+            &self.load,
+        );
         let mut session = Session::in_fleet(
             spec.scheme,
             &system,
@@ -842,9 +924,17 @@ impl ChurnFleet {
                 });
             }
         }
+        let energy = self.sinks.energy_finalize(
+            self.engine.makespan(),
+            client_energy_mj(tenants.iter().map(|t| &t.summary.energy)),
+        );
+        let (windows, peak_open_samples) = self.sinks.windowed_finish();
         ChurnSummary {
             tenants,
             samples: self.samples,
+            windows,
+            peak_open_samples,
+            energy,
             occupancy: self.occupancy,
             rejected: self.rejected,
             degraded: self.degraded,
@@ -1033,6 +1123,9 @@ mod tests {
                 (300.0, 30.0), // exactly the horizon → bucket 3, not 2
                 (310.0, 31.0), // overshoot past the horizon → bucket 3
             ],
+            windows: Vec::new(),
+            peak_open_samples: 0,
+            energy: FleetEnergy::default(),
             occupancy: Vec::new(),
             rejected: 0,
             degraded: 0,
@@ -1053,6 +1146,65 @@ mod tests {
             p95_boundary, 20.0,
             "the interior-boundary sample belongs to its own bucket"
         );
+    }
+
+    #[test]
+    fn streamed_windows_match_the_retained_series_bit_for_bit() {
+        // The WindowedStatsSink replaces the O(run) sample series: the same
+        // churn run with streaming on must produce exactly the timeline the
+        // retained series derives post hoc, while holding no sample vector
+        // and only O(window) live stats memory.
+        let window_ms = 120.0;
+        let make = || {
+            let trace = ChurnTrace::script(vec![
+                ChurnEvent::join(150.0, spec()),
+                ChurnEvent::leave(420.0, 0),
+                ChurnEvent::join(500.0, spec()),
+            ]);
+            ChurnConfig::new(
+                SystemConfig::default(),
+                vec![spec(), spec()],
+                trace,
+                900.0,
+                19,
+            )
+        };
+        let retained = ChurnFleet::run(make());
+        let streamed = ChurnFleet::run(make().with_stats_window_ms(window_ms));
+        assert!(streamed.samples.is_empty(), "streaming retains no series");
+        assert!(!retained.samples.is_empty());
+        let post_hoc = retained.windowed_p95(window_ms);
+        assert_eq!(
+            streamed.windows, post_hoc,
+            "streamed timeline must match the post-hoc derivation exactly"
+        );
+        assert!(streamed.peak_open_samples > 0);
+        assert!(
+            streamed.peak_open_samples < retained.samples.len(),
+            "live stats memory must undercut the retained series: {} vs {}",
+            streamed.peak_open_samples,
+            retained.samples.len()
+        );
+        // Everything else about the run is unaffected by how stats stream.
+        assert_eq!(streamed.tenants, retained.tenants);
+        assert_eq!(streamed.occupancy, retained.occupancy);
+        assert_eq!(streamed.energy, retained.energy);
+    }
+
+    #[test]
+    fn churn_energy_covers_servers_ap_and_clients() {
+        let s = ChurnFleet::run(ChurnConfig::new(
+            SystemConfig::default(),
+            vec![spec(), spec()],
+            ChurnTrace::default(),
+            500.0,
+            3,
+        ));
+        assert!(s.energy.server_render_mj > 0.0);
+        assert!(s.energy.ap_radio_mj > 0.0);
+        let client: f64 = s.tenants.iter().map(|t| t.summary.energy.total_mj()).sum();
+        assert_eq!(s.energy.client_mj, client);
+        assert!(s.energy.total_mj() > s.energy.client_mj);
     }
 
     #[test]

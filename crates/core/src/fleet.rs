@@ -29,6 +29,8 @@ use crate::metrics::{RunSummary, SortedSamples};
 use crate::sched::ServerPolicy;
 use crate::schemes::{SchemeKind, ServerPool, SystemConfig};
 use crate::session::Session;
+use crate::telemetry::{client_energy_mj, SinkSet, TelemetryConfig, TelemetrySink};
+use qvr_energy::FleetEnergy;
 use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, SharedChannel};
 use qvr_scene::AppProfile;
 use qvr_sim::SharedEngine;
@@ -111,6 +113,11 @@ pub struct FleetConfig {
     /// exceed the longest dependency horizon a stepper keeps (render-ahead
     /// pacing × frame interval); lookups into retired history panic.
     pub retire_window_ms: Option<f64>,
+    /// Which built-in telemetry sinks stream this fleet's frame events
+    /// (default-on; see [`crate::telemetry`]). Sinks observe the event
+    /// stream and never perturb the schedule, so the fig_fleet goldens stay
+    /// bit-identical with every default sink enabled.
+    pub telemetry: TelemetryConfig,
 }
 
 impl FleetConfig {
@@ -143,6 +150,7 @@ impl FleetConfig {
             server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -170,10 +178,15 @@ pub struct Fleet {
     frames: usize,
     rounds_done: usize,
     shared_network: bool,
+    /// Classic dedicated single-user setup: telemetry still streams, but
+    /// the summary keeps the engine-makespan span semantics (see finish).
+    dedicated: bool,
     stepping: SteppingPolicy,
     /// The virtual-time event queue ([`SteppingPolicy::VirtualTime`] only).
     clock: FleetClock,
     retire_window_ms: Option<f64>,
+    /// The telemetry fan-out every frame event streams through.
+    sinks: SinkSet,
 }
 
 impl Fleet {
@@ -203,21 +216,26 @@ impl Fleet {
                 spec.profile.clone(),
                 config.seed,
             );
+            let server = session.server();
             return Fleet {
                 engine: session.engine(),
-                server: session.server(),
+                server,
                 sessions: vec![session],
                 frames: config.frames,
                 rounds_done: 0,
                 shared_network: false,
+                dedicated: true,
                 stepping: config.stepping,
                 clock: Self::primed_clock(config.stepping, 1),
                 retire_window_ms: config.retire_window_ms,
+                sinks: Self::sinks_for(&config, server.units()),
             };
         }
         config.server_policy.validate(config.server_units);
         let engine = SharedEngine::new();
         let server = ServerPool::on(&engine, config.server_units);
+        let sinks = Self::sinks_for(&config, config.server_units);
+        let load = sinks.load();
         let shared_channel = if config.shared_network {
             let ch = SharedChannel::new(NetworkChannel::new(config.system.network, config.seed));
             ch.set_policy(config.fairness);
@@ -245,9 +263,12 @@ impl Fleet {
                     Some(ch) if spec.scheme.uses_network() => ch.join(spec.share),
                     _ => SharedChannel::new(NetworkChannel::new(config.system.network, seed)),
                 };
-                let directive = config
-                    .server_policy
-                    .directive(spec.scheme.tenant_class(), config.server_units);
+                let directive = config.server_policy.directive(
+                    spec.scheme.tenant_class(),
+                    config.server_units,
+                    i,
+                    &load,
+                );
                 Session::in_fleet(
                     spec.scheme,
                     &config.system,
@@ -269,10 +290,26 @@ impl Fleet {
             frames: config.frames,
             rounds_done: 0,
             shared_network: config.shared_network,
+            dedicated: false,
             stepping: config.stepping,
             clock: Self::primed_clock(config.stepping, n),
             retire_window_ms: config.retire_window_ms,
+            sinks,
         }
+    }
+
+    /// The default-on sink fan-out a fleet streams its frame events
+    /// through. Multi-tenant fleets run the aggregate stream (it *is* the
+    /// summary); the dedicated single-user degenerate skips it — its
+    /// summary keeps the post-hoc path (engine-makespan span semantics),
+    /// so streaming aggregates there would be paid for and thrown away.
+    fn sinks_for(config: &FleetConfig, units: usize) -> SinkSet {
+        SinkSet::from_config(
+            &config.telemetry,
+            &config.system,
+            units,
+            !config.is_dedicated(),
+        )
     }
 
     /// A clock with every slot runnable at virtual time 0 (so the first
@@ -285,6 +322,21 @@ impl Fleet {
             }
         }
         clock
+    }
+
+    /// Attaches a custom telemetry sink: it receives every frame event the
+    /// fleet emits from this point on (tests and tooling; the built-in
+    /// sinks are configured via [`FleetConfig::telemetry`]).
+    pub fn attach_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.attach(sink);
+    }
+
+    /// The measured server-load EWMA of one session slot, ms/frame (`None`
+    /// before its first frame) — the signal
+    /// [`ServerPolicy::MeasuredLoad`] places on.
+    #[must_use]
+    pub fn load_ewma(&self, slot: usize) -> Option<f64> {
+        self.sinks.load.ewma(slot)
     }
 
     /// Number of sessions.
@@ -319,10 +371,11 @@ impl Fleet {
             "step_round is round-robin only; virtual-time fleets use step_next"
         );
         for session in &mut self.sessions {
-            session.step();
+            let event = session.step();
+            self.sinks.emit(&event);
         }
         self.rounds_done += 1;
-        self.retire_window();
+        self.advance_frontier();
     }
 
     /// Steps the session with the globally-earliest virtual clock
@@ -342,22 +395,26 @@ impl Fleet {
         );
         let (slot, _) = self.clock.pop()?;
         let session = &mut self.sessions[slot];
-        session.step();
+        let event = session.step();
+        self.sinks.emit(&event);
         if session.frames_stepped() < self.frames {
             let at = session.last_display_end();
             self.clock.schedule(slot, at);
         }
-        self.retire_window();
+        self.advance_frontier();
         Some(slot)
     }
 
-    /// Retires completed engine history older than the configured window
-    /// behind the slowest *unfinished* session (no-op without a window, or
-    /// once everyone has finished — finished sessions never look back).
-    fn retire_window(&mut self) {
-        let Some(window) = self.retire_window_ms else {
+    /// Propagates the fleet's virtual-time frontier — the slowest
+    /// *unfinished* session's clock — to the consumers that key on it:
+    /// windowed task retirement (drop history older than `frontier −
+    /// window`) and the streaming stats sink (close buckets no future
+    /// sample can reach). No-op for both once everyone has finished
+    /// (finish flushes the sink).
+    fn advance_frontier(&mut self) {
+        if self.retire_window_ms.is_none() && self.sinks.windowed.is_none() {
             return;
-        };
+        }
         let frontier = match self.stepping {
             // The clock's head is exactly the earliest unfinished session.
             SteppingPolicy::VirtualTime => self.clock.peek().map(|(_, t)| t),
@@ -372,11 +429,15 @@ impl Fleet {
                 min.is_finite().then_some(min)
             }
         };
-        if let Some(frontier) = frontier {
+        let Some(frontier) = frontier else {
+            return;
+        };
+        if let Some(window) = self.retire_window_ms {
             if frontier > window {
                 self.engine.retire_before(frontier - window);
             }
         }
+        self.sinks.close_windows_before(frontier);
     }
 
     /// Rounds stepped so far (round-robin mode).
@@ -398,7 +459,14 @@ impl Fleet {
         self.engine.clone()
     }
 
-    /// Steps all remaining rounds and finalises.
+    /// Steps all remaining rounds and finalises. The summary's aggregates
+    /// are the product of the built-in telemetry sinks: percentiles and FPS
+    /// statistics stream out of the [`crate::telemetry::AggregateSink`] (bit-identical to the
+    /// post-hoc re-walk, as `tests/telemetry.rs` pins), fleet energy out of
+    /// the [`crate::telemetry::EnergyMeter`], and the windowed timeline out of the
+    /// [`crate::telemetry::WindowedStatsSink`]. The degenerate dedicated single-user fleet
+    /// keeps the classic post-hoc path — its per-session span is the
+    /// engine makespan, which no event stream observes.
     #[must_use]
     pub fn finish(mut self) -> FleetSummary {
         match self.stepping {
@@ -411,14 +479,43 @@ impl Fleet {
         }
         let server_utilization = self.server.utilization(&self.engine);
         let makespan_ms = self.engine.makespan();
+        let server_units = self.server.units();
         let summaries: Vec<RunSummary> = self.sessions.into_iter().map(Session::finish).collect();
-        FleetSummary::aggregate(
-            summaries,
+        let energy = self.sinks.energy_finalize(
             makespan_ms,
-            server_utilization,
-            self.server.units(),
-            self.shared_network,
-        )
+            client_energy_mj(summaries.iter().map(|s| &s.energy)),
+        );
+        let (windows, _) = self.sinks.windowed_finish();
+        let mut summary = if self.dedicated {
+            FleetSummary::aggregate(
+                summaries,
+                makespan_ms,
+                server_utilization,
+                server_units,
+                self.shared_network,
+            )
+        } else {
+            let aggregate = self.sinks.aggregate.as_ref().expect("fleets always stream");
+            let (mtp_p50_ms, mtp_p95_ms, mtp_p99_ms) = aggregate.mtp_percentiles();
+            let (fps_floor, mean_fps) = aggregate.fps_stats();
+            FleetSummary {
+                sessions: summaries,
+                makespan_ms,
+                mtp_p50_ms,
+                mtp_p95_ms,
+                mtp_p99_ms,
+                fps_floor,
+                mean_fps,
+                server_utilization,
+                server_units,
+                shared_network: self.shared_network,
+                energy: FleetEnergy::default(),
+                windows: Vec::new(),
+            }
+        };
+        summary.energy = energy;
+        summary.windows = windows;
+        summary
     }
 
     /// Builds, runs, and finalises one fleet.
@@ -459,6 +556,7 @@ impl Fleet {
             server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         };
         Fleet::run(fleet)
             .sessions
@@ -492,6 +590,15 @@ pub struct FleetSummary {
     pub server_units: usize,
     /// Whether sessions shared one channel budget.
     pub shared_network: bool,
+    /// Fleet-level energy (server pool + access point + all headsets),
+    /// streamed by the telemetry [`crate::telemetry::EnergyMeter`]; identity-zero when the
+    /// meter is disabled or the summary was re-derived post hoc
+    /// ([`FleetSummary::from_sessions`] — re-aggregation has no event
+    /// stream to meter).
+    pub energy: FleetEnergy,
+    /// The streaming windowed-p95 MTP timeline `(start_ms, frames, p95)`,
+    /// when [`TelemetryConfig::window_ms`] was configured; empty otherwise.
+    pub windows: Vec<(f64, usize, f64)>,
 }
 
 impl FleetSummary {
@@ -539,6 +646,8 @@ impl FleetSummary {
             server_utilization,
             server_units,
             shared_network,
+            energy: FleetEnergy::default(),
+            windows: Vec::new(),
         }
     }
 
@@ -595,13 +704,18 @@ impl FleetSummary {
             .filter(|(i, _)| *i != idx)
             .map(|(_, s)| s.clone())
             .collect();
-        FleetSummary::aggregate(
+        let mut summary = FleetSummary::aggregate(
             sessions,
             self.makespan_ms,
             self.server_utilization,
             self.server_units,
             self.shared_network,
-        )
+        );
+        // Schedule-level telemetry products carry over like makespan: they
+        // describe the run that was actually simulated.
+        summary.energy = self.energy;
+        summary.windows = self.windows.clone();
+        summary
     }
 
     /// p95 motion-to-photon latency over the masked subset of sessions
@@ -720,6 +834,7 @@ mod tests {
                 server_policy: ServerPolicy::default(),
                 stepping: SteppingPolicy::RoundRobin,
                 retire_window_ms: None,
+                telemetry: TelemetryConfig::default(),
             })
         };
         let alone = mixed(0);
@@ -754,6 +869,7 @@ mod tests {
             server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         };
         let run = |poke: bool| {
             let mut fleet = Fleet::new(config.clone());
@@ -859,6 +975,7 @@ mod tests {
             server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         };
         assert!(f.is_dedicated());
         let uniform = FleetConfig::uniform(
@@ -941,6 +1058,7 @@ mod tests {
             server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         });
         assert_eq!(summary.len(), 3);
         assert_eq!(summary.sessions[0].scheme, "Q-VR");
@@ -1004,6 +1122,7 @@ mod tests {
             server_policy: ServerPolicy::default(),
             stepping: SteppingPolicy::RoundRobin,
             retire_window_ms: None,
+            telemetry: TelemetryConfig::default(),
         });
     }
 
@@ -1088,6 +1207,7 @@ mod tests {
                 server_policy: ServerPolicy::default(),
                 stepping: SteppingPolicy::RoundRobin,
                 retire_window_ms: None,
+                telemetry: TelemetryConfig::default(),
             })
         };
         let rem = |s: &FleetSummary, i: usize| {
@@ -1135,6 +1255,7 @@ mod tests {
                 server_policy: ServerPolicy::default(),
                 stepping: SteppingPolicy::RoundRobin,
                 retire_window_ms: None,
+                telemetry: TelemetryConfig::default(),
             })
         };
         let capped = run(LinkShare::default().with_cap_mbps(20.0));

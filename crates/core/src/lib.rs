@@ -32,7 +32,12 @@
 //! * [`sched`] — server-side GPU scheduling policies for heterogeneous
 //!   fleets: class-aware unit placement (least-loaded / quota-partition /
 //!   adaptive-priority) isolating adaptive tenants from noisy
-//!   non-adaptive neighbours.
+//!   non-adaptive neighbours, plus measured-load placement driven by the
+//!   telemetry stream.
+//! * [`telemetry`] — the push observability API: per-frame [`FrameEvent`]s
+//!   emitted at display end and fanned out to pluggable
+//!   [`telemetry::TelemetrySink`]s (streaming aggregates, windowed
+//!   percentiles, fleet energy, measured load).
 //! * [`metrics`] — per-frame records and run summaries (latency breakdowns,
 //!   FPS, transmitted bytes, energy).
 //!
@@ -62,6 +67,7 @@ pub mod metrics;
 pub mod sched;
 pub mod schemes;
 pub mod session;
+pub mod telemetry;
 pub mod uca;
 
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
@@ -75,4 +81,8 @@ pub use metrics::{FrameRecord, RunSummary};
 pub use sched::{ServerPolicy, TenantClass};
 pub use schemes::{SchemeKind, SystemConfig};
 pub use session::Session;
+pub use telemetry::{
+    AggregateSink, EnergyMeter, FrameEvent, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink,
+    WindowedStatsSink,
+};
 pub use uca::Uca;

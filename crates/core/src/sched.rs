@@ -35,11 +35,23 @@
 //!   aging guarantee: best-effort work is deprioritised, never starved
 //!   beyond the bound relative to the work-conserving choice).
 //!
+//! * [`ServerPolicy::MeasuredLoad`] — the PR 4 follow-up: a quota-style
+//!   split keyed on each tenant's **measured** server ms/frame (the
+//!   telemetry [`crate::telemetry::LoadTracker`] EWMA) instead of its
+//!   scheme class. Tenants measuring at or under `heavy_ms` place on the
+//!   reserved (light) slice, tenants measuring above it on the remainder —
+//!   so a best-effort-classed tenant that *behaves* lightly (an FFR user
+//!   on a small scene) keeps light placement, and an adaptive tenant that
+//!   turns heavy is confined with the heavies. Unmeasured tenants (first
+//!   frame) are presumed light; the EWMA reclassifies them within a few
+//!   frames, and placement is re-resolved at every chain submission.
+//!
 //! Policies act on *placement only*: per-unit arbitration stays FIFO in
 //! submission order, schedules stay deterministic, and single-tenant
 //! (dedicated) rigs ignore the policy entirely — there is nobody to
 //! isolate a lone session from.
 
+use crate::telemetry::LoadTracker;
 use std::fmt;
 
 /// The server-side scheduling class of a tenant.
@@ -97,6 +109,18 @@ pub enum ServerPolicy {
         /// work-conserving earliest-start unit, ms.
         aging_ms: f64,
     },
+    /// Quota-style split keyed on *measured* per-tenant server load (the
+    /// telemetry [`LoadTracker`] EWMA) instead of scheme class: tenants at
+    /// or under `heavy_ms` of EWMA server time per frame place on units
+    /// `[0, reserved)`, heavier tenants on `[reserved, pool)`. Unmeasured
+    /// tenants are presumed light until their first frames land.
+    MeasuredLoad {
+        /// GPU units reserved for measured-light tenants; must leave at
+        /// least one unit for the heavy side (`1 ≤ reserved < pool`).
+        reserved: usize,
+        /// EWMA server ms/frame above which a tenant places heavy.
+        heavy_ms: f64,
+    },
 }
 
 impl ServerPolicy {
@@ -122,13 +146,40 @@ impl ServerPolicy {
                     "the aging bound must be finite and non-negative, got {aging_ms}"
                 );
             }
+            ServerPolicy::MeasuredLoad { reserved, heavy_ms } => {
+                assert!(
+                    *reserved >= 1 && *reserved < units,
+                    "MeasuredLoad must leave both load classes at least one unit: \
+                     reserved {reserved} of {units}"
+                );
+                assert!(
+                    heavy_ms.is_finite() && *heavy_ms > 0.0,
+                    "the heavy-load threshold must be positive-finite, got {heavy_ms}"
+                );
+            }
         }
     }
 
     /// Resolves the policy to one session's placement directive over a
-    /// `units`-wide pool.
+    /// `units`-wide pool. `slot` and `tracker` feed measured-load
+    /// placement; class-based policies ignore them.
     #[must_use]
-    pub(crate) fn directive(&self, class: TenantClass, units: usize) -> UnitDirective {
+    pub(crate) fn directive(
+        &self,
+        class: TenantClass,
+        units: usize,
+        slot: usize,
+        tracker: &LoadTracker,
+    ) -> UnitDirective {
+        if let ServerPolicy::MeasuredLoad { reserved, heavy_ms } = self {
+            return UnitDirective::ByLoad {
+                reserved: *reserved,
+                heavy_ms: *heavy_ms,
+                units,
+                slot,
+                tracker: tracker.clone(),
+            };
+        }
         match (self, class) {
             (ServerPolicy::LeastLoaded, _)
             | (ServerPolicy::AdaptivePriority { .. }, TenantClass::Adaptive) => {
@@ -155,6 +206,7 @@ impl ServerPolicy {
                     units,
                 }
             }
+            (ServerPolicy::MeasuredLoad { .. }, _) => unreachable!("handled above"),
         }
     }
 
@@ -165,6 +217,9 @@ impl ServerPolicy {
             ServerPolicy::LeastLoaded => "least-loaded".to_owned(),
             ServerPolicy::QuotaPartition { reserved } => format!("quota(res={reserved})"),
             ServerPolicy::AdaptivePriority { aging_ms } => format!("priority(age={aging_ms:.0}ms)"),
+            ServerPolicy::MeasuredLoad { reserved, heavy_ms } => {
+                format!("measured(res={reserved},heavy={heavy_ms:.0}ms)")
+            }
         }
     }
 }
@@ -177,7 +232,7 @@ impl fmt::Display for ServerPolicy {
 
 /// A resolved per-session placement rule, applied by
 /// [`crate::schemes::Rig::remote_chain`] at every submission.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) enum UnitDirective {
     /// Earliest-start selection over units `[lo, hi)` (the exact
     /// `(start, free_at, index)` order of
@@ -196,6 +251,23 @@ pub(crate) enum UnitDirective {
         /// Pool width.
         units: usize,
     },
+    /// Earliest-start inside the slice the session's *measured* load
+    /// currently assigns it: `[0, reserved)` while its EWMA server
+    /// ms/frame stays at or under `heavy_ms` (or is unmeasured),
+    /// `[reserved, units)` above it. Re-evaluated at every chain
+    /// submission against the live [`LoadTracker`].
+    ByLoad {
+        /// Width of the light slice.
+        reserved: usize,
+        /// EWMA threshold separating light from heavy, ms/frame.
+        heavy_ms: f64,
+        /// Pool width.
+        units: usize,
+        /// The session's tracker slot.
+        slot: usize,
+        /// The fleet's shared measured-load state.
+        tracker: LoadTracker,
+    },
 }
 
 impl UnitDirective {
@@ -210,6 +282,12 @@ impl UnitDirective {
 mod tests {
     use super::*;
     use crate::schemes::SchemeKind;
+
+    /// Shorthand: resolve a directive with a throwaway tracker (class-based
+    /// policies ignore it).
+    fn directive(policy: ServerPolicy, class: TenantClass, units: usize) -> UnitDirective {
+        policy.directive(class, units, 0, &LoadTracker::new())
+    }
 
     #[test]
     fn class_derivation_matches_controller_presence() {
@@ -231,7 +309,7 @@ mod tests {
     fn least_loaded_maps_everyone_to_the_whole_pool() {
         for class in [TenantClass::Adaptive, TenantClass::BestEffort] {
             assert_eq!(
-                ServerPolicy::LeastLoaded.directive(class, 8),
+                directive(ServerPolicy::LeastLoaded, class, 8),
                 UnitDirective::whole_pool(8)
             );
         }
@@ -241,11 +319,11 @@ mod tests {
     fn quota_partition_splits_the_pool() {
         let p = ServerPolicy::QuotaPartition { reserved: 6 };
         assert_eq!(
-            p.directive(TenantClass::Adaptive, 8),
+            directive(p, TenantClass::Adaptive, 8),
             UnitDirective::EarliestStart { lo: 0, hi: 6 }
         );
         assert_eq!(
-            p.directive(TenantClass::BestEffort, 8),
+            directive(p, TenantClass::BestEffort, 8),
             UnitDirective::EarliestStart { lo: 6, hi: 8 }
         );
     }
@@ -254,11 +332,11 @@ mod tests {
     fn adaptive_priority_packs_best_effort_only() {
         let p = ServerPolicy::AdaptivePriority { aging_ms: 50.0 };
         assert_eq!(
-            p.directive(TenantClass::Adaptive, 8),
+            directive(p, TenantClass::Adaptive, 8),
             UnitDirective::whole_pool(8)
         );
         assert_eq!(
-            p.directive(TenantClass::BestEffort, 8),
+            directive(p, TenantClass::BestEffort, 8),
             UnitDirective::PackLatest {
                 aging_ms: 50.0,
                 units: 8
@@ -267,11 +345,61 @@ mod tests {
     }
 
     #[test]
+    fn measured_load_resolves_to_a_tracker_bound_directive_for_every_class() {
+        // Measured placement ignores the scheme class entirely: both
+        // classes resolve to the same load-keyed directive, bound to the
+        // session's slot and the fleet's shared tracker.
+        let p = ServerPolicy::MeasuredLoad {
+            reserved: 6,
+            heavy_ms: 8.0,
+        };
+        let tracker = LoadTracker::new();
+        for class in [TenantClass::Adaptive, TenantClass::BestEffort] {
+            let d = p.directive(class, 8, 3, &tracker);
+            assert_eq!(
+                d,
+                UnitDirective::ByLoad {
+                    reserved: 6,
+                    heavy_ms: 8.0,
+                    units: 8,
+                    slot: 3,
+                    tracker: tracker.clone(),
+                }
+            );
+        }
+    }
+
+    #[test]
     fn validation_accepts_sane_policies() {
         ServerPolicy::LeastLoaded.validate(1);
         ServerPolicy::QuotaPartition { reserved: 1 }.validate(2);
         ServerPolicy::QuotaPartition { reserved: 7 }.validate(8);
         ServerPolicy::AdaptivePriority { aging_ms: 0.0 }.validate(1);
+        ServerPolicy::MeasuredLoad {
+            reserved: 6,
+            heavy_ms: 8.0,
+        }
+        .validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn measured_load_must_leave_the_heavy_side_a_unit() {
+        ServerPolicy::MeasuredLoad {
+            reserved: 8,
+            heavy_ms: 8.0,
+        }
+        .validate(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy-load threshold")]
+    fn measured_load_rejects_a_non_positive_threshold() {
+        ServerPolicy::MeasuredLoad {
+            reserved: 4,
+            heavy_ms: 0.0,
+        }
+        .validate(8);
     }
 
     #[test]
@@ -303,6 +431,14 @@ mod tests {
         assert_eq!(
             ServerPolicy::AdaptivePriority { aging_ms: 50.0 }.to_string(),
             "priority(age=50ms)"
+        );
+        assert_eq!(
+            ServerPolicy::MeasuredLoad {
+                reserved: 6,
+                heavy_ms: 8.0
+            }
+            .to_string(),
+            "measured(res=6,heavy=8ms)"
         );
         assert_eq!(TenantClass::Adaptive.to_string(), "adaptive");
         assert_eq!(TenantClass::BestEffort.to_string(), "best-effort");

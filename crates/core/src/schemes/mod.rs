@@ -26,7 +26,7 @@ use crate::metrics::RunSummary;
 use crate::session::Session;
 use crate::uca::UcaTiming;
 use qvr_codec::{CodecLatencyModel, SizeModel};
-use qvr_energy::PowerModel;
+use qvr_energy::{ApPowerModel, PowerModel, ServerPowerModel};
 use qvr_gpu::{GpuConfig, RemoteGpuModel};
 use qvr_hvs::MarModel;
 use qvr_net::NetworkPreset;
@@ -49,8 +49,13 @@ pub struct SystemConfig {
     pub size_model: SizeModel,
     /// Hardware codec latency model.
     pub codec_latency: CodecLatencyModel,
-    /// Power model for energy accounting.
+    /// Power model for energy accounting (the headset's own hardware).
     pub power: PowerModel,
+    /// Per-unit power of the shared remote server pool (fleet-level energy
+    /// accounting via the telemetry `EnergyMeter`).
+    pub server_power: ServerPowerModel,
+    /// Power of the access point serving the fleet's shared link.
+    pub ap_power: ApPowerModel,
     /// Sensor-data transport latency counted into MTP, ms (Sec. 7: 2 ms).
     pub tracking_ms: f64,
     /// HMD scanout latency counted into MTP, ms (Sec. 5: 5 ms).
@@ -113,6 +118,8 @@ impl Default for SystemConfig {
             size_model: SizeModel::default(),
             codec_latency: CodecLatencyModel::mobile_soc(),
             power: PowerModel::default(),
+            server_power: ServerPowerModel::default(),
+            ap_power: ApPowerModel::default(),
             tracking_ms: 2.0,
             display_ms: 5.0,
             cl_ms: 0.3,

@@ -93,10 +93,22 @@ pub struct Rig {
     /// the fleet's [`crate::sched::ServerPolicy`] from the session's
     /// tenant class (whole-pool earliest-start outside a policy fleet).
     directive: UnitDirective,
+    /// The fleet slot this rig occupies (0 for private rigs) — stamped on
+    /// every telemetry [`crate::telemetry::FrameEvent`] the session emits.
+    slot: usize,
     /// Absolute simulated time this session's life starts (0 unless gated
     /// by [`Rig::gate_at`]): spans, FPS, and frame intervals measure from
     /// here, so a mid-run joiner isn't billed for time before it existed.
     origin_ms: f64,
+    /// Server GPU time submitted since the last frame-stat take, ms (the
+    /// per-stage busy attribution telemetry streams).
+    pending_render_ms: f64,
+    /// Server encoder time submitted since the last take, ms.
+    pending_encode_ms: f64,
+    /// Link activity (uplink + downlink) submitted since the last take, ms.
+    pending_radio_ms: f64,
+    /// Server unit the latest remote chain landed on, if any this frame.
+    pending_unit: Option<usize>,
     /// Per-resource busy time already accumulated when this rig was built
     /// — non-zero when a churn fleet reuses a departed session's resource
     /// slot; subtracted at finish so energy stays per-tenant.
@@ -211,7 +223,12 @@ impl Rig {
             config: *config,
             contended,
             directive,
+            slot: session_idx.unwrap_or(0),
             origin_ms: 0.0,
+            pending_render_ms: 0.0,
+            pending_encode_ms: 0.0,
+            pending_radio_ms: 0.0,
+            pending_unit: None,
             busy_baseline,
             recent_displays: std::collections::VecDeque::new(),
             display_ends: Vec::new(),
@@ -308,21 +325,38 @@ impl Rig {
     /// unit for a chain becoming ready at `ready` ms.
     fn select_chain_unit(&self, ready: f64) -> usize {
         let pool = self.server.rgpu;
-        match self.directive {
+        match &self.directive {
             UnitDirective::EarliestStart { lo, hi } => {
-                self.engine.least_loaded_unit_in(pool, ready, lo..hi)
+                self.engine.least_loaded_unit_in(pool, ready, *lo..*hi)
             }
             UnitDirective::PackLatest { aging_ms, units } => {
-                let packed = self.engine.most_loaded_unit_in(pool, ready, 0..units);
+                let packed = self.engine.most_loaded_unit_in(pool, ready, 0..*units);
                 let free = self.engine.free_at(self.engine.pool_unit(pool, packed));
                 if free > ready + aging_ms {
                     // Aging bound hit: take the work-conserving choice so
                     // deprioritised work never waits more than `aging_ms`
                     // beyond what least-loaded placement would give it.
-                    self.engine.least_loaded_unit_in(pool, ready, 0..units)
+                    self.engine.least_loaded_unit_in(pool, ready, 0..*units)
                 } else {
                     packed
                 }
+            }
+            UnitDirective::ByLoad {
+                reserved,
+                heavy_ms,
+                units,
+                slot,
+                tracker,
+            } => {
+                // Measured placement: re-classified at every submission
+                // against the live EWMA (unmeasured tenants ride light).
+                let heavy = tracker.ewma(*slot).is_some_and(|l| l > *heavy_ms);
+                let range = if heavy {
+                    *reserved..*units
+                } else {
+                    0..*reserved
+                };
+                self.engine.least_loaded_unit_in(pool, ready, range)
             }
         }
     }
@@ -402,6 +436,12 @@ impl Rig {
             last_decode = Some(vd);
         }
         let done = last_decode.expect("k >= 1");
+        // Per-stage busy attribution for the telemetry stream: everything
+        // this chain put on the server pool and the link, and where.
+        self.pending_render_ms += render_ms;
+        self.pending_encode_ms += encode_ms;
+        self.pending_radio_ms += tx_total_ms;
+        self.pending_unit = Some(unit);
         let stages = [render_ms, encode_ms, tx_total_ms, decode_ms];
         let sum: f64 = stages.iter().sum();
         let max = stages.iter().fold(0.0f64, |a, &b| a.max(b));
@@ -418,7 +458,39 @@ impl Rig {
     /// sampled duration in ms.
     pub fn upload(&mut self, label: &str, bytes: f64, deps: &[TaskId]) -> (TaskId, f64) {
         let t = self.channel.upload_ms(bytes);
+        self.pending_radio_ms += t;
         (self.engine.submit(label, Some(self.net_up), t, deps), t)
+    }
+
+    /// The fleet slot this rig occupies (0 for private rigs).
+    #[must_use]
+    pub(crate) fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The session's origin in absolute simulated time (its join gate;
+    /// 0 unless gated).
+    #[must_use]
+    pub(crate) fn origin_ms(&self) -> f64 {
+        self.origin_ms
+    }
+
+    /// Takes (and resets) the frame's accumulated busy attribution:
+    /// `(server render ms, server encode ms, radio ms, server unit)`.
+    /// Called once per frame by [`crate::session::Session::step`] when it
+    /// assembles the frame's telemetry event.
+    pub(crate) fn take_frame_stats(&mut self) -> (f64, f64, f64, Option<usize>) {
+        let stats = (
+            self.pending_render_ms,
+            self.pending_encode_ms,
+            self.pending_radio_ms,
+            self.pending_unit,
+        );
+        self.pending_render_ms = 0.0;
+        self.pending_encode_ms = 0.0;
+        self.pending_radio_ms = 0.0;
+        self.pending_unit = None;
+        stats
     }
 
     /// Submits the display scanout as a latency-only stage and registers it

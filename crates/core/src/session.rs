@@ -12,6 +12,7 @@
 use crate::metrics::RunSummary;
 use crate::sched::UnitDirective;
 use crate::schemes::{Rig, SchemeKind, ServerPool, Stepper, SystemConfig};
+use crate::telemetry::FrameEvent;
 use qvr_net::SharedChannel;
 use qvr_scene::{AppProfile, AppSession};
 use qvr_sim::SharedEngine;
@@ -83,10 +84,35 @@ impl Session {
     }
 
     /// Simulates one frame: the stepper submits this frame's task graph and
-    /// records its metrics.
-    pub fn step(&mut self) {
+    /// records its metrics. Returns the frame's telemetry event — the
+    /// display-end emission point of the push observability API (fleets fan
+    /// it out to their sinks; standalone callers may ignore it).
+    pub fn step(&mut self) -> FrameEvent {
+        let span_start_ms = if self.frames_stepped == 0 {
+            self.rig.origin_ms()
+        } else {
+            self.rig.last_display_end()
+        };
         self.stepper.step(&mut self.rig, &mut self.app);
         self.frames_stepped += 1;
+        let (server_render_ms, server_encode_ms, radio_ms, unit) = self.rig.take_frame_stats();
+        let record = self
+            .rig
+            .last_record()
+            .expect("every stepper records exactly one frame per step");
+        FrameEvent {
+            session: self.rig.slot(),
+            frame: self.frames_stepped as u64 - 1,
+            span_start_ms,
+            end_ms: self.rig.last_display_end(),
+            mtp_ms: record.mtp_ms,
+            tx_bytes: record.tx_bytes,
+            server_render_ms,
+            server_encode_ms,
+            radio_ms,
+            unit,
+            class: self.scheme.tenant_class(),
+        }
     }
 
     /// Frames stepped so far.
@@ -209,6 +235,33 @@ mod tests {
         assert_eq!(s.app(), "GRID");
         assert_eq!(s.frames_stepped(), 0);
         assert_eq!(s.last_display_end(), 0.0);
+    }
+
+    #[test]
+    fn step_emits_a_consistent_frame_event() {
+        let config = SystemConfig::default();
+        let mut s = SchemeKind::Qvr.session(&config, Benchmark::Hl2H.profile(), 7);
+        let mut prev_end = 0.0;
+        for i in 0..10u64 {
+            let ev = s.step();
+            assert_eq!(ev.frame, i);
+            assert_eq!(ev.session, 0, "private sessions occupy slot 0");
+            assert_eq!(ev.span_start_ms, prev_end, "spans tile the timeline");
+            assert!(ev.end_ms > ev.span_start_ms);
+            assert_eq!(ev.end_ms, s.last_display_end());
+            assert_eq!(ev.mtp_ms, s.last_mtp_ms().unwrap());
+            assert!(ev.server_render_ms > 0.0, "Q-VR streams its periphery");
+            assert!(ev.radio_ms > 0.0);
+            assert!(ev.unit.is_some());
+            prev_end = ev.end_ms;
+        }
+        // A local-only session touches neither the server nor the link.
+        let mut local = SchemeKind::LocalOnly.session(&config, Benchmark::Doom3L.profile(), 7);
+        let ev = local.step();
+        assert_eq!(ev.server_render_ms, 0.0);
+        assert_eq!(ev.server_encode_ms, 0.0);
+        assert_eq!(ev.radio_ms, 0.0);
+        assert_eq!(ev.unit, None);
     }
 
     #[test]

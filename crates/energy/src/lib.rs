@@ -150,6 +150,150 @@ impl fmt::Display for EnergyBreakdown {
     }
 }
 
+/// Power figures for one GPU unit (plus its hardware encoder) of the shared
+/// remote server pool, watts. The paper's energy study stops at the headset;
+/// a fleet-level deployment also pays for the rack, and per-session server
+/// busy time is exactly what the telemetry stream attributes — so the fleet
+/// energy loop closes here: `FrameEvent` busy ms × these figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerModel {
+    /// One server GPU while rendering, W (datacenter-class part at a
+    /// VR-friendly clip).
+    pub gpu_active_w: f64,
+    /// One server GPU idling at the ready, W.
+    pub gpu_idle_w: f64,
+    /// One hardware encoder while encoding, W.
+    pub enc_active_w: f64,
+    /// One hardware encoder idle, W.
+    pub enc_idle_w: f64,
+}
+
+impl Default for ServerPowerModel {
+    /// Mid-range server-GPU figures: 75 W rendering / 15 W idle per unit,
+    /// 8 W active / 1 W idle for the paired hardware encoder.
+    fn default() -> Self {
+        ServerPowerModel {
+            gpu_active_w: 75.0,
+            gpu_idle_w: 15.0,
+            enc_active_w: 8.0,
+            enc_idle_w: 1.0,
+        }
+    }
+}
+
+impl ServerPowerModel {
+    /// Energy of a `units`-wide GPU+encoder pool over a fleet span, mJ:
+    /// active power over the attributed busy times, idle power over the
+    /// remaining capacity (`units × span − busy`, floored at zero for
+    /// robustness against span rounding).
+    #[must_use]
+    pub fn pool_energy_mj(
+        &self,
+        units: usize,
+        span_ms: f64,
+        render_busy_ms: f64,
+        encode_busy_ms: f64,
+    ) -> (f64, f64, f64) {
+        let capacity = units as f64 * span_ms;
+        let render_mj = self.gpu_active_w * render_busy_ms;
+        let encode_mj = self.enc_active_w * encode_busy_ms;
+        let idle_mj = self.gpu_idle_w * (capacity - render_busy_ms).max(0.0)
+            + self.enc_idle_w * (capacity - encode_busy_ms).max(0.0);
+        (render_mj, encode_mj, idle_mj)
+    }
+}
+
+/// Power figures for the access point / base station serving the fleet's
+/// shared wireless link, watts. Infrastructure-side counterpart of
+/// [`PowerModel::radio_active_w`] (which models the *headset's* radio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApPowerModel {
+    /// Baseline power while the AP is up, W.
+    pub idle_w: f64,
+    /// Active transmit/receive power as a multiple of the handset-side
+    /// [`PowerModel::radio_active_w`] figure for the same preset (the AP
+    /// drives more antennas at higher transmit power; LTE/5G figures
+    /// amortize a pico-cell).
+    pub active_scale: f64,
+}
+
+impl Default for ApPowerModel {
+    /// A small enterprise AP / pico-cell baseline: 2 W idle, active power
+    /// at 2× the handset radio.
+    fn default() -> Self {
+        ApPowerModel {
+            idle_w: 2.0,
+            active_scale: 2.0,
+        }
+    }
+}
+
+impl ApPowerModel {
+    /// AP transmit/receive power while the link is active, W.
+    #[must_use]
+    pub fn active_w(&self, preset: NetworkPreset) -> f64 {
+        self.active_scale * PowerModel::radio_active_w(preset)
+    }
+
+    /// AP energy over a fleet span with `active_ms` of link activity, mJ.
+    #[must_use]
+    pub fn energy_mj(&self, preset: NetworkPreset, span_ms: f64, active_ms: f64) -> f64 {
+        self.active_w(preset) * active_ms + self.idle_w * span_ms
+    }
+}
+
+/// Fleet-level energy over one run, millijoules: the server pool, the
+/// access point, and the sum of every headset's own [`EnergyBreakdown`].
+/// Produced by `qvr_core`'s telemetry `EnergyMeter` from the streamed
+/// per-frame busy attribution (never re-walked from task history, so it is
+/// retirement-proof by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetEnergy {
+    /// Server GPUs rendering tenants' remote work.
+    pub server_render_mj: f64,
+    /// Server hardware encoders.
+    pub server_encode_mj: f64,
+    /// Idle floor of the server pool over the fleet span.
+    pub server_idle_mj: f64,
+    /// Access point radio (active transfer + idle baseline).
+    pub ap_radio_mj: f64,
+    /// Sum of all sessions' mobile-side energy.
+    pub client_mj: f64,
+}
+
+impl FleetEnergy {
+    /// Server-side energy (render + encode + idle), mJ.
+    #[must_use]
+    pub fn server_mj(&self) -> f64 {
+        self.server_render_mj + self.server_encode_mj + self.server_idle_mj
+    }
+
+    /// Infrastructure energy (server pool + AP), mJ.
+    #[must_use]
+    pub fn infrastructure_mj(&self) -> f64 {
+        self.server_mj() + self.ap_radio_mj
+    }
+
+    /// Whole-system energy (infrastructure + every headset), mJ.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.infrastructure_mj() + self.client_mj
+    }
+}
+
+impl fmt::Display for FleetEnergy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} mJ (server {:.0}, AP {:.0}, clients {:.0})",
+            self.total_mj(),
+            self.server_mj(),
+            self.ap_radio_mj,
+            self.client_mj
+        )
+    }
+}
+
 /// Busy-time inputs for one simulated interval (from the event engine's
 /// per-resource accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -320,5 +464,49 @@ mod tests {
     fn display_formats() {
         assert!(PowerModel::default().to_string().contains("GPU"));
         assert!(EnergyBreakdown::default().to_string().contains("mJ"));
+        assert!(FleetEnergy::default().to_string().contains("server"));
+    }
+
+    #[test]
+    fn server_pool_energy_splits_active_and_idle() {
+        let s = ServerPowerModel::default();
+        // 2 units over 100 ms: 50 ms rendering, 20 ms encoding.
+        let (render, encode, idle) = s.pool_energy_mj(2, 100.0, 50.0, 20.0);
+        assert!((render - 75.0 * 50.0).abs() < 1e-9);
+        assert!((encode - 8.0 * 20.0).abs() < 1e-9);
+        assert!((idle - (15.0 * 150.0 + 1.0 * 180.0)).abs() < 1e-9);
+        // Idle never goes negative even if attributed busy overshoots span.
+        let (_, _, clamped) = s.pool_energy_mj(1, 10.0, 50.0, 50.0);
+        assert_eq!(clamped, 0.0);
+    }
+
+    #[test]
+    fn ap_power_orders_with_the_handset_radio() {
+        let ap = ApPowerModel::default();
+        for preset in [
+            NetworkPreset::WiFi,
+            NetworkPreset::Lte4G,
+            NetworkPreset::Early5G,
+        ] {
+            assert!(ap.active_w(preset) > PowerModel::radio_active_w(preset));
+        }
+        let quiet = ap.energy_mj(NetworkPreset::WiFi, 100.0, 0.0);
+        let busy = ap.energy_mj(NetworkPreset::WiFi, 100.0, 60.0);
+        assert!((quiet - 200.0).abs() < 1e-9, "idle floor only");
+        assert!(busy > quiet, "active transfer costs extra");
+    }
+
+    #[test]
+    fn fleet_energy_totals_add_up() {
+        let e = FleetEnergy {
+            server_render_mj: 100.0,
+            server_encode_mj: 10.0,
+            server_idle_mj: 40.0,
+            ap_radio_mj: 25.0,
+            client_mj: 75.0,
+        };
+        assert!((e.server_mj() - 150.0).abs() < 1e-12);
+        assert!((e.infrastructure_mj() - 175.0).abs() < 1e-12);
+        assert!((e.total_mj() - 250.0).abs() < 1e-12);
     }
 }

@@ -65,6 +65,11 @@ struct Resource {
     free_at: f64,
     busy_ms: f64,
     intervals: Vec<(f64, f64)>,
+    /// Busy time of intervals dropped by [`Engine::retire_before`], folded
+    /// into this cumulative counter *before* the prefix drop so
+    /// interval-derived accounting (energy attribution, utilization audits)
+    /// stays exact no matter how much history has retired.
+    retired_busy_ms: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -118,6 +123,7 @@ impl Engine {
             free_at: 0.0,
             busy_ms: 0.0,
             intervals: Vec::new(),
+            retired_busy_ms: 0.0,
         });
         ResourceId(self.resources.len() - 1)
     }
@@ -423,15 +429,31 @@ impl Engine {
         }
         for r in &mut self.resources {
             // Per-resource intervals are non-overlapping and time-ordered,
-            // so retired history is a prefix here too.
+            // so retired history is a prefix here too. Fold each dropped
+            // interval's busy time into the cumulative counter *before* the
+            // drop: interval-derived accounting (per-stage energy
+            // attribution) must stay exact under windowed retirement.
             let cut = r
                 .intervals
                 .iter()
                 .position(|iv| iv.1 > t_ms)
                 .unwrap_or(r.intervals.len());
-            r.intervals.drain(..cut);
+            for iv in r.intervals.drain(..cut) {
+                r.retired_busy_ms += iv.1 - iv.0;
+            }
         }
         k
+    }
+
+    /// Busy time of a resource reconstructed from its intervals: the
+    /// retired-interval counter plus the live intervals' spans, ms. Always
+    /// within float-summation error of [`Engine::busy_ms`] (which
+    /// accumulates at submission) — the checkable invariant that windowed
+    /// retirement never loses busy time.
+    #[must_use]
+    pub fn interval_busy_ms(&self, id: ResourceId) -> f64 {
+        let r = &self.resources[id.0];
+        r.retired_busy_ms + r.intervals.iter().map(|iv| iv.1 - iv.0).sum::<f64>()
     }
 
     /// Tasks currently held live (submitted and not retired).
@@ -823,6 +845,12 @@ impl SharedEngine {
     #[must_use]
     pub fn live_intervals(&self, id: ResourceId) -> usize {
         self.0.borrow().live_intervals(id)
+    }
+
+    /// See [`Engine::interval_busy_ms`].
+    #[must_use]
+    pub fn interval_busy_ms(&self, id: ResourceId) -> f64 {
+        self.0.borrow().interval_busy_ms(id)
     }
 
     /// See [`Engine::resource_count`].
@@ -1229,6 +1257,29 @@ mod tests {
         let next = sim.submit("t50", Some(gpu), 1.0, &[last.unwrap()]);
         assert_eq!(sim.start_of(next), 100.0);
         assert!(sim.verify_exclusivity());
+    }
+
+    #[test]
+    fn retirement_folds_interval_busy_into_the_cumulative_counter() {
+        // The by-construction guarantee behind retirement-proof energy
+        // accounting: interval-derived busy time equals the submission-time
+        // accumulator before retirement, after a partial retirement, and
+        // after everything retired.
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let durations = [3.5, 1.25, 7.0, 0.75, 2.0];
+        for (i, d) in durations.iter().enumerate() {
+            sim.submit(&format!("t{i}"), Some(gpu), *d, &[]);
+        }
+        let total: f64 = durations.iter().sum();
+        assert!((sim.interval_busy_ms(gpu) - total).abs() < 1e-12);
+        sim.retire_before(5.0); // drops the first two intervals
+        assert_eq!(sim.live_intervals(gpu), 3);
+        assert!((sim.interval_busy_ms(gpu) - sim.busy_ms(gpu)).abs() < 1e-12);
+        sim.retire_before(1e9);
+        assert_eq!(sim.live_intervals(gpu), 0);
+        assert!((sim.interval_busy_ms(gpu) - total).abs() < 1e-12);
+        assert!((sim.busy_ms(gpu) - total).abs() < 1e-12);
     }
 
     #[test]

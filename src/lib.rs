@@ -91,8 +91,15 @@ pub mod prelude {
     pub use qvr_core::sched::{ServerPolicy, TenantClass};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
     pub use qvr_core::session::Session;
+    pub use qvr_core::telemetry::{
+        AggregateSink, EnergyMeter, FrameEvent, LoadTracker, SinkSet, TelemetryConfig,
+        TelemetrySink, WindowedStatsSink,
+    };
     pub use qvr_core::{FoveationPlan, Liwc, RenderGraph, Uca, VrsRate};
-    pub use qvr_energy::{overhead::LiwcOverhead, overhead::UcaOverhead, PowerModel};
+    pub use qvr_energy::{
+        overhead::LiwcOverhead, overhead::UcaOverhead, ApPowerModel, FleetEnergy, PowerModel,
+        ServerPowerModel,
+    };
     pub use qvr_gpu::{FrameWorkload, GpuConfig, GpuTimingModel, RemoteGpuModel};
     pub use qvr_hvs::{DisplayGeometry, GazePoint, LayerPartition, MarModel, PerceptionModel};
     pub use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, NetworkPreset, SharedChannel};

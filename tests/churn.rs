@@ -154,6 +154,7 @@ fn virtual_time_retires_the_section7_skew_artifact() {
         server_policy: ServerPolicy::default(),
         stepping,
         retire_window_ms: None,
+        telemetry: TelemetryConfig::default(),
     };
     let rr_skew = peak_skew_ms(Fleet::new(config(SteppingPolicy::RoundRobin)), frames);
     let vt_skew = peak_skew_ms(Fleet::new(config(SteppingPolicy::VirtualTime)), frames);
@@ -247,11 +248,32 @@ fn churn_bounded_memory_64_sessions_retains_o_window_tasks() {
         horizon_ms,
         42,
     )
-    .with_retire_window_ms(window_ms);
+    .with_retire_window_ms(window_ms)
+    // Stream the MTP timeline too: the WindowedStatsSink must keep the
+    // churn stats series O(window) alongside the engine's task retirement.
+    .with_stats_window_ms(window_ms);
     config.server_units = 8;
     config.link_streams = 8;
     let summary = ChurnFleet::run(config);
     assert_eq!(summary.len(), n + n / 4, "everyone joined");
+    // Streaming replaced the retained series: no per-run sample vector,
+    // and the sink's live footprint is a couple of windows of in-flight
+    // frames — it scales with (sessions × window), never the horizon.
+    assert!(
+        summary.samples.is_empty(),
+        "streaming keeps no sample series"
+    );
+    let total_frames: usize = summary.windows.iter().map(|(_, f, _)| *f).sum();
+    assert!(total_frames > 0, "the streamed timeline saw every frame");
+    let stats_cap = 4 * n * (window_ms / 10.0).ceil() as usize;
+    assert!(
+        summary.peak_open_samples < stats_cap,
+        "live stats memory must stay O(sessions x window): peak {} vs cap {} \
+         ({} frames streamed over {horizon_ms} ms)",
+        summary.peak_open_samples,
+        stats_cap,
+        total_frames
+    );
     assert!(
         summary.retired_tasks > summary.total_tasks / 2,
         "most history must retire: {} of {} tasks",

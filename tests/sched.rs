@@ -163,11 +163,93 @@ fn policy_fleets_are_deterministic() {
     for policy in [
         ServerPolicy::QuotaPartition { reserved: 6 },
         ServerPolicy::AdaptivePriority { aging_ms: 50.0 },
+        qvr_bench::fig_sched::measured_policy(),
     ] {
         let a = Fleet::run(mixed_config(policy, 12));
         let b = Fleet::run(mixed_config(policy, 12));
         assert_eq!(a, b, "{policy} runs must be bit-identical");
     }
+}
+
+#[test]
+fn measured_load_separates_the_mixed_roster_by_measurement() {
+    // The telemetry LoadTracker drives placement: after a short run the
+    // mixed roster's measured EWMAs must split exactly where the probe
+    // calibrated the threshold — Static and Remote heavy, everyone else
+    // (including best-effort-classed FFR) light.
+    let mut fleet = Fleet::new(mixed_config(qvr_bench::fig_sched::measured_policy(), 20));
+    for _ in 0..20 {
+        fleet.step_round();
+    }
+    let heavy_ms = qvr_bench::fig_sched::MEASURED_HEAVY_MS;
+    for (i, spec) in mixed_sessions().iter().enumerate() {
+        let ewma = fleet.load_ewma(i).expect("every tenant measured");
+        let heavy = matches!(
+            spec.scheme,
+            SchemeKind::StaticCollab | SchemeKind::RemoteOnly
+        );
+        assert_eq!(
+            ewma > heavy_ms,
+            heavy,
+            "session {i} ({}) measured {ewma:.1} ms/frame vs threshold {heavy_ms}",
+            spec.scheme
+        );
+    }
+}
+
+#[test]
+fn measured_load_matches_or_beats_quota_on_the_mixed_roster() {
+    // The PR 4 follow-up's acceptance: placement by measured load must
+    // recover the adaptive tail like the class-based quota does, while the
+    // fleet-wide floor does at least as well — FFR (best-effort by class,
+    // light by measurement) earns light placement instead of queueing
+    // behind Static/Remote on the 2-unit best-effort slice.
+    let frames = 40;
+    let adaptive = adaptive_mask();
+    let quota = Fleet::run(mixed_config(
+        ServerPolicy::QuotaPartition { reserved: 6 },
+        frames,
+    ));
+    let measured = Fleet::run(mixed_config(
+        qvr_bench::fig_sched::measured_policy(),
+        frames,
+    ));
+    let base = Fleet::run(mixed_config(ServerPolicy::LeastLoaded, frames));
+    assert!(
+        measured.mtp_p95_over(&adaptive) < base.mtp_p95_over(&adaptive),
+        "measured placement must recover the adaptive tail vs least-loaded: \
+         {:.1} vs {:.1} ms",
+        measured.mtp_p95_over(&adaptive),
+        base.mtp_p95_over(&adaptive)
+    );
+    assert!(
+        measured.mtp_p95_over(&adaptive) <= quota.mtp_p95_over(&adaptive) * 1.10,
+        "measured must match the quota row's adaptive recovery: {:.1} vs {:.1} ms",
+        measured.mtp_p95_over(&adaptive),
+        quota.mtp_p95_over(&adaptive)
+    );
+    assert!(
+        measured.fps_floor >= quota.fps_floor * 0.99,
+        "freeing FFR from the heavy slice must not cost the fleet floor \
+         (set by the network-bound heavy tenants either way): {:.2} vs {:.2} FPS",
+        measured.fps_floor,
+        quota.fps_floor
+    );
+    // The beat: FFR is best-effort by class but light by measurement, so
+    // quota confines it to the 2-unit heavy slice behind Static/Remote
+    // while measured placement frees it — its frame rate must recover by
+    // a wide factor.
+    let ffr = mixed_sessions()
+        .iter()
+        .position(|s| s.scheme == SchemeKind::Ffr)
+        .expect("roster has an FFR tenant");
+    assert!(
+        measured.sessions[ffr].fps() > 4.0 * quota.sessions[ffr].fps(),
+        "measured placement must free the light-by-measurement FFR tenant: \
+         {:.1} vs {:.1} FPS under quota",
+        measured.sessions[ffr].fps(),
+        quota.sessions[ffr].fps()
+    );
 }
 
 #[test]
