@@ -1,0 +1,23 @@
+//! Stepping-throughput benchmarks over the perf-trajectory shapes
+//! (DESIGN.md §11): fig_fleet fleets, Poisson churn with windowed
+//! retirement, and the mixed scheduling roster. Each benchmark times one
+//! full run of the shape at the reduced `BENCH_FRAMES` budget; the
+//! committed `BENCH_<n>.json` trajectory uses the `bench_to_json` binary
+//! (full budget, explicit sessions/frames-per-second rates) instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qvr_bench::perf;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group(&format!(
+        "stepping throughput ({} frames/session per iter)",
+        perf::BENCH_FRAMES
+    ));
+    for shape in perf::shapes(perf::BENCH_FRAMES) {
+        group.bench_function(&shape.name, |b| b.iter(|| shape.run_once()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Runs the perf-trajectory shapes and emits a schema-stable
+//! `BENCH_<n>.json` document (DESIGN.md §11).
+//!
+//! ```text
+//! bench_to_json [--frames N] [--iters K] [--out FILE]
+//!               [--before FILE] [--check FILE] [--warn-pct P]
+//! ```
+//!
+//! * `--frames N`    per-session frame budget (default 120; CI uses 40)
+//! * `--iters K`     timed iterations per shape after warm-up (default 3)
+//! * `--out FILE`    write the JSON there (always printed to stdout too)
+//! * `--before FILE` embed the `after` measurements of a previous document
+//!   as this document's `before` values (per-shape speedup = after/before
+//!   sessions-stepped/sec) — this is how a PR records its pre-optimization
+//!   numbers next to its post-optimization ones
+//! * `--check FILE`  CI mode: compare against the committed baseline.
+//!   Schema drift (version or shape-roster mismatch) exits 2; a shape
+//!   slower than `warn-pct`% of the baseline prints a warning but exits 0.
+//! * `--warn-pct P`  warn threshold for `--check` (default 50, i.e. warn
+//!   below half the baseline rate — CI machines are noisy)
+
+use qvr_bench::perf;
+use std::process::ExitCode;
+
+struct Args {
+    frames: usize,
+    iters: usize,
+    out: Option<String>,
+    before: Option<String>,
+    check: Option<String>,
+    warn_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        frames: perf::FULL_FRAMES,
+        iters: perf::DEFAULT_ITERS,
+        out: None,
+        before: None,
+        check: None,
+        warn_pct: 50.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--frames" => args.frames = value("--frames")?.parse().map_err(|e| format!("{e}"))?,
+            "--iters" => args.iters = value("--iters")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = Some(value("--out")?),
+            "--before" => args.before = Some(value("--before")?),
+            "--check" => args.check = Some(value("--check")?),
+            "--warn-pct" => {
+                args.warn_pct = value("--warn-pct")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.iters == 0 || args.frames == 0 {
+        return Err("--frames and --iters must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+fn load_reports(path: &str) -> Result<(u32, Vec<perf::ShapeReport>), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    perf::parse_reports(&text).ok_or(format!("{path} is not a perf-trajectory document"))
+}
+
+/// Compares a freshly measured document against the committed baseline.
+/// Returns `Err` (exit 2) on schema drift, `Ok(warnings)` otherwise.
+fn check(
+    baseline: &(u32, Vec<perf::ShapeReport>),
+    current: &[perf::ShapeReport],
+    warn_pct: f64,
+) -> Result<Vec<String>, String> {
+    let (schema, base) = baseline;
+    if *schema != perf::SCHEMA_VERSION {
+        return Err(format!(
+            "schema drift: baseline version {schema}, binary emits {}",
+            perf::SCHEMA_VERSION
+        ));
+    }
+    let base_names: Vec<&str> = base.iter().map(|r| r.name.as_str()).collect();
+    let cur_names: Vec<&str> = current.iter().map(|r| r.name.as_str()).collect();
+    if base_names != cur_names {
+        return Err(format!(
+            "schema drift: shape roster changed\n  baseline: {base_names:?}\n  current:  {cur_names:?}"
+        ));
+    }
+    let mut warnings = Vec::new();
+    for (b, c) in base.iter().zip(current) {
+        let floor = b.after.sessions_stepped_per_sec * warn_pct / 100.0;
+        if c.after.sessions_stepped_per_sec < floor {
+            warnings.push(format!(
+                "{}: {:.2} sessions/s is below {warn_pct}% of the baseline {:.2}",
+                c.name, c.after.sessions_stepped_per_sec, b.after.sessions_stepped_per_sec
+            ));
+        }
+    }
+    Ok(warnings)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_to_json: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let before = match &args.before {
+        Some(path) => match load_reports(path) {
+            Ok((_, reports)) => reports,
+            Err(e) => {
+                eprintln!("bench_to_json: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => Vec::new(),
+    };
+
+    let shapes = perf::shapes(args.frames);
+    let mut reports = Vec::with_capacity(shapes.len());
+    for shape in &shapes {
+        eprintln!("measuring {} ...", shape.name);
+        let after = perf::measure(shape, args.iters);
+        let prior = before.iter().find(|b| b.name == shape.name);
+        reports.push(perf::ShapeReport {
+            name: shape.name.clone(),
+            family: shape.family.to_owned(),
+            after,
+            before: prior.map(|b| b.after),
+        });
+    }
+
+    let json = perf::to_json(args.frames, &reports);
+    print!("{json}");
+    eprint!("\n{}", perf::render_table(&reports));
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("bench_to_json: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
+    if let Some(path) = &args.check {
+        let baseline = match load_reports(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_to_json: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check(&baseline, &reports, args.warn_pct) {
+            Err(drift) => {
+                eprintln!("bench_to_json: {drift}");
+                return ExitCode::from(2);
+            }
+            Ok(warnings) => {
+                for w in &warnings {
+                    eprintln!("bench_to_json: WARNING: {w}");
+                }
+                if warnings.is_empty() {
+                    eprintln!("bench_to_json: all shapes within threshold of {path}");
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

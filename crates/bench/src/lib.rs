@@ -26,6 +26,7 @@ pub mod fig_energy;
 pub mod fig_fleet;
 pub mod fig_sched;
 pub mod overhead;
+pub mod perf;
 pub mod table1;
 pub mod table4;
 

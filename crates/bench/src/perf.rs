@@ -1,0 +1,516 @@
+//! Perf-trajectory harness: raw stepping throughput over the hot shapes.
+//!
+//! Not a paper artefact — this measures the *simulator itself*. The
+//! multi-party collaborative-VR direction in PAPERS.md only raises the
+//! session counts a fleet must step per wall-clock second, so
+//! **sessions-stepped/sec** and **frames-stepped/sec** are first-class,
+//! tracked metrics: every PR records them in a committed `BENCH_<n>.json`
+//! (see DESIGN.md §11) and CI diffs new runs against that baseline.
+//!
+//! Three shape families cover the hot paths:
+//!
+//! * `fig_fleet` — uniform Q-VR fleets (8/32 sessions × Wi-Fi/early-5G)
+//!   under both stepping policies; the pure fleet-stepping hot loop.
+//! * `fig_churn` — Poisson arrivals with exponential holds and 300 ms
+//!   windowed retirement; exercises join/leave, gating, and retirement.
+//! * `fig_sched` — the mixed noisy-neighbour roster under the quota and
+//!   measured-load placement policies; exercises the policy directives.
+//!
+//! A *session-stepped* is one session completing its full frame budget;
+//! a *frame-stepped* is one `Session::step` call. Both rates come from the
+//! median of `iters` timed full runs after one warm-up run.
+
+use crate::SEED;
+use qvr::prelude::*;
+use qvr::scene::Benchmark;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Version stamp of the emitted JSON document. Bump only when the key
+/// layout changes; CI hard-fails on a mismatch (schema drift).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Per-session frame budget of the full (committed-baseline) shapes.
+pub const FULL_FRAMES: usize = 120;
+
+/// Reduced frame budget for `cargo bench` and the CI smoke diff.
+pub const BENCH_FRAMES: usize = 40;
+
+/// Default timed iterations per shape (after one warm-up run).
+pub const DEFAULT_ITERS: usize = 3;
+
+/// One benchmarkable workload shape.
+pub struct Shape {
+    /// Stable identifier, also the JSON key (`family/...` path style).
+    pub name: String,
+    /// The shape family (`fig_fleet`, `fig_churn`, `fig_sched`).
+    pub family: &'static str,
+    /// Nominal session count (churn shapes count admitted tenants per run).
+    pub sessions: usize,
+    /// Per-session frame budget (nominal for churn shapes).
+    pub frames: usize,
+    run: Box<dyn Fn() -> (usize, usize)>,
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shape")
+            .field("name", &self.name)
+            .field("sessions", &self.sessions)
+            .field("frames", &self.frames)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shape {
+    /// Runs the workload once; returns `(sessions_stepped, frames_stepped)`.
+    #[must_use]
+    pub fn run_once(&self) -> (usize, usize) {
+        (self.run)()
+    }
+}
+
+/// One shape's measured throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Timed iterations (excluding the warm-up run).
+    pub iters: usize,
+    /// Sessions stepped to completion per iteration.
+    pub sessions: usize,
+    /// Frames stepped per iteration.
+    pub frames: usize,
+    /// Median wall-clock per iteration, ms.
+    pub median_iter_ms: f64,
+    /// Sessions run to completion per wall-clock second.
+    pub sessions_stepped_per_sec: f64,
+    /// Frames stepped per wall-clock second.
+    pub frames_stepped_per_sec: f64,
+}
+
+/// Measures one shape: one warm-up run, then `iters` timed runs; rates are
+/// computed from the median iteration.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+#[must_use]
+pub fn measure(shape: &Shape, iters: usize) -> Measurement {
+    assert!(iters > 0, "need at least one timed iteration");
+    let _ = shape.run_once(); // warm-up
+    let mut times = Vec::with_capacity(iters);
+    let mut counts = (0usize, 0usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        counts = shape.run_once();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let median_s = times[times.len() / 2].max(1e-9);
+    Measurement {
+        iters,
+        sessions: counts.0,
+        frames: counts.1,
+        median_iter_ms: median_s * 1e3,
+        sessions_stepped_per_sec: counts.0 as f64 / median_s,
+        frames_stepped_per_sec: counts.1 as f64 / median_s,
+    }
+}
+
+/// The full shape roster at a per-session frame budget (`FULL_FRAMES` for
+/// the committed baseline, `BENCH_FRAMES` for `cargo bench`/CI smoke).
+#[must_use]
+pub fn shapes(frames: usize) -> Vec<Shape> {
+    shapes_with(&[8, 32], frames)
+}
+
+/// The roster over explicit fleet sizes (tests use tiny ones).
+#[must_use]
+pub fn shapes_with(fleet_sizes: &[usize], frames: usize) -> Vec<Shape> {
+    let mut out = Vec::new();
+    let presets = [
+        (NetworkPreset::WiFi, "wifi"),
+        (NetworkPreset::Early5G, "5g"),
+    ];
+    let steppings = [
+        (SteppingPolicy::RoundRobin, "rr"),
+        (SteppingPolicy::VirtualTime, "vt"),
+    ];
+    for &(preset, pname) in &presets {
+        for &n in fleet_sizes {
+            for &(stepping, sname) in &steppings {
+                out.push(Shape {
+                    name: format!("fig_fleet/n{n}/{pname}/{sname}"),
+                    family: "fig_fleet",
+                    sessions: n,
+                    frames,
+                    run: Box::new(move || {
+                        let mut config = FleetConfig::uniform(
+                            SystemConfig::default().with_network(preset),
+                            SchemeKind::Qvr,
+                            Benchmark::Hl2H.profile(),
+                            n,
+                            frames,
+                            SEED,
+                        );
+                        config.stepping = stepping;
+                        let s = Fleet::run(config);
+                        let stepped: usize = s.sessions.iter().map(|r| r.frames.len()).sum();
+                        (s.len(), stepped)
+                    }),
+                });
+            }
+        }
+    }
+    out.push(churn_shape(frames));
+    for (policy, label) in [
+        (
+            ServerPolicy::QuotaPartition {
+                reserved: crate::fig_sched::QUOTA_RESERVED,
+            },
+            "quota",
+        ),
+        (crate::fig_sched::measured_policy(), "measured"),
+    ] {
+        out.push(Shape {
+            name: format!("fig_sched/mixed/wifi/{label}"),
+            family: "fig_sched",
+            sessions: crate::fig_sched::mixed_sessions().len(),
+            frames,
+            run: Box::new(move || {
+                let config = crate::fig_sched::mixed_config(NetworkPreset::WiFi, policy, frames);
+                let s = Fleet::run(config);
+                let stepped: usize = s.sessions.iter().map(|r| r.frames.len()).sum();
+                (s.len(), stepped)
+            }),
+        });
+    }
+    out
+}
+
+/// The Poisson-churn shape: adaptive tenants, exponential holds, weighted
+/// fairness, and 300 ms windowed retirement (the fig_churn sweep's
+/// bounded-memory configuration, minus the admission probes — throughput
+/// here should measure stepping, not calibration fleets).
+fn churn_shape(frames: usize) -> Shape {
+    let horizon_ms = frames as f64 * 20.0;
+    Shape {
+        name: "fig_churn/poisson/wifi/retire300".to_owned(),
+        family: "fig_churn",
+        sessions: 2,
+        frames,
+        run: Box::new(move || {
+            let adaptive = |i: usize| {
+                let apps = [
+                    Benchmark::Hl2H,
+                    Benchmark::Doom3H,
+                    Benchmark::Wolf,
+                    Benchmark::Ut3,
+                ];
+                SessionSpec::new(SchemeKind::Qvr, apps[i % apps.len()].profile())
+            };
+            let system = SystemConfig::default();
+            let initial = vec![adaptive(0), adaptive(1)];
+            let trace = ChurnTrace::poisson(
+                SEED,
+                6.0,
+                0.35 * horizon_ms,
+                horizon_ms,
+                initial.len(),
+                adaptive,
+            );
+            let mut config = ChurnConfig::new(system, initial, trace, horizon_ms, SEED)
+                .with_fairness(FairnessPolicy::Weighted)
+                .with_retire_window_ms(300.0);
+            config.server_units = 8;
+            config.link_streams = 4;
+            let s = ChurnFleet::run(config);
+            let stepped: usize = s.tenants.iter().map(|t| t.summary.frames.len()).sum();
+            (s.len(), stepped)
+        }),
+    }
+}
+
+/// One shape's entry in the JSON document: the current (`after`)
+/// measurement, plus the pre-optimization (`before`) measurement when the
+/// run was given one to embed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeReport {
+    /// Shape identifier (stable across PRs).
+    pub name: String,
+    /// Shape family.
+    pub family: String,
+    /// The current measurement.
+    pub after: Measurement,
+    /// The embedded pre-optimization measurement, if any.
+    pub before: Option<Measurement>,
+}
+
+impl ShapeReport {
+    /// `after / before` sessions-stepped/sec ratio, when a before exists.
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        self.before
+            .map(|b| self.after.sessions_stepped_per_sec / b.sessions_stepped_per_sec.max(1e-12))
+    }
+}
+
+fn write_measurement(out: &mut String, key: &str, m: &Measurement, indent: &str) {
+    let _ = writeln!(out, "{indent}\"{key}\": {{");
+    let _ = writeln!(out, "{indent}  \"iters\": {},", m.iters);
+    let _ = writeln!(out, "{indent}  \"sessions\": {},", m.sessions);
+    let _ = writeln!(out, "{indent}  \"frames\": {},", m.frames);
+    let _ = writeln!(
+        out,
+        "{indent}  \"median_iter_ms\": {:.3},",
+        m.median_iter_ms
+    );
+    let _ = writeln!(
+        out,
+        "{indent}  \"sessions_stepped_per_sec\": {:.3},",
+        m.sessions_stepped_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "{indent}  \"frames_stepped_per_sec\": {:.3}",
+        m.frames_stepped_per_sec
+    );
+    let _ = write!(out, "{indent}}}");
+}
+
+/// Renders the schema-stable JSON document (key order is fixed; the
+/// line-based reader in [`parse_reports`] and the CI diff depend on it).
+#[must_use]
+pub fn to_json(frames: usize, reports: &[ShapeReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    out.push_str("  \"benchmark\": \"qvr-perf-trajectory\",\n");
+    let _ = writeln!(out, "  \"frames_per_session\": {frames},");
+    out.push_str("  \"shapes\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"family\": \"{}\",", r.family);
+        match &r.before {
+            Some(b) => {
+                write_measurement(&mut out, "before", b, "      ");
+                out.push_str(",\n");
+            }
+            None => out.push_str("      \"before\": null,\n"),
+        }
+        write_measurement(&mut out, "after", &r.after, "      ");
+        out.push_str(",\n");
+        match r.speedup() {
+            Some(s) => {
+                let _ = writeln!(out, "      \"speedup\": {s:.3}");
+            }
+            None => out.push_str("      \"speedup\": null\n"),
+        }
+        out.push_str(if i + 1 < reports.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_key_f64(line: &str) -> Option<f64> {
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .ok()
+}
+
+fn parse_key_usize(line: &str) -> Option<usize> {
+    line.split(':')
+        .nth(1)?
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .ok()
+}
+
+fn parse_key_str(line: &str) -> Option<String> {
+    let v = line.split(':').nth(1)?.trim().trim_end_matches(',');
+    Some(v.trim_matches('"').to_owned())
+}
+
+/// Reads a document produced by [`to_json`] back into shape reports (a
+/// line-based reader over the emitter's fixed layout — the build
+/// environment has no JSON dependency). Returns the schema version and the
+/// reports. `None` when the text doesn't look like a perf-trajectory
+/// document at all.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn parse_reports(text: &str) -> Option<(u32, Vec<ShapeReport>)> {
+    let mut schema = None;
+    let mut reports = Vec::new();
+    let mut name: Option<String> = None;
+    let mut family = String::new();
+    let mut before: Option<Measurement> = None;
+    let mut after: Option<Measurement> = None;
+    // Which measurement block the cursor is inside, if any.
+    let mut block: Option<&str> = None;
+    let mut cur = Measurement {
+        iters: 0,
+        sessions: 0,
+        frames: 0,
+        median_iter_ms: 0.0,
+        sessions_stepped_per_sec: 0.0,
+        frames_stepped_per_sec: 0.0,
+    };
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"schema_version\"") {
+            schema = parse_key_usize(t).map(|v| v as u32);
+        } else if t.starts_with("\"name\"") {
+            name = parse_key_str(t);
+            family.clear();
+            before = None;
+            after = None;
+        } else if t.starts_with("\"family\"") {
+            family = parse_key_str(t).unwrap_or_default();
+        } else if t.starts_with("\"before\": {") {
+            block = Some("before");
+        } else if t.starts_with("\"after\": {") {
+            block = Some("after");
+        } else if block.is_some() {
+            if t.starts_with("\"iters\"") {
+                cur.iters = parse_key_usize(t)?;
+            } else if t.starts_with("\"sessions_stepped_per_sec\"") {
+                cur.sessions_stepped_per_sec = parse_key_f64(t)?;
+            } else if t.starts_with("\"frames_stepped_per_sec\"") {
+                cur.frames_stepped_per_sec = parse_key_f64(t)?;
+            } else if t.starts_with("\"sessions\"") {
+                cur.sessions = parse_key_usize(t)?;
+            } else if t.starts_with("\"frames\"") {
+                cur.frames = parse_key_usize(t)?;
+            } else if t.starts_with("\"median_iter_ms\"") {
+                cur.median_iter_ms = parse_key_f64(t)?;
+            } else if t.starts_with('}') {
+                match block {
+                    Some("before") => before = Some(cur),
+                    _ => after = Some(cur),
+                }
+                block = None;
+            }
+        } else if t.starts_with("\"speedup\"") {
+            // The last key of an entry: flush it.
+            if let (Some(n), Some(a)) = (name.take(), after.take()) {
+                reports.push(ShapeReport {
+                    name: n,
+                    family: family.clone(),
+                    after: a,
+                    before: before.take(),
+                });
+            }
+        }
+    }
+    schema.map(|s| (s, reports))
+}
+
+/// Renders the human-readable throughput table for a set of reports.
+#[must_use]
+pub fn render_table(reports: &[ShapeReport]) -> String {
+    let mut t = crate::TextTable::new(vec![
+        "shape",
+        "sessions",
+        "frames",
+        "median iter",
+        "sessions/s",
+        "frames/s",
+        "speedup",
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.name.clone(),
+            format!("{}", r.after.sessions),
+            format!("{}", r.after.frames),
+            format!("{:.1} ms", r.after.median_iter_ms),
+            format!("{:.2}", r.after.sessions_stepped_per_sec),
+            format!("{:.0}", r.after.frames_stepped_per_sec),
+            match r.speedup() {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".to_owned(),
+            },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &str, rate: f64, with_before: bool) -> ShapeReport {
+        let m = |r: f64| Measurement {
+            iters: 3,
+            sessions: 8,
+            frames: 240,
+            median_iter_ms: 125.5,
+            sessions_stepped_per_sec: r,
+            frames_stepped_per_sec: 30.0 * r,
+        };
+        ShapeReport {
+            name: name.to_owned(),
+            family: "fig_fleet".to_owned(),
+            after: m(rate),
+            before: with_before.then(|| m(rate / 4.0)),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_line_reader() {
+        let reports = vec![
+            fake("fig_fleet/n8/wifi/rr", 64.0, true),
+            fake("fig_fleet/n8/wifi/vt", 48.0, false),
+        ];
+        let json = to_json(30, &reports);
+        let (schema, parsed) = parse_reports(&json).expect("parses");
+        assert_eq!(schema, SCHEMA_VERSION);
+        assert_eq!(parsed, reports);
+        assert!(json.contains("\"speedup\": 4.000"));
+        assert!(json.contains("\"speedup\": null"));
+        assert!(json.contains("\"before\": null"));
+    }
+
+    #[test]
+    fn garbage_does_not_parse() {
+        assert!(parse_reports("not json at all").is_none());
+        assert!(parse_reports("").is_none());
+    }
+
+    #[test]
+    fn tiny_shapes_run_and_measure() {
+        // A miniature roster: 2-session fleets, 3 frames. This exercises
+        // every family's build path without the full sweep's cost.
+        let shapes = shapes_with(&[2], 3);
+        // 1 size x 2 networks x 2 stepping policies, + churn, + 2 sched.
+        assert_eq!(shapes.len(), 2 * 2 + 1 + 2);
+        let fleet = &shapes[0];
+        assert!(fleet.name.starts_with("fig_fleet/n2/"));
+        let m = measure(fleet, 1);
+        assert_eq!(m.sessions, 2);
+        assert_eq!(m.frames, 6);
+        assert!(m.sessions_stepped_per_sec > 0.0);
+        assert!(m.frames_stepped_per_sec > 0.0);
+        let churn = shapes.iter().find(|s| s.family == "fig_churn").unwrap();
+        let (sessions, frames) = churn.run_once();
+        assert!(sessions >= 2, "initial tenants always run");
+        assert!(frames > 0);
+        let sched = shapes.iter().find(|s| s.family == "fig_sched").unwrap();
+        let (sessions, _) = sched.run_once();
+        assert_eq!(sessions, 8, "the mixed roster is 8 tenants");
+    }
+
+    #[test]
+    fn table_renders_rates() {
+        let s = render_table(&[fake("fig_fleet/n8/wifi/rr", 64.0, true)]);
+        assert!(s.contains("sessions/s"));
+        assert!(s.contains("4.00x"));
+    }
+}

@@ -29,6 +29,7 @@ use crate::metrics::{RunSummary, SortedSamples};
 use crate::sched::ServerPolicy;
 use crate::schemes::{SchemeKind, ServerPool, SystemConfig};
 use crate::session::Session;
+use crate::telemetry::FrameEvent;
 use crate::telemetry::{client_energy_mj, SinkSet, TelemetryConfig, TelemetrySink};
 use qvr_energy::FleetEnergy;
 use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, SharedChannel};
@@ -187,6 +188,10 @@ pub struct Fleet {
     retire_window_ms: Option<f64>,
     /// The telemetry fan-out every frame event streams through.
     sinks: SinkSet,
+    /// Reusable buffer for one round's frame events (round-robin batched
+    /// fan-out) — cleared and refilled each round, never reallocated in
+    /// steady state.
+    event_buf: Vec<FrameEvent>,
 }
 
 impl Fleet {
@@ -210,12 +215,13 @@ impl Fleet {
         );
         if config.is_dedicated() {
             let spec = &config.sessions[0];
-            let session = Session::private(
+            let mut session = Session::private(
                 spec.scheme,
                 &config.system,
                 spec.profile.clone(),
                 config.seed,
             );
+            session.reserve_frames(config.frames);
             let server = session.server();
             return Fleet {
                 engine: session.engine(),
@@ -229,6 +235,7 @@ impl Fleet {
                 clock: Self::primed_clock(config.stepping, 1),
                 retire_window_ms: config.retire_window_ms,
                 sinks: Self::sinks_for(&config, server.units()),
+                event_buf: Vec::with_capacity(1),
             };
         }
         config.server_policy.validate(config.server_units);
@@ -269,7 +276,7 @@ impl Fleet {
                     i,
                     &load,
                 );
-                Session::in_fleet(
+                let mut session = Session::in_fleet(
                     spec.scheme,
                     &config.system,
                     spec.profile.clone(),
@@ -279,7 +286,9 @@ impl Fleet {
                     server,
                     i,
                     directive,
-                )
+                );
+                session.reserve_frames(config.frames);
+                session
             })
             .collect();
         let n = sessions.len();
@@ -295,6 +304,7 @@ impl Fleet {
             clock: Self::primed_clock(config.stepping, n),
             retire_window_ms: config.retire_window_ms,
             sinks,
+            event_buf: Vec::with_capacity(n),
         }
     }
 
@@ -370,10 +380,14 @@ impl Fleet {
             SteppingPolicy::RoundRobin,
             "step_round is round-robin only; virtual-time fleets use step_next"
         );
+        // Collect the whole round into the reusable buffer, then fan it
+        // out once: the sink set is traversed per round, not per event,
+        // and event order (session-index order) is unchanged.
+        self.event_buf.clear();
         for session in &mut self.sessions {
-            let event = session.step();
-            self.sinks.emit(&event);
+            self.event_buf.push(session.step());
         }
+        self.sinks.emit_batch(&self.event_buf);
         self.rounds_done += 1;
         self.advance_frontier();
     }
@@ -1272,5 +1286,72 @@ mod tests {
             e1_capped > e1_free,
             "capped tenant's fovea must grow: {e1_capped:.1}° vs {e1_free:.1}°"
         );
+    }
+
+    #[test]
+    fn prereserved_frame_storage_never_reallocates() {
+        // `Fleet::new` pre-reserves each rig's per-frame `records` /
+        // `display_ends` for the configured run length, so a full run must
+        // not grow either buffer past its initial capacity (no per-frame
+        // reallocation on the hot path).
+        let frames = 40;
+        let config = FleetConfig::uniform(
+            cfg(),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            4,
+            frames,
+            42,
+        );
+        let mut fleet = Fleet::new(config);
+        let before: Vec<(usize, usize)> = fleet
+            .sessions()
+            .iter()
+            .map(|s| s.frame_capacity())
+            .collect();
+        for (records, ends) in &before {
+            assert!(*records >= frames, "records capacity {records} < {frames}");
+            assert!(*ends >= frames, "display_ends capacity {ends} < {frames}");
+        }
+        for _ in 0..frames {
+            fleet.step_round();
+        }
+        let after: Vec<(usize, usize)> = fleet
+            .sessions()
+            .iter()
+            .map(|s| s.frame_capacity())
+            .collect();
+        assert_eq!(before, after, "per-frame buffers reallocated mid-run");
+    }
+
+    #[test]
+    fn prereservation_keeps_windowed_retirement_exact() {
+        // Pre-reservation touches only client-side frame buffers; windowed
+        // retirement must still drop exactly the engine-history prefix and
+        // leave every output bit unchanged versus an unwindowed run.
+        let mut plain =
+            FleetConfig::uniform(cfg(), SchemeKind::Qvr, Benchmark::Hl2H.profile(), 4, 40, 7);
+        let mut windowed = plain.clone();
+        windowed.retire_window_ms = Some(300.0);
+        plain.retire_window_ms = None;
+        let keep = Fleet::new(plain);
+        let drop = Fleet::new(windowed);
+        let keep_engine = keep.shared_engine();
+        let drop_engine = drop.shared_engine();
+        let a = keep.finish();
+        let b = drop.finish();
+        assert_eq!(a, b, "retirement output drifted under pre-reservation");
+        let retired = drop_engine.retired_tasks();
+        assert!(retired > 0, "history must actually retire");
+        // The drop is an exact prefix of the task-id space: live + retired
+        // still accounts for every task, and re-retiring at an older cutoff
+        // is a no-op.
+        assert_eq!(
+            drop_engine.live_tasks() + retired,
+            keep_engine.live_tasks(),
+            "retirement must drop a prefix, not rewrite history"
+        );
+        assert_eq!(drop_engine.retire_before(0.0), 0);
+        assert_eq!(drop_engine.retired_tasks(), retired);
     }
 }

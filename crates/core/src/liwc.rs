@@ -307,8 +307,8 @@ impl Liwc {
         &mut self,
         delta: &MotionDelta,
         scene_triangles: u64,
-        fovea_fraction_at: impl Fn(f64) -> f64,
-        periphery_bytes_at: impl Fn(f64) -> f64,
+        mut fovea_fraction_at: impl FnMut(f64) -> f64,
+        mut periphery_bytes_at: impl FnMut(f64) -> f64,
         observed_mbps: f64,
         net_base_ms: f64,
     ) -> LiwcDecision {

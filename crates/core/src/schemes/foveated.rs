@@ -18,7 +18,7 @@ use crate::foveation::FoveationPlan;
 use crate::liwc::{LatencyPredictor, Liwc, SoftwareController};
 use crate::metrics::FrameRecord;
 use qvr_hvs::DisplayGeometry;
-use qvr_scene::{AppProfile, AppSession};
+use qvr_scene::{AppProfile, AppSession, TriangleFractionCache};
 use qvr_sim::TaskId;
 
 /// How the per-frame eccentricity is selected.
@@ -66,13 +66,15 @@ fn border_fraction(plan: &FoveationPlan, display: &DisplayGeometry, tile_px: u32
 
 /// Per-frame stepper for the foveated family (FFR/DFR/Q-VR-SW/Q-VR).
 #[derive(Debug)]
-pub(super) struct FoveatedStepper {
+pub(crate) struct FoveatedStepper {
     profile: AppProfile,
     options: Options,
     native_px: f64,
     liwc: Liwc,
     sw: SoftwareController,
     prev_compose: Option<TaskId>,
+    /// Per-frame triangle-fraction memo (gaze-keyed, bit-identical reuse).
+    fovea_cache: TriangleFractionCache,
 }
 
 impl FoveatedStepper {
@@ -111,6 +113,7 @@ impl FoveatedStepper {
             liwc,
             sw,
             prev_compose: None,
+            fovea_cache: TriangleFractionCache::new(),
         }
     }
 }
@@ -144,11 +147,12 @@ impl Stepper for FoveatedStepper {
                 let gaze = frame.sample.gaze;
                 let detail = frame.content_detail;
                 let profile = &self.profile;
+                let fovea_cache = &mut self.fovea_cache;
                 self.liwc
                     .select(
                         &frame.delta,
                         frame.triangles,
-                        |e| profile.fovea_triangle_fraction(&frame, e),
+                        |e| profile.fovea_triangle_fraction_cached(&frame, e, fovea_cache),
                         |e| {
                             FoveationPlan::resolve(e, &display, &mar, gaze).periphery_bytes(
                                 &size_model,
@@ -192,7 +196,9 @@ impl Stepper for FoveatedStepper {
         let (send, send_ms) = rig.upload("pose+cfg", 1_536.0, &[ls]);
 
         // --- local fovea rendering ---------------------------------------
-        let fovea_wl = self.profile.fovea_workload(&frame, e1);
+        let fovea_wl = self
+            .profile
+            .fovea_workload_cached(&frame, e1, &mut self.fovea_cache);
         let lr_ms = rig.mobile.stereo_frame_time(&fovea_wl).total_ms();
         let lr = rig.engine.submit("LR", Some(rig.gpu), lr_ms, &[ls]);
 
@@ -249,9 +255,12 @@ impl Stepper for FoveatedStepper {
         let t_remote = rig.chain_latency_ms(&chain);
         match options.controller {
             Controller::Liwc => {
+                let fovea_frac =
+                    self.profile
+                        .fovea_triangle_fraction_cached(&frame, e1, &mut self.fovea_cache);
                 self.liwc.observe(
                     frame.triangles,
-                    self.profile.fovea_triangle_fraction(&frame, e1),
+                    fovea_frac,
                     t_local,
                     t_remote,
                     bytes,

@@ -13,7 +13,7 @@ use qvr_scene::{AppProfile, AppSession};
 
 /// Per-frame stepper for the local-only baseline.
 #[derive(Debug)]
-pub(super) struct LocalStepper {
+pub(crate) struct LocalStepper {
     profile: AppProfile,
 }
 

@@ -189,6 +189,50 @@ pub(crate) trait Stepper: std::fmt::Debug {
     }
 }
 
+/// The closed set of steppers, dispatched statically: a [`Session`] holds
+/// one inline instead of a `Box<dyn Stepper>`, so the per-frame step is a
+/// direct (inlinable) call and opening a session allocates no stepper box.
+#[derive(Debug)]
+pub(crate) enum AnyStepper {
+    /// Traditional local rendering.
+    Local(local::LocalStepper),
+    /// Full-frame remote streaming.
+    Remote(remote::RemoteStepper),
+    /// Static collaborative rendering.
+    Static(static_collab::StaticStepper),
+    /// The foveated family (FFR/DFR/Q-VR-SW/Q-VR).
+    Foveated(foveated::FoveatedStepper),
+}
+
+impl Stepper for AnyStepper {
+    fn step(&mut self, rig: &mut Rig, session: &mut AppSession) {
+        match self {
+            AnyStepper::Local(s) => s.step(rig, session),
+            AnyStepper::Remote(s) => s.step(rig, session),
+            AnyStepper::Static(s) => s.step(rig, session),
+            AnyStepper::Foveated(s) => s.step(rig, session),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            AnyStepper::Local(s) => s.label(),
+            AnyStepper::Remote(s) => s.label(),
+            AnyStepper::Static(s) => s.label(),
+            AnyStepper::Foveated(s) => s.label(),
+        }
+    }
+
+    fn liwc_always_on(&self) -> bool {
+        match self {
+            AnyStepper::Local(s) => s.liwc_always_on(),
+            AnyStepper::Remote(s) => s.liwc_always_on(),
+            AnyStepper::Static(s) => s.liwc_always_on(),
+            AnyStepper::Foveated(s) => s.liwc_always_on(),
+        }
+    }
+}
+
 /// The seven design points of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
@@ -274,15 +318,15 @@ impl SchemeKind {
         config: &SystemConfig,
         profile: AppProfile,
         seed: u64,
-    ) -> Box<dyn Stepper> {
+    ) -> AnyStepper {
         match self {
-            SchemeKind::LocalOnly => Box::new(local::LocalStepper::new(profile)),
-            SchemeKind::RemoteOnly => Box::new(remote::RemoteStepper::new(profile)),
-            SchemeKind::StaticCollab => Box::new(static_collab::StaticStepper::new(
+            SchemeKind::LocalOnly => AnyStepper::Local(local::LocalStepper::new(profile)),
+            SchemeKind::RemoteOnly => AnyStepper::Remote(remote::RemoteStepper::new(profile)),
+            SchemeKind::StaticCollab => AnyStepper::Static(static_collab::StaticStepper::new(
                 profile,
                 config.prefetch_lookahead as usize,
             )),
-            SchemeKind::Ffr => Box::new(foveated::FoveatedStepper::new(
+            SchemeKind::Ffr => AnyStepper::Foveated(foveated::FoveatedStepper::new(
                 config,
                 profile,
                 seed,
@@ -291,7 +335,7 @@ impl SchemeKind {
                     uca: false,
                 },
             )),
-            SchemeKind::Dfr => Box::new(foveated::FoveatedStepper::new(
+            SchemeKind::Dfr => AnyStepper::Foveated(foveated::FoveatedStepper::new(
                 config,
                 profile,
                 seed,
@@ -300,7 +344,7 @@ impl SchemeKind {
                     uca: false,
                 },
             )),
-            SchemeKind::QvrSw => Box::new(foveated::FoveatedStepper::new(
+            SchemeKind::QvrSw => AnyStepper::Foveated(foveated::FoveatedStepper::new(
                 config,
                 profile,
                 seed,
@@ -309,7 +353,7 @@ impl SchemeKind {
                     uca: false,
                 },
             )),
-            SchemeKind::Qvr => Box::new(foveated::FoveatedStepper::new(
+            SchemeKind::Qvr => AnyStepper::Foveated(foveated::FoveatedStepper::new(
                 config,
                 profile,
                 seed,

@@ -13,7 +13,7 @@ use qvr_scene::{AppProfile, AppSession};
 
 /// Per-frame stepper for remote-only streaming.
 #[derive(Debug)]
-pub(super) struct RemoteStepper {
+pub(crate) struct RemoteStepper {
     profile: AppProfile,
     native_px: f64,
 }

@@ -15,7 +15,8 @@ use qvr_energy::BusyTimes;
 use qvr_gpu::{FrameWorkload, GpuTimingModel};
 use qvr_net::{NetworkChannel, SharedChannel};
 use qvr_scene::AppProfile;
-use qvr_sim::{PoolId, ResourceId, SharedEngine, TaskId};
+use qvr_sim::{DepList, PoolId, ResourceId, SharedEngine, TaskId};
+use std::fmt::Write as _;
 
 /// The server-side resources a fleet of sessions contends for: a pool of
 /// remote GPU units and a matching pool of hardware encoders (one per GPU).
@@ -122,6 +123,17 @@ pub struct Rig {
     /// eagerly is exact and keeps no TaskId alive).
     display_ends: Vec<f64>,
     records: Vec<FrameRecord>,
+    /// Reusable scratch for remote-chain submission (see [`ChainScratch`]).
+    scratch: ChainScratch,
+}
+
+/// Reusable per-rig scratch threaded through [`Rig::remote_chain`]: chunk
+/// labels compose into one buffer instead of allocating a `String` per
+/// submitted task, so a steady-state frame costs no label allocations (the
+/// engine interns the composed text).
+#[derive(Debug, Clone, Default)]
+struct ChainScratch {
+    label: String,
 }
 
 /// Result of one remote render→encode→transmit→decode chain.
@@ -230,10 +242,29 @@ impl Rig {
             pending_radio_ms: 0.0,
             pending_unit: None,
             busy_baseline,
-            recent_displays: std::collections::VecDeque::new(),
+            recent_displays: std::collections::VecDeque::with_capacity(
+                config.frames_in_flight as usize + 1,
+            ),
             display_ends: Vec::new(),
             records: Vec::new(),
+            scratch: ChainScratch::default(),
         }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn frame_capacity(&self) -> (usize, usize) {
+        (self.records.capacity(), self.display_ends.capacity())
+    }
+
+    /// Pre-reserves the per-frame record storage for a run of (at least)
+    /// `frames` frames, so long-horizon runs don't reallocate
+    /// `display_ends`/`records` mid-flight. Growing past the reservation
+    /// still works — this is a capacity hint, not a bound.
+    pub fn reserve_frames(&mut self, frames: usize) {
+        let extra = frames.saturating_sub(self.records.len());
+        self.records.reserve(extra);
+        let extra = frames.saturating_sub(self.display_ends.len());
+        self.display_ends.reserve(extra);
     }
 
     /// The config this rig runs under.
@@ -276,17 +307,19 @@ impl Rig {
     }
 
     /// Render-ahead pacing dependencies for a new frame: at most
-    /// `frames_in_flight` frames may be in the pipe.
+    /// `frames_in_flight` frames may be in the pipe. Returned inline (a
+    /// [`DepList`] derefs to `&[TaskId]`), so per-frame pacing allocates
+    /// nothing.
     #[must_use]
-    pub fn pace_deps(&self) -> Vec<TaskId> {
+    pub fn pace_deps(&self) -> DepList {
+        let mut deps = DepList::new();
         let in_flight = self.config.frames_in_flight as usize;
         if self.display_ends.len() >= in_flight {
             // The deque holds exactly the last `in_flight` display tasks,
             // so its front is the display of frame `n - in_flight`.
-            vec![*self.recent_displays.front().expect("deque primed")]
-        } else {
-            Vec::new()
+            deps.push(*self.recent_displays.front().expect("deque primed"));
         }
+        deps
     }
 
     /// Time for a full-screen GPU pass over both eyes at `cycles_per_px`.
@@ -398,16 +431,17 @@ impl Rig {
         let mut tx_total_ms = 0.0;
         let mut last_decode: Option<TaskId> = None;
         let mut prev_tx: Option<TaskId> = None;
+        // Chunk labels compose into the rig's scratch buffer (taken out of
+        // `self` so submissions can borrow the engine); the engine interns
+        // the text, so steady-state chains allocate no label storage.
+        let mut lbl = std::mem::take(&mut self.scratch.label);
         for i in 0..k {
-            let rr =
-                self.engine
-                    .submit(&format!("{label}:rr{i}"), Some(rgpu), render_ms / kf, deps);
-            let enc = self.engine.submit(
-                &format!("{label}:enc{i}"),
-                Some(senc),
-                encode_ms / kf,
-                &[rr],
-            );
+            lbl.clear();
+            let _ = write!(lbl, "{label}:rr{i}");
+            let rr = self.engine.submit(&lbl, Some(rgpu), render_ms / kf, deps);
+            lbl.clear();
+            let _ = write!(lbl, "{label}:enc{i}");
+            let enc = self.engine.submit(&lbl, Some(senc), encode_ms / kf, &[rr]);
             // Sample the channel for this chunk's transfer time. The stream
             // pays its base (propagation) latency once, on the first chunk.
             let tx_ms = if i == 0 {
@@ -416,25 +450,23 @@ impl Rig {
                 self.channel.transfer_only_ms(bytes / f64::from(k))
             };
             tx_total_ms += tx_ms;
-            let tx_deps: Vec<TaskId> = match prev_tx {
-                Some(p) => vec![enc, p],
-                None => vec![enc],
+            lbl.clear();
+            let _ = write!(lbl, "{label}:tx{i}");
+            let tx = match prev_tx {
+                Some(p) => self
+                    .engine
+                    .submit(&lbl, Some(self.net_down), tx_ms, &[enc, p]),
+                None => self.engine.submit(&lbl, Some(self.net_down), tx_ms, &[enc]),
             };
-            let tx = self.engine.submit(
-                &format!("{label}:tx{i}"),
-                Some(self.net_down),
-                tx_ms,
-                &tx_deps,
-            );
             prev_tx = Some(tx);
-            let vd = self.engine.submit(
-                &format!("{label}:vd{i}"),
-                Some(self.vdec),
-                decode_ms / kf,
-                &[tx],
-            );
+            lbl.clear();
+            let _ = write!(lbl, "{label}:vd{i}");
+            let vd = self
+                .engine
+                .submit(&lbl, Some(self.vdec), decode_ms / kf, &[tx]);
             last_decode = Some(vd);
         }
+        self.scratch.label = lbl;
         let done = last_decode.expect("k >= 1");
         // Per-stage busy attribution for the telemetry stream: everything
         // this chain put on the server pool and the link, and where.

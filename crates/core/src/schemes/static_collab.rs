@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 
 /// Per-frame stepper for static collaborative rendering.
 #[derive(Debug)]
-pub(super) struct StaticStepper {
+pub(crate) struct StaticStepper {
     profile: AppProfile,
     native_px: f64,
     lookahead: usize,

@@ -11,7 +11,7 @@
 
 use crate::metrics::RunSummary;
 use crate::sched::UnitDirective;
-use crate::schemes::{Rig, SchemeKind, ServerPool, Stepper, SystemConfig};
+use crate::schemes::{AnyStepper, Rig, SchemeKind, ServerPool, Stepper, SystemConfig};
 use crate::telemetry::FrameEvent;
 use qvr_net::SharedChannel;
 use qvr_scene::{AppProfile, AppSession};
@@ -24,7 +24,7 @@ pub struct Session {
     app_name: &'static str,
     rig: Rig,
     app: AppSession,
-    stepper: Box<dyn Stepper>,
+    stepper: AnyStepper,
     frames_stepped: usize,
 }
 
@@ -176,6 +176,17 @@ impl Session {
     /// members' handles so later joiners reuse the slot).
     pub(crate) fn channel_handle(&self) -> SharedChannel {
         self.rig.channel.clone()
+    }
+
+    /// Pre-reserves per-frame record storage for a planned run length (see
+    /// [`crate::schemes::Rig::reserve_frames`]).
+    #[cfg(test)]
+    pub(crate) fn frame_capacity(&self) -> (usize, usize) {
+        self.rig.frame_capacity()
+    }
+
+    pub(crate) fn reserve_frames(&mut self, frames: usize) {
+        self.rig.reserve_frames(frames);
     }
 
     /// Gates every per-session resource until absolute simulated time

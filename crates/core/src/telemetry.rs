@@ -89,6 +89,17 @@ pub trait TelemetrySink: std::fmt::Debug {
     /// within one session they are ordered by frame index, across sessions
     /// ordering follows the stepping policy.
     fn on_frame(&mut self, event: &FrameEvent);
+
+    /// Observes a batch of frames in stream order — semantically identical
+    /// to calling [`TelemetrySink::on_frame`] on each event in order (the
+    /// default does exactly that). Fleets deliver one round per batch so
+    /// the fan-out traverses the sink set once per step instead of once
+    /// per event; sinks may override to exploit the batching.
+    fn on_batch(&mut self, events: &[FrameEvent]) {
+        for event in events {
+            self.on_frame(event);
+        }
+    }
 }
 
 /// Which built-in sinks a fleet runs, threaded through
@@ -547,18 +558,30 @@ impl SinkSet {
 
     /// Fans one event out to every sink.
     pub fn emit(&mut self, event: &FrameEvent) {
+        self.emit_batch(std::slice::from_ref(event));
+    }
+
+    /// Fans a batch of events (one fleet round) out to every sink: each
+    /// sink sees the whole batch in stream order via
+    /// [`TelemetrySink::on_batch`], so per-step fan-out walks the sink set
+    /// once instead of once per event. Event order — and therefore every
+    /// sink's result — is identical to emitting one by one.
+    pub fn emit_batch(&mut self, events: &[FrameEvent]) {
+        if events.is_empty() {
+            return;
+        }
         if let Some(s) = &mut self.aggregate {
-            s.on_frame(event);
+            s.on_batch(events);
         }
         if let Some(s) = &mut self.windowed {
-            s.on_frame(event);
+            s.on_batch(events);
         }
         if let Some(s) = &mut self.energy {
-            s.on_frame(event);
+            s.on_batch(events);
         }
-        self.load.on_frame(event);
+        self.load.on_batch(events);
         for s in &mut self.custom {
-            s.on_frame(event);
+            s.on_batch(events);
         }
     }
 

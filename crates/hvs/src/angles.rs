@@ -242,6 +242,21 @@ impl DisplayGeometry {
         self.fovea_area_fraction(e_deg, gaze) * self.pixels_per_eye() as f64
     }
 
+    /// Radius in degrees beyond which an eccentricity disc centred at
+    /// `gaze` certainly covers the whole panel (the distance from the gaze
+    /// point to the farthest panel corner): for any `e` at or above it,
+    /// [`DisplayGeometry::fovea_area_fraction`] is a saturated constant.
+    /// Integration loops use this to stop early.
+    #[must_use]
+    pub fn saturation_radius_deg(&self, gaze: GazePoint) -> f64 {
+        let (w, h) = (self.fov_h.0, self.fov_v.0);
+        let gx = gaze.x * w / 2.0;
+        let gy = gaze.y * h / 2.0;
+        let dx = (w / 2.0 - gx).max(gx + w / 2.0);
+        let dy = (h / 2.0 - gy).max(gy + h / 2.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
     /// Eccentricity of a pixel at NDC position `(x, y)` for a gaze point.
     #[must_use]
     pub fn eccentricity_of(&self, x: f64, y: f64, gaze: GazePoint) -> Degrees {

@@ -271,17 +271,34 @@ fn rect_fraction(e_deg: f64, display: &DisplayGeometry, gaze: GazePoint) -> f64 
 
 /// Grid search for the Eq. (1) optimal `*e₂`: the middle eccentricity that
 /// minimises total periphery pixel volume.
+///
+/// The candidate cost is the [`LayerPartition::periphery_pixels`] objective
+/// with its e2-invariant terms (fovea disc area, middle-layer scale, native
+/// MAR) hoisted out of the loop: each candidate evaluates the same
+/// expression tree as `layer_budget` would, operation for operation, so the
+/// selected `e2` is bit-identical to scanning full budgets — while the
+/// expensive disc integration runs once instead of once per candidate.
 fn optimal_middle_eccentricity(e1: f64, display: &DisplayGeometry, mar: &MarModel) -> f64 {
     let e_max = display.max_eccentricity().0.min(LayerPartition::MAX_E1);
     if e1 >= e_max {
         return LayerPartition::MAX_E1.min(e1.max(LayerPartition::MIN_E1));
     }
     const STEP: f64 = 0.25;
+    let gaze = GazePoint::center();
+    let total_px = display.pixels_per_eye() as f64;
+    let fovea_px = display.fovea_pixels(e1, gaze);
+    let native = display.native_mar();
+    let mid_scale = mar.resolution_scale(e1, native);
     let mut best_e2 = e1;
     let mut best_cost = f64::INFINITY;
     let mut consider = |e2: f64| {
-        let p = LayerPartition { e1, e2 };
-        let cost = p.periphery_pixels(display, mar);
+        // `layer_budget(center).periphery()`, term by term.
+        let mid_extent = rect_fraction(e2, display, gaze);
+        let mid_area_px = (mid_extent * total_px - fovea_px).max(0.0);
+        let middle_px = mid_area_px * mid_scale * mid_scale;
+        let out_scale = mar.resolution_scale(e2, native);
+        let outer_px = total_px * out_scale * out_scale;
+        let cost = middle_px + outer_px;
         if cost < best_cost {
             best_cost = cost;
             best_e2 = e2;
@@ -391,6 +408,34 @@ mod tests {
                 opt_cost <= p.periphery_pixels(&d, &m) + 1e-6,
                 "optimal e2 must minimise periphery pixels (e2={e2})"
             );
+        }
+    }
+
+    #[test]
+    fn hoisted_grid_search_matches_full_budget_scan_exactly() {
+        // The production grid search hoists e2-invariant terms; this naive
+        // scan evaluates the full `periphery_pixels` objective per
+        // candidate. Both must pick the same e2 with the same cost bits.
+        let (d, m) = setup();
+        for e1 in [5.0, 7.25, 15.0, 22.5, 40.0, 61.0, 77.0] {
+            let e_max = d.max_eccentricity().0.min(LayerPartition::MAX_E1);
+            let mut best_e2 = e1;
+            let mut best_cost = f64::INFINITY;
+            let mut consider = |e2: f64| {
+                let cost = LayerPartition { e1, e2 }.periphery_pixels(&d, &m);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_e2 = e2;
+                }
+            };
+            let mut e2 = e1;
+            while e2 <= e_max + 1e-9 {
+                consider(e2);
+                e2 += 0.25;
+            }
+            consider(e_max);
+            let got = optimal_middle_eccentricity(e1, &d, &m);
+            assert_eq!(got.to_bits(), best_e2.to_bits(), "e1={e1}");
         }
     }
 

@@ -21,7 +21,7 @@
 //! interactive-object workload share, and the content detail seen by the
 //! codec.
 
-use crate::complexity::ComplexityField;
+use crate::complexity::{ComplexityField, TriangleFractionCache};
 use crate::interactive::InteractiveObject;
 use crate::motion::{MotionDelta, MotionProfile, MotionSample, MotionTrace};
 use qvr_gpu::FrameWorkload;
@@ -95,6 +95,39 @@ impl AppProfile {
     pub fn fovea_triangle_fraction(&self, frame: &FrameState, e1_deg: f64) -> f64 {
         self.complexity
             .triangle_fraction(e1_deg, &self.display, frame.sample.gaze)
+    }
+
+    /// [`AppProfile::fovea_workload`] through a per-frame triangle-fraction
+    /// memo (bit-identical results; the cache belongs to one session's
+    /// profile — see [`TriangleFractionCache`]).
+    #[must_use]
+    pub fn fovea_workload_cached(
+        &self,
+        frame: &FrameState,
+        e1_deg: f64,
+        cache: &mut TriangleFractionCache,
+    ) -> FrameWorkload {
+        let area = self.display.fovea_area_fraction(e1_deg, frame.sample.gaze);
+        let tris = self.complexity.triangle_fraction_cached(
+            e1_deg,
+            &self.display,
+            frame.sample.gaze,
+            cache,
+        );
+        self.full_workload(frame).scaled_region(area, tris)
+    }
+
+    /// [`AppProfile::fovea_triangle_fraction`] through a per-frame memo
+    /// (bit-identical results).
+    #[must_use]
+    pub fn fovea_triangle_fraction_cached(
+        &self,
+        frame: &FrameState,
+        e1_deg: f64,
+        cache: &mut TriangleFractionCache,
+    ) -> f64 {
+        self.complexity
+            .triangle_fraction_cached(e1_deg, &self.display, frame.sample.gaze, cache)
     }
 
     /// The static baseline's locally rendered interactive-object workload.

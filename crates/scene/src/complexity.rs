@@ -90,6 +90,45 @@ impl ComplexityField {
         let e_max = display.max_eccentricity().0 * 1.5;
         let num = self.integrate(e1_deg.min(e_max), display, gaze);
         let den = self.integrate(e_max, display, gaze);
+        Self::fraction_of(num, den)
+    }
+
+    /// `triangle_fraction` through a per-frame memo (see
+    /// [`TriangleFractionCache`]): the gaze-wide denominator integral is
+    /// computed once per gaze and each distinct `e1` once. Results are
+    /// bit-identical to [`ComplexityField::triangle_fraction`] — the cache
+    /// only skips recomputing integrals it has already run.
+    #[must_use]
+    pub fn triangle_fraction_cached(
+        &self,
+        e1_deg: f64,
+        display: &DisplayGeometry,
+        gaze: GazePoint,
+        cache: &mut TriangleFractionCache,
+    ) -> f64 {
+        if e1_deg <= 0.0 {
+            return 0.0;
+        }
+        cache.rekey(gaze);
+        if let Some(frac) = cache.lookup(e1_deg) {
+            return frac;
+        }
+        let e_max = display.max_eccentricity().0 * 1.5;
+        let num = self.integrate(e1_deg.min(e_max), display, gaze);
+        let den = match cache.den {
+            Some(den) => den,
+            None => {
+                let den = self.integrate(e_max, display, gaze);
+                cache.den = Some(den);
+                den
+            }
+        };
+        let frac = Self::fraction_of(num, den);
+        cache.insert(e1_deg, frac);
+        frac
+    }
+
+    fn fraction_of(num: f64, den: f64) -> f64 {
         if den <= 0.0 {
             0.0
         } else {
@@ -98,10 +137,22 @@ impl ComplexityField {
     }
 
     fn integrate(&self, upto_deg: f64, display: &DisplayGeometry, gaze: GazePoint) -> f64 {
+        // Once a grid radius certainly covers the whole clipped panel, every
+        // later ring is the difference of two bit-identical saturated areas
+        // — exactly 0.0 — so the loop can stop. `saturation_radius` is
+        // conservative by a full degree: rings near the boundary still run
+        // the real integration.
+        let r_sat = display.saturation_radius_deg(gaze) + 1.0;
         let mut sum = 0.0;
         let mut prev_area = 0.0;
         let mut e = Self::STEP;
         while e <= upto_deg + 1e-9 {
+            if e - Self::STEP >= r_sat {
+                // Previous grid radius was already saturated; this ring and
+                // every remaining one (including the partial last ring)
+                // would add exactly 0.0.
+                return sum;
+            }
             let area = display.fovea_area_fraction(e, gaze);
             let ring = (area - prev_area).max(0.0);
             sum += ring * self.density(e - Self::STEP / 2.0);
@@ -116,6 +167,47 @@ impl ComplexityField {
             sum += ring * self.density(upto_deg - rem / 2.0);
         }
         sum
+    }
+}
+
+/// Per-frame memo for [`ComplexityField::triangle_fraction_cached`].
+///
+/// Keyed by the gaze point's raw bits: a new gaze clears everything. One
+/// cache belongs to ONE (field, display) pair — steppers own one per
+/// session; sharing across profiles would mix incompatible integrals.
+#[derive(Debug, Clone, Default)]
+pub struct TriangleFractionCache {
+    gaze: Option<(u64, u64)>,
+    den: Option<f64>,
+    entries: Vec<(u64, f64)>,
+}
+
+impl TriangleFractionCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn rekey(&mut self, gaze: GazePoint) {
+        let key = (gaze.x.to_bits(), gaze.y.to_bits());
+        if self.gaze != Some(key) {
+            self.gaze = Some(key);
+            self.den = None;
+            self.entries.clear();
+        }
+    }
+
+    fn lookup(&self, e1_deg: f64) -> Option<f64> {
+        let key = e1_deg.to_bits();
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, f)| *f)
+    }
+
+    fn insert(&mut self, e1_deg: f64, frac: f64) {
+        self.entries.push((e1_deg.to_bits(), frac));
     }
 }
 

@@ -44,7 +44,9 @@
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
+use std::fmt::Write as _;
 use std::rc::Rc;
 
 /// Identifies a resource within one [`Engine`].
@@ -58,6 +60,68 @@ pub struct PoolId(usize);
 /// Identifies a submitted task within one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskId(usize);
+
+/// A small inline dependency list for hot-path task submission.
+///
+/// Per-frame pipeline code builds dependency sets of at most a handful of
+/// tasks (pacing gate, previous chunk, previous compose); heap-backed
+/// `Vec<TaskId>` lists made that an allocation per frame. A `DepList` holds
+/// them inline and derefs to `&[TaskId]`, so it drops into every `deps:
+/// &[TaskId]` submission parameter unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct DepList {
+    buf: [TaskId; Self::CAPACITY],
+    len: usize,
+}
+
+impl DepList {
+    /// Maximum dependencies an inline list holds.
+    pub const CAPACITY: usize = 4;
+
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        DepList {
+            buf: [TaskId(0); Self::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Appends a dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full ([`DepList::CAPACITY`] entries).
+    pub fn push(&mut self, id: TaskId) {
+        assert!(
+            self.len < Self::CAPACITY,
+            "DepList overflow (capacity {})",
+            Self::CAPACITY
+        );
+        self.buf[self.len] = id;
+        self.len += 1;
+    }
+
+    /// The dependencies as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[TaskId] {
+        &self.buf[..self.len]
+    }
+}
+
+impl Default for DepList {
+    fn default() -> Self {
+        DepList::new()
+    }
+}
+
+impl std::ops::Deref for DepList {
+    type Target = [TaskId];
+
+    fn deref(&self) -> &[TaskId] {
+        self.as_slice()
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Resource {
@@ -81,8 +145,9 @@ struct Pool {
 /// A scheduled task record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduledTask {
-    /// Human-readable label (used by the timeline dump).
-    pub label: String,
+    /// Human-readable label (used by the timeline dump). Interned: tasks
+    /// sharing a label share one allocation.
+    pub label: Rc<str>,
     /// Executing resource, if any (`None` = pure delay, e.g. sensor wait).
     pub resource: Option<ResourceId>,
     /// Start time, ms.
@@ -104,6 +169,15 @@ pub struct Engine {
     /// Latest end time among retired tasks (so [`Engine::makespan`] stays
     /// exact after retirement). 0 while nothing has retired.
     retired_makespan: f64,
+    /// Interned task labels: a steady-state frame loop reuses the same
+    /// label set every frame, so after warm-up submission allocates nothing
+    /// for labels.
+    label_pool: HashSet<Rc<str>>,
+    /// Scratch for composed labels (release gates) — reused across calls.
+    label_scratch: String,
+    /// Scratch for [`Engine::verify_exclusivity`] — sorted into in place,
+    /// reused across calls instead of cloning each resource's intervals.
+    verify_scratch: RefCell<Vec<(f64, f64)>>,
 }
 
 impl Engine {
@@ -379,11 +453,23 @@ impl Engine {
         duration_ms: f64,
         deps: &[TaskId],
     ) -> TaskId {
+        let deps_ready = self.deps_ready_ms(deps);
+        self.submit_ready(label, resource, duration_ms, deps_ready)
+    }
+
+    /// [`Engine::submit`] with the dependency frontier already reduced to a
+    /// readiness time — the shared tail of every submission path.
+    fn submit_ready(
+        &mut self,
+        label: &str,
+        resource: Option<ResourceId>,
+        duration_ms: f64,
+        deps_ready: f64,
+    ) -> TaskId {
         assert!(
             duration_ms.is_finite() && duration_ms >= 0.0,
             "duration must be finite and non-negative, got {duration_ms}"
         );
-        let deps_ready = self.deps_ready_ms(deps);
         let start = match resource {
             Some(rid) => deps_ready.max(self.resources[rid.0].free_at),
             None => deps_ready,
@@ -395,13 +481,24 @@ impl Engine {
             r.busy_ms += duration_ms;
             r.intervals.push((start, end));
         }
+        let label = self.intern(label);
         self.tasks.push(ScheduledTask {
-            label: label.to_owned(),
+            label,
             resource,
             start,
             end,
         });
         TaskId(self.retired + self.tasks.len() - 1)
+    }
+
+    /// Looks up (or creates) the shared allocation for a task label.
+    fn intern(&mut self, label: &str) -> Rc<str> {
+        if let Some(l) = self.label_pool.get(label) {
+            return Rc::clone(l);
+        }
+        let l: Rc<str> = Rc::from(label);
+        self.label_pool.insert(Rc::clone(&l));
+        l
     }
 
     /// Retires completed history: drops every task (and resource interval)
@@ -502,12 +599,17 @@ impl Engine {
         duration_ms: f64,
         deps: &[TaskId],
     ) -> TaskId {
-        // Model the release time as a zero-resource delay task.
-        let gate = self.submit(&format!("{label}:release"), None, ready_at_ms.max(0.0), &[]);
-        let mut all_deps = Vec::with_capacity(deps.len() + 1);
-        all_deps.extend_from_slice(deps);
-        all_deps.push(gate);
-        self.submit(label, resource, duration_ms, &all_deps)
+        // Model the release time as a zero-resource delay task. The gate
+        // label composes in a reused scratch and the gate folds into the
+        // readiness frontier directly, so no per-call dep list or label
+        // String is built.
+        let mut gate_label = std::mem::take(&mut self.label_scratch);
+        gate_label.clear();
+        let _ = write!(gate_label, "{label}:release");
+        let gate = self.submit(&gate_label, None, ready_at_ms.max(0.0), &[]);
+        self.label_scratch = gate_label;
+        let deps_ready = self.deps_ready_ms(deps).max(self.task(gate).end);
+        self.submit_ready(label, resource, duration_ms, deps_ready)
     }
 
     /// Start time of a (live) task.
@@ -574,8 +676,14 @@ impl Engine {
     /// tests and debugging.
     #[must_use]
     pub fn verify_exclusivity(&self) -> bool {
+        // Sort into a reused scratch buffer instead of cloning each
+        // resource's interval vector — repeated verification (tests call
+        // this after every phase) stays allocation-free once the scratch
+        // has grown to the largest interval set.
+        let mut iv = self.verify_scratch.borrow_mut();
         for r in &self.resources {
-            let mut iv = r.intervals.clone();
+            iv.clear();
+            iv.extend_from_slice(&r.intervals);
             iv.sort_by(|a, b| a.0.total_cmp(&b.0));
             for pair in iv.windows(2) {
                 if pair[1].0 < pair[0].1 - 1e-9 {
@@ -1314,6 +1422,70 @@ mod tests {
         assert_eq!(sim.pool_utilization(pool), util_before);
         assert_eq!(sim.pool_busy_ms(pool), 24.0);
         assert!(sim.max_live_intervals() <= 2);
+    }
+
+    #[test]
+    fn repeated_exclusivity_queries_return_identical_results() {
+        // The scratch-buffer rewrite must be a pure function of the current
+        // schedule: querying many times (with submissions interleaved)
+        // returns the same verdict every time, across resources of
+        // different interval counts.
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let net = sim.resource("NET");
+        for i in 0..20 {
+            sim.submit(&format!("g{i}"), Some(gpu), 1.5, &[]);
+            let first = sim.verify_exclusivity();
+            for _ in 0..3 {
+                assert_eq!(sim.verify_exclusivity(), first);
+            }
+            assert!(first);
+        }
+        sim.submit("n0", Some(net), 4.0, &[]);
+        assert!(sim.verify_exclusivity());
+        assert!(sim.verify_exclusivity());
+    }
+
+    #[test]
+    fn labels_are_interned_across_submissions() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let a = sim.submit("LR", Some(gpu), 1.0, &[]);
+        let b = sim.submit("LR", Some(gpu), 2.0, &[a]);
+        let tasks = sim.tasks();
+        assert!(
+            Rc::ptr_eq(&tasks[a.0].label, &tasks[b.0].label),
+            "same label must share one allocation"
+        );
+        assert_eq!(&*tasks[b.0].label, "LR");
+    }
+
+    #[test]
+    fn dep_list_holds_inline_and_derefs_to_slice() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let a = sim.submit("a", Some(gpu), 2.0, &[]);
+        let b = sim.submit("b", Some(gpu), 3.0, &[]);
+        let mut deps = DepList::new();
+        assert!(deps.is_empty());
+        deps.push(a);
+        deps.push(b);
+        assert_eq!(deps.len(), 2);
+        assert_eq!(deps.as_slice(), &[a, b]);
+        let c = sim.submit("c", None, 1.0, &deps);
+        assert_eq!(sim.start_of(c), 5.0, "gated on the later dependency");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn dep_list_overflow_panics() {
+        let mut sim = Engine::new();
+        let gpu = sim.resource("GPU");
+        let t = sim.submit("t", Some(gpu), 1.0, &[]);
+        let mut deps = DepList::new();
+        for _ in 0..=DepList::CAPACITY {
+            deps.push(t);
+        }
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Allocation-count regression gate for the per-frame hot path.
+//!
+//! A counting global allocator wraps `System` and tallies every
+//! `alloc`/`realloc` while armed. The test warms an 8-session fleet past
+//! its start-up transient (label interning pool, scratch buffers, engine
+//! vectors), then counts allocations over a steady-state window and pins
+//! the per-frame average to a small constant. Any change that reintroduces
+//! a per-frame allocation site (dep-list `Vec`s, `format!`ed labels,
+//! interval clones, per-event telemetry fan-out) shows up here as a
+//! multiple-allocations-per-frame jump, long before it is visible in
+//! wall-clock numbers.
+//!
+//! This lives in the root integration-test crate on purpose: every library
+//! crate in the workspace is `#![forbid(unsafe_code)]`, and a
+//! `GlobalAlloc` impl is unavoidably `unsafe`. Integration tests compile
+//! as separate crates, so the forbid does not apply here.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use qvr::prelude::*;
+use qvr::scene::Benchmark;
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Steady-state allocations-per-frame ceiling for an 8-session Q-VR fleet
+/// round. The hot path itself (dep lists, labels, pacing, telemetry
+/// fan-out) is allocation-free; what remains is amortized `Vec` doubling
+/// in the engine's task/interval history and the aggregate sink's sample
+/// series, which averages out well under one allocation per frame over the
+/// measurement window.
+const MAX_ALLOCS_PER_FRAME: f64 = 2.0;
+
+#[test]
+fn steady_state_fleet_round_is_allocation_free() {
+    let sessions = 8;
+    let warmup_rounds = 24;
+    let measured_rounds = 32;
+    let config = FleetConfig::uniform(
+        SystemConfig::default(),
+        SchemeKind::Qvr,
+        Benchmark::Hl2H.profile(),
+        sessions,
+        warmup_rounds + measured_rounds,
+        42,
+    );
+    let mut fleet = Fleet::new(config);
+    for _ in 0..warmup_rounds {
+        fleet.step_round();
+    }
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+    for _ in 0..measured_rounds {
+        fleet.step_round();
+    }
+    ARMED.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    let frames = (measured_rounds * sessions) as f64;
+    let per_frame = allocs as f64 / frames;
+    eprintln!("steady-state: {allocs} allocations / {frames} frames = {per_frame:.3} per frame");
+    assert!(
+        per_frame <= MAX_ALLOCS_PER_FRAME,
+        "steady-state hot path regressed: {allocs} allocations over \
+         {frames} frames = {per_frame:.2}/frame (limit {MAX_ALLOCS_PER_FRAME})"
+    );
+}
