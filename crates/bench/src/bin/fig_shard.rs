@@ -1,0 +1,23 @@
+//! Regenerates the sharded-cell sweep (the ≥100k-session run).
+//!
+//! ```text
+//! cargo run --release -p qvr-bench --bin fig_shard [cells per_cell frames]
+//! ```
+//!
+//! With no arguments this runs the full 3,200-cell × 32-session shape
+//! (102,400 concurrent sessions); the CI smoke passes a miniature shape.
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("usage: fig_shard [cells per_cell frames]"))
+        .collect();
+    match args[..] {
+        [] => println!("{}", qvr_bench::fig_shard::report()),
+        [cells, per_cell, frames] => println!(
+            "{}",
+            qvr_bench::fig_shard::report_with(cells, per_cell, frames, &[1, 2, 4])
+        ),
+        _ => panic!("usage: fig_shard [cells per_cell frames]"),
+    }
+}

@@ -7,7 +7,7 @@
 type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [Section; 14] = [
+    let sections: [Section; 15] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
         (
             "Table 1 + Fig. 5 (static characterisation)",
@@ -39,6 +39,10 @@ fn main() {
         (
             "Fleet energy (sessions x network x placement)",
             qvr_bench::fig_energy::report,
+        ),
+        (
+            "Sharded cells (the 100k-session sweep)",
+            qvr_bench::fig_shard::report,
         ),
     ];
     for (name, f) in sections {

@@ -25,6 +25,7 @@ pub mod fig_churn;
 pub mod fig_energy;
 pub mod fig_fleet;
 pub mod fig_sched;
+pub mod fig_shard;
 pub mod overhead;
 pub mod perf;
 pub mod table1;

@@ -15,6 +15,8 @@
 //!   windowed retirement; exercises join/leave, gating, and retirement.
 //! * `fig_sched` — the mixed noisy-neighbour roster under the quota and
 //!   measured-load placement policies; exercises the policy directives.
+//! * `fig_shard` — an 8-cell × 8-session shard with windowed retirement;
+//!   exercises the route → parallel cells → merge path end to end.
 //!
 //! A *session-stepped* is one session completing its full frame budget;
 //! a *frame-stepped* is one `Session::step` call. Both rates come from the
@@ -43,7 +45,7 @@ pub const DEFAULT_ITERS: usize = 3;
 pub struct Shape {
     /// Stable identifier, also the JSON key (`family/...` path style).
     pub name: String,
-    /// The shape family (`fig_fleet`, `fig_churn`, `fig_sched`).
+    /// The shape family (`fig_fleet`, `fig_churn`, `fig_sched`, `fig_shard`).
     pub family: &'static str,
     /// Nominal session count (churn shapes count admitted tenants per run).
     pub sessions: usize,
@@ -184,7 +186,51 @@ pub fn shapes_with(fleet_sizes: &[usize], frames: usize) -> Vec<Shape> {
             }),
         });
     }
+    out.push(shard_shape(frames));
     out
+}
+
+/// The sharded-cell shape: 8 cells × 8 Q-VR sessions routed, run on the
+/// worker pool, and merged through the telemetry seam (the fig_shard
+/// sweep's configuration at perf-harness size).
+fn shard_shape(frames: usize) -> Shape {
+    const CELLS: usize = 8;
+    const PER_CELL: usize = 8;
+    Shape {
+        name: "fig_shard/c8x8/wifi/retire300".to_owned(),
+        family: "fig_shard",
+        sessions: CELLS * PER_CELL,
+        frames,
+        run: Box::new(move || {
+            let spec = |i: usize| {
+                let apps = [
+                    Benchmark::Hl2H,
+                    Benchmark::Doom3H,
+                    Benchmark::Wolf,
+                    Benchmark::Ut3,
+                ];
+                SessionSpec::new(SchemeKind::Qvr, apps[i % apps.len()].profile())
+            };
+            let mut template = FleetConfig::uniform(
+                SystemConfig::default(),
+                SchemeKind::Qvr,
+                Benchmark::Hl2H.profile(),
+                1,
+                frames,
+                SEED,
+            );
+            template.server_units = 4;
+            template.link_streams = 2;
+            template.retire_window_ms = Some(300.0);
+            let s = Shard::run(ShardConfig::new(
+                template,
+                CELLS,
+                PER_CELL,
+                (0..CELLS * PER_CELL).map(spec).collect(),
+            ));
+            (s.sessions, s.frames)
+        }),
+    }
 }
 
 /// The Poisson-churn shape: adaptive tenants, exponential holds, weighted
@@ -489,8 +535,9 @@ mod tests {
         // A miniature roster: 2-session fleets, 3 frames. This exercises
         // every family's build path without the full sweep's cost.
         let shapes = shapes_with(&[2], 3);
-        // 1 size x 2 networks x 2 stepping policies, + churn, + 2 sched.
-        assert_eq!(shapes.len(), 2 * 2 + 1 + 2);
+        // 1 size x 2 networks x 2 stepping policies, + churn, + 2 sched,
+        // + shard.
+        assert_eq!(shapes.len(), 2 * 2 + 1 + 2 + 1);
         let fleet = &shapes[0];
         assert!(fleet.name.starts_with("fig_fleet/n2/"));
         let m = measure(fleet, 1);

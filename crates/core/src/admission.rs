@@ -362,6 +362,31 @@ impl AdmissionController {
         decision
     }
 
+    /// Offers one session for full (protected) admission *only*: probes
+    /// exactly as [`AdmissionController::offer`] but never falls back to a
+    /// degraded share — the candidate joins iff the full-share probe holds
+    /// the SLO, and a decline leaves the roster untouched. The shard
+    /// router's first pass uses this so a join that would only ride
+    /// best-effort here can first try a less-loaded cell (DESIGN.md §12's
+    /// spill-resolution order).
+    pub fn offer_protected(&mut self, spec: SessionSpec) -> AdmissionDecision {
+        let requested_share = spec.share;
+        let mut constituency = self.protected.clone();
+        constituency.push(true);
+        let full = self.probe(spec.clone());
+        let decision = if self.policy.accepts_constituency(&full, &constituency) {
+            self.accepted.push(spec);
+            self.protected.push(true);
+            self.requested.push(requested_share);
+            self.last_accepted_probe = Some(full);
+            AdmissionDecision::Admitted
+        } else {
+            AdmissionDecision::Rejected
+        };
+        self.decisions.push(decision);
+        decision
+    }
+
     /// Handles a *leaving* session: removes roster member `idx`, reclaims
     /// its resources, and tries to spend them on upgrading best-effort
     /// tenants back to their originally-requested (protected) shares.
@@ -436,6 +461,10 @@ impl AdmissionController {
                     probe.server_utilization,
                     probe.server_units,
                     probe.shared_network,
+                    // Carry the probed run's infrastructure energy; the
+                    // reorder above only permutes sessions, so the re-summed
+                    // client share (and thus the total) matches the probe's.
+                    probe.energy,
                 ));
             }
         }

@@ -39,7 +39,9 @@ use crate::metrics::{RunSummary, SortedSamples};
 use crate::sched::ServerPolicy;
 use crate::schemes::{ServerPool, SystemConfig};
 use crate::session::Session;
-use crate::telemetry::{client_energy_mj, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink};
+use crate::telemetry::{
+    client_energy_mj, AggregateSink, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink,
+};
 use qvr_energy::FleetEnergy;
 use qvr_net::{FairnessPolicy, NetworkChannel, SharedChannel};
 use qvr_sim::SharedEngine;
@@ -951,6 +953,78 @@ impl ChurnFleet {
     #[must_use]
     pub fn run(config: ChurnConfig) -> ChurnSummary {
         ChurnFleet::new(config).finish()
+    }
+
+    /// Switches the aggregate stream on, so this churn fleet can finalise
+    /// into the same sink-state bundle a fleet cell ships
+    /// ([`ChurnFleet::finish_cell`]). Must be called before any frame has
+    /// been stepped — a late-enabled sink would have missed events and the
+    /// cross-cell merge would silently under-count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame event has already streamed.
+    pub fn enable_cell_sinks(&mut self) {
+        assert!(
+            self.samples.is_empty() && self.engine.task_count() == 0,
+            "cell sinks must be enabled before the first frame"
+        );
+        self.sinks.aggregate = Some(AggregateSink::new());
+    }
+
+    /// Runs the remaining work and finalises into the shard-cell bundle
+    /// (see [`crate::shard`] and [`crate::fleet::Fleet::finish_cell`]):
+    /// sink states plus scalar schedule facts, never retained frame
+    /// histories. Requires [`ChurnFleet::enable_cell_sinks`] at
+    /// construction time; configure deferred windows
+    /// ([`TelemetryConfig::with_deferred_windows`]) if the windowed
+    /// timeline should survive the merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the aggregate stream was never enabled.
+    #[must_use]
+    pub fn finish_cell(mut self, cell: usize) -> crate::shard::CellSummary {
+        while self.tick() {}
+        let makespan_ms = self.engine.makespan();
+        let server_units = self.server.units();
+        let server_busy_ms = self.engine.pool_busy_ms(self.server.rgpu());
+        let peak_live_tasks = self
+            .peak_live_per_resource
+            .max(self.engine.max_live_intervals());
+        // Tenant energies in the same order `finish` records them
+        // (departed in leave order, then survivors by arrival ordinal), so
+        // the client sum is bit-identical to the ChurnSummary path. The
+        // finalised summaries themselves — the frame histories — are
+        // dropped on this side of the seam.
+        let mut energies: Vec<qvr_energy::EnergyBreakdown> =
+            self.finished.iter().map(|t| t.summary.energy).collect();
+        for tenant in std::mem::take(&mut self.live).into_iter().flatten() {
+            tenant.session.release_link();
+            energies.push(tenant.session.finish().energy);
+        }
+        let sessions = energies.len();
+        let energy = self
+            .sinks
+            .energy_finalize(makespan_ms, client_energy_mj(energies.iter()));
+        let aggregate = self
+            .sinks
+            .aggregate
+            .take()
+            .expect("churn cells stream aggregates (ChurnFleet::enable_cell_sinks)");
+        crate::shard::CellSummary {
+            cell,
+            sessions,
+            frames: aggregate.frames(),
+            makespan_ms,
+            server_units,
+            server_busy_ms,
+            aggregate,
+            windowed: self.sinks.windowed.take(),
+            energy,
+            load: self.sinks.load.snapshot(),
+            peak_live_tasks,
+        }
     }
 }
 

@@ -538,6 +538,55 @@ impl Fleet {
         Fleet::new(config).finish()
     }
 
+    /// Steps all remaining rounds and finalises into the bundle a shard
+    /// cell ships across its worker-thread boundary (see [`crate::shard`]):
+    /// raw sink states (aggregate, deferred windowed, finalised energy, a
+    /// load-EWMA snapshot) plus scalar schedule facts — never the
+    /// per-session frame histories, which die with the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dedicated single-user fleet (cells are multi-tenant by
+    /// construction — the degenerate mode has no aggregate stream).
+    #[must_use]
+    pub(crate) fn finish_cell(mut self, cell: usize) -> crate::shard::CellSummary {
+        assert!(!self.dedicated, "shard cells are multi-tenant fleets");
+        match self.stepping {
+            SteppingPolicy::RoundRobin => {
+                while self.rounds_done < self.frames {
+                    self.step_round();
+                }
+            }
+            SteppingPolicy::VirtualTime => while self.step_next().is_some() {},
+        }
+        let makespan_ms = self.engine.makespan();
+        let server_units = self.server.units();
+        let server_busy_ms = self.engine.pool_busy_ms(self.server.rgpu());
+        let peak_live_tasks = self.engine.max_live_intervals();
+        let sessions = self.sessions.len();
+        // Sessions finalise only to surface their energy breakdowns; their
+        // frame histories are dropped on this side of the seam.
+        let summaries: Vec<RunSummary> = self.sessions.drain(..).map(Session::finish).collect();
+        let energy = self.sinks.energy_finalize(
+            makespan_ms,
+            client_energy_mj(summaries.iter().map(|s| &s.energy)),
+        );
+        let aggregate = self.sinks.aggregate.take().expect("fleets always stream");
+        crate::shard::CellSummary {
+            cell,
+            sessions,
+            frames: aggregate.frames(),
+            makespan_ms,
+            server_units,
+            server_busy_ms,
+            aggregate,
+            windowed: self.sinks.windowed.take(),
+            energy,
+            load: self.sinks.load.snapshot(),
+            peak_live_tasks,
+        }
+    }
+
     /// Runs independent fleets in parallel (intended for sweeps across
     /// seeds, session counts, or networks), preserving input order. Work
     /// is fed to at most `available_parallelism` worker threads via
@@ -605,10 +654,12 @@ pub struct FleetSummary {
     /// Whether sessions shared one channel budget.
     pub shared_network: bool,
     /// Fleet-level energy (server pool + access point + all headsets),
-    /// streamed by the telemetry [`crate::telemetry::EnergyMeter`]; identity-zero when the
-    /// meter is disabled or the summary was re-derived post hoc
-    /// ([`FleetSummary::from_sessions`] — re-aggregation has no event
-    /// stream to meter).
+    /// streamed by the telemetry [`crate::telemetry::EnergyMeter`];
+    /// identity-zero when the meter is disabled. Re-aggregations carry the
+    /// source run's infrastructure share and re-sum the headset share from
+    /// the surviving sessions ([`FleetSummary::from_sessions`] /
+    /// [`FleetSummary::without_session`]), so a re-derived summary reports
+    /// real energy, not zeros.
     pub energy: FleetEnergy,
     /// The streaming windowed-p95 MTP timeline `(start_ms, frames, p95)`,
     /// when [`TelemetryConfig::window_ms`] was configured; empty otherwise.
@@ -681,6 +732,12 @@ impl FleetSummary {
     /// schedule-level fields (percentiles, FPS floor, and mean FPS are
     /// recomputed exactly from the sessions' frames). The building block of
     /// admission control's incremental probing.
+    ///
+    /// `energy` carries the probed run's *infrastructure* energy (server
+    /// pool + access point — schedule-level, like makespan); its headset
+    /// share is recomputed from `sessions`' own breakdowns, so the result
+    /// never silently reports zero (or a stale roster's) client energy.
+    /// Pass [`FleetEnergy::default`] when the source run had no meter.
     #[must_use]
     pub fn from_sessions(
         sessions: Vec<RunSummary>,
@@ -688,14 +745,20 @@ impl FleetSummary {
         server_utilization: f64,
         server_units: usize,
         shared_network: bool,
+        energy: FleetEnergy,
     ) -> Self {
-        FleetSummary::aggregate(
+        let mut summary = FleetSummary::aggregate(
             sessions,
             makespan_ms,
             server_utilization,
             server_units,
             shared_network,
-        )
+        );
+        summary.energy = FleetEnergy {
+            client_mj: client_energy_mj(summary.sessions.iter().map(|s| &s.energy)),
+            ..energy
+        };
+        summary
     }
 
     /// Re-aggregates this summary with session `idx` dropped — the
@@ -726,8 +789,13 @@ impl FleetSummary {
             self.shared_network,
         );
         // Schedule-level telemetry products carry over like makespan: they
-        // describe the run that was actually simulated.
-        summary.energy = self.energy;
+        // describe the run that was actually simulated. The headset share
+        // is per-session, though — re-sum it over the survivors so the
+        // leaver's client energy doesn't linger in the total.
+        summary.energy = FleetEnergy {
+            client_mj: client_energy_mj(summary.sessions.iter().map(|s| &s.energy)),
+            ..self.energy
+        };
         summary.windows = self.windows.clone();
         summary
     }
@@ -928,13 +996,20 @@ mod tests {
         let mut empty = normal.clone();
         empty.frames.clear();
         empty.makespan_ms = 50.0;
-        let s =
-            FleetSummary::from_sessions(vec![normal.clone(), empty.clone()], 100.0, 0.5, 8, true);
+        let s = FleetSummary::from_sessions(
+            vec![normal.clone(), empty.clone()],
+            100.0,
+            0.5,
+            8,
+            true,
+            FleetEnergy::default(),
+        );
         assert_eq!(s.fps_floor, normal.fps());
         assert_eq!(s.mean_fps, normal.fps());
         assert!(s.fps_floor.is_finite() && s.mean_fps.is_finite());
         // An all-empty fleet reports zero rates, never NaN.
-        let s2 = FleetSummary::from_sessions(vec![empty], 100.0, 0.5, 8, true);
+        let s2 =
+            FleetSummary::from_sessions(vec![empty], 100.0, 0.5, 8, true, FleetEnergy::default());
         assert_eq!(s2.fps_floor, 0.0);
         assert_eq!(s2.mean_fps, 0.0);
     }

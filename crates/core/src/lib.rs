@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod sched;
 pub mod schemes;
 pub mod session;
+pub mod shard;
 pub mod telemetry;
 pub mod uca;
 
@@ -81,6 +82,7 @@ pub use metrics::{FrameRecord, RunSummary};
 pub use sched::{ServerPolicy, TenantClass};
 pub use schemes::{SchemeKind, SystemConfig};
 pub use session::Session;
+pub use shard::{cell_seed, CellSummary, Shard, ShardConfig, ShardSummary};
 pub use telemetry::{
     AggregateSink, EnergyMeter, FrameEvent, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink,
     WindowedStatsSink,

@@ -1,0 +1,669 @@
+//! Sharded fleet cells: the ≥100k-session regime.
+//!
+//! A single [`crate::fleet::Fleet`] is one arbitration domain — every
+//! session contends for one engine, one server pool, one link, stepped on
+//! one thread. The surveys in PAPERS.md are blunt that deployed
+//! collaborative VR is *many rooms*, not one: a metro-scale service runs
+//! thousands of independent server+AP cells. This module models exactly
+//! that topology. A [`Shard`] routes a roster of [`SessionSpec`]s across
+//! `cells` independent cells (each a full `Fleet` — or, driven manually, a
+//! [`crate::churn::ChurnFleet`] — with its own [`qvr_sim::SharedEngine`]
+//! pools and link), runs the cells on a bounded worker pool
+//! ([`qvr_sim::parallel_map_with`]), and merges the results into one
+//! [`ShardSummary`] with fleet-identical aggregates.
+//!
+//! # The telemetry seam is the only wire
+//!
+//! Cells communicate *nothing* while running and ship only the PR 5
+//! telemetry seam's sink states at the end ([`CellSummary`]): the
+//! [`AggregateSink`] (merged by slot tiling), the finalised
+//! [`qvr_energy::FleetEnergy`] (summed component-wise), the *deferred*
+//! [`WindowedStatsSink`] (merged bucket-index-wise), and a load-EWMA
+//! snapshot. Never per-session frame histories — those die inside the
+//! cell, so shard-level live state is O(cells × window) engine tasks plus
+//! O(total frames) scalar samples, not O(sessions × frames) frame records.
+//!
+//! # Merge laws (DESIGN.md §12)
+//!
+//! Each sink's `absorb` is proven (property tests in
+//! [`crate::telemetry`]) bit-identical to one sink consuming the cells'
+//! concatenated event streams, and [`ShardSummary::merge`] folds cells in
+//! ascending cell-id order, so the summary is independent of both the
+//! worker count and the order cells finish. On one cell the whole pipeline
+//! degenerates to a single fleet: `tests/shard.rs` pins the 1-cell
+//! [`ShardSummary`] bit-identical to [`Fleet::run`] on the same roster.
+//!
+//! # Cross-cell admission (spill)
+//!
+//! Routing is load-aware and deterministic. Without admission, a join
+//! lands on the least-loaded cell (occupancy, then cell id). With a
+//! per-cell [`crate::admission::AdmissionController`], cells are tried in
+//! ascending (occupancy, last-probe utilisation, cell id) order for *full*
+//! admission first ([`crate::admission::AdmissionController::offer_protected`]);
+//! a join every cell declines falls back to one degraded offer at the
+//! least-loaded cell. A placement anywhere but the first-choice cell
+//! counts as *spilled*. Each cell's [`crate::telemetry::LoadTracker`]
+//! occupies its own slot-id namespace ([`LoadTracker::namespaced`]), so a
+//! spilled joiner can never inherit a stale EWMA from another cell's
+//! recycled slot.
+
+use crate::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
+use crate::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
+use crate::telemetry::{AggregateSink, LoadTracker, WindowedStatsSink};
+use qvr_energy::FleetEnergy;
+use std::fmt;
+
+/// Derives cell `c`'s fleet seed from the shard seed — identity for cell 0
+/// (so a 1-cell shard reproduces the single-fleet streams bit-for-bit), a
+/// distinct multiplier from [`crate::fleet`]'s per-session derivation so
+/// cell and session streams decorrelate.
+#[must_use]
+pub fn cell_seed(seed: u64, cell: usize) -> u64 {
+    seed ^ (cell as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// Full description of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// The per-cell fleet template: system, frames, per-cell server units,
+    /// link provisioning, fairness, server policy, stepping, retirement
+    /// window, telemetry. `template.sessions` is ignored (the shard routes
+    /// [`ShardConfig::roster`]); `template.seed` is the shard seed each
+    /// cell's seed derives from ([`cell_seed`]); windowed telemetry is
+    /// forced into deferred mode per cell (the mergeable form).
+    pub template: FleetConfig,
+    /// Number of independent cells.
+    pub cells: usize,
+    /// Session slots per cell (occupancy-routing capacity).
+    pub cell_capacity: usize,
+    /// The joins to route, in arrival order.
+    pub roster: Vec<SessionSpec>,
+    /// Worker threads the cells fan out on; `None` uses
+    /// `available_parallelism`. The merged summary is bit-identical for
+    /// every choice (pinned by `tests/shard.rs`).
+    pub workers: Option<usize>,
+    /// Per-cell admission control; `None` admits on raw occupancy.
+    pub admission: Option<AdmissionPolicy>,
+}
+
+impl ShardConfig {
+    /// A shard of `cells` cells, `cell_capacity` slots each, routing
+    /// `roster` with the given per-cell template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` or `cell_capacity` is zero, or if the template
+    /// degenerates to the dedicated single-user mode (cells are
+    /// multi-tenant fleets).
+    #[must_use]
+    pub fn new(
+        template: FleetConfig,
+        cells: usize,
+        cell_capacity: usize,
+        roster: Vec<SessionSpec>,
+    ) -> Self {
+        assert!(cells > 0, "a shard needs at least one cell");
+        assert!(cell_capacity > 0, "cells need at least one slot");
+        assert!(
+            template.shared_network || template.server_units > 1,
+            "shard cells are multi-tenant fleets; the dedicated single-user \
+             template shape has no aggregate stream to merge"
+        );
+        ShardConfig {
+            template,
+            cells,
+            cell_capacity,
+            roster,
+            workers: None,
+            admission: None,
+        }
+    }
+
+    /// Returns a copy with an explicit worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Returns a copy with per-cell admission control.
+    #[must_use]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = Some(policy);
+        self
+    }
+}
+
+/// What the deterministic router decided, before any cell runs.
+#[derive(Debug, Clone)]
+struct Routing {
+    /// Per-cell placed specs, in placement order.
+    placements: Vec<Vec<SessionSpec>>,
+    /// Joins placed anywhere but their first-choice cell.
+    spilled: usize,
+    /// Joins no cell would take.
+    rejected: usize,
+    /// Joins placed on a degraded share.
+    degraded: usize,
+    /// Admission probe fleets simulated.
+    probes_run: usize,
+}
+
+/// Routes the roster across cells: least-loaded first, spilling on
+/// rejection or degradation (module docs give the resolution order).
+/// Single-threaded and deterministic — the router is the shard's only
+/// cross-cell coupling, so keeping it off the worker pool is what makes
+/// the whole run worker-count-independent.
+fn route(config: &ShardConfig) -> Routing {
+    let mut controllers: Vec<AdmissionController> = match &config.admission {
+        Some(policy) => (0..config.cells)
+            .map(|c| {
+                AdmissionController::with_capacity(
+                    config.template.system,
+                    config.template.fairness,
+                    policy.clone(),
+                    cell_seed(config.template.seed, c),
+                    config.template.server_units,
+                    config.template.link_streams,
+                )
+                .with_server_policy(config.template.server_policy)
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let mut placements: Vec<Vec<SessionSpec>> = vec![Vec::new(); config.cells];
+    let mut routing = Routing {
+        placements: Vec::new(),
+        spilled: 0,
+        rejected: 0,
+        degraded: 0,
+        probes_run: 0,
+    };
+    for spec in &config.roster {
+        if controllers.is_empty() {
+            // Occupancy-only routing: the least-loaded open cell (lowest
+            // id on ties) takes the join. A linear min-scan, not a sort —
+            // this path must stay cheap at thousands of cells.
+            let mut best: Option<usize> = None;
+            for (c, placed) in placements.iter().enumerate() {
+                if placed.len() >= config.cell_capacity {
+                    continue;
+                }
+                if best.is_none_or(|b| placed.len() < placements[b].len()) {
+                    best = Some(c);
+                }
+            }
+            match best {
+                Some(c) => placements[c].push(spec.clone()),
+                None => routing.rejected += 1, // every cell is full
+            }
+            continue;
+        }
+        // Candidate cells in spill-resolution order: occupancy, then the
+        // cell's last accepted probe's measured utilisation, then cell id.
+        let mut order: Vec<usize> = (0..config.cells)
+            .filter(|&c| placements[c].len() < config.cell_capacity)
+            .collect();
+        let probe_util = |c: usize| -> f64 {
+            controllers
+                .get(c)
+                .and_then(AdmissionController::accepted_summary)
+                .map_or(0.0, |s| s.server_utilization)
+        };
+        order.sort_by(|&a, &b| {
+            placements[a]
+                .len()
+                .cmp(&placements[b].len())
+                .then(probe_util(a).total_cmp(&probe_util(b)))
+                .then(a.cmp(&b))
+        });
+        let Some(&first_choice) = order.first() else {
+            routing.rejected += 1; // every cell is full
+            continue;
+        };
+        // Pass 1: full (protected) admission at the best cell that holds
+        // the SLO.
+        let mut placed = None;
+        for &c in &order {
+            if controllers[c].offer_protected(spec.clone()) == AdmissionDecision::Admitted {
+                placed = Some(c);
+                break;
+            }
+        }
+        // Pass 2: nobody takes it at full share — one degraded offer at
+        // the least-loaded cell.
+        if placed.is_none() {
+            match controllers[first_choice].offer(spec.clone()) {
+                AdmissionDecision::Rejected => {
+                    routing.rejected += 1;
+                    continue;
+                }
+                AdmissionDecision::Degraded => routing.degraded += 1,
+                AdmissionDecision::Admitted => {}
+            }
+            placed = Some(first_choice);
+        }
+        let cell = placed.expect("placed above");
+        if cell != first_choice {
+            routing.spilled += 1;
+        }
+        // The controller joined the (possibly degraded) spec to its
+        // roster; mirror its share into the placement.
+        let joined = controllers[cell]
+            .admitted()
+            .last()
+            .expect("offer joined the roster")
+            .clone();
+        placements[cell].push(joined);
+    }
+    routing.probes_run = controllers
+        .iter()
+        .map(AdmissionController::probes_run)
+        .sum();
+    routing.placements = placements;
+    routing
+}
+
+/// The bundle one cell ships across its worker-thread boundary: sink
+/// states plus scalar schedule facts. Everything here is `Send` (the
+/// single-threaded [`LoadTracker`] is snapshotted), and nothing retains a
+/// per-session frame history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// The cell's id (its position in the shard's cell-id order).
+    pub cell: usize,
+    /// Sessions the cell ran.
+    pub sessions: usize,
+    /// Frames the cell displayed.
+    pub frames: usize,
+    /// The cell's schedule makespan, ms.
+    pub makespan_ms: f64,
+    /// GPU units in the cell's server pool.
+    pub server_units: usize,
+    /// Busy time summed over the cell's GPU pool, ms (with
+    /// `makespan_ms × server_units` as capacity, utilisations merge
+    /// exactly: the shard divides once, after summing).
+    pub server_busy_ms: f64,
+    /// The cell's aggregate stream (MTP samples + per-slot FPS spans).
+    pub aggregate: AggregateSink,
+    /// The cell's windowed-p95 sink, un-collapsed (deferred mode), when
+    /// windows were configured.
+    pub windowed: Option<WindowedStatsSink>,
+    /// The cell's finalised energy (its own span × its own pool).
+    pub energy: FleetEnergy,
+    /// The cell's load-EWMA snapshot, fleet-local slot order.
+    pub load: Vec<Option<f64>>,
+    /// Peak live engine intervals — the cell's O(window) memory witness.
+    pub peak_live_tasks: usize,
+}
+
+/// Fleet-identical aggregates over every cell, plus the shard-level
+/// routing and memory facts. Produced by [`Shard::run`] or directly by
+/// [`ShardSummary::merge`] over manually-driven cells (e.g. churn cells
+/// via [`crate::churn::ChurnFleet::finish_cell`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Cells that actually ran (empty cells ship nothing).
+    pub cells: usize,
+    /// Sessions across all cells.
+    pub sessions: usize,
+    /// Frames displayed across all cells.
+    pub frames: usize,
+    /// Slowest cell's makespan, ms (cells run concurrently in deployment).
+    pub makespan_ms: f64,
+    /// Median MTP across every cell's frames, ms.
+    pub mtp_p50_ms: f64,
+    /// 95th-percentile MTP across every cell's frames, ms.
+    pub mtp_p95_ms: f64,
+    /// 99th-percentile MTP across every cell's frames, ms.
+    pub mtp_p99_ms: f64,
+    /// The slowest session's frame rate anywhere in the shard, frames/s.
+    pub fps_floor: f64,
+    /// Mean session frame rate across the shard, frames/s.
+    pub mean_fps: f64,
+    /// GPU utilisation over the summed pool: Σ busy / Σ capacity.
+    pub server_utilization: f64,
+    /// GPU units summed over all cells.
+    pub server_units: usize,
+    /// Component-wise energy sum over cells, in cell-id order.
+    pub energy: FleetEnergy,
+    /// The merged windowed-p95 timeline `(start_ms, frames, p95)` (cells
+    /// share one virtual-time origin, so buckets merge index-wise).
+    pub windows: Vec<(f64, usize, f64)>,
+    /// Raw samples held by the merged windowed sink at finalisation.
+    pub peak_open_samples: usize,
+    /// Σ of per-cell peak live engine intervals — the O(cells × window)
+    /// bound the CI bounded-memory job asserts.
+    pub peak_live_tasks: usize,
+    /// Joins placed anywhere but their first-choice cell.
+    pub spilled: usize,
+    /// Joins no cell accepted.
+    pub rejected: usize,
+    /// Joins admitted on a degraded share.
+    pub degraded: usize,
+    /// Admission probe fleets simulated by the router.
+    pub probes_run: usize,
+    /// Per-cell session counts, cell-id order (ran cells only).
+    pub cell_sessions: Vec<usize>,
+    /// Per-cell load-EWMA snapshots, cell-id order.
+    cell_load: Vec<Vec<Option<f64>>>,
+}
+
+impl ShardSummary {
+    /// Merges per-cell bundles into fleet-identical aggregates. Cells are
+    /// first sorted by cell id, so the result is independent of the order
+    /// they are supplied (or finished) in; each sink merges by its proven
+    /// law (slot tiling, component sum, bucket-index union), and
+    /// utilisation divides once over the summed pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two bundles claim the same cell id, or if windowed sinks
+    /// are present but collapsed / of mismatched widths
+    /// ([`WindowedStatsSink::absorb`]).
+    #[must_use]
+    pub fn merge(mut cells: Vec<CellSummary>) -> ShardSummary {
+        cells.sort_by_key(|c| c.cell);
+        for pair in cells.windows(2) {
+            assert!(
+                pair[0].cell != pair[1].cell,
+                "duplicate cell id {} in merge",
+                pair[0].cell
+            );
+        }
+        let mut aggregate = AggregateSink::new();
+        let mut windowed: Option<WindowedStatsSink> = None;
+        let mut energy = FleetEnergy::default();
+        let mut sessions = 0;
+        let mut frames = 0;
+        let mut makespan_ms: f64 = 0.0;
+        let mut busy_ms = 0.0;
+        let mut capacity_ms = 0.0;
+        let mut server_units = 0;
+        let mut peak_live_tasks = 0;
+        let mut cell_sessions = Vec::with_capacity(cells.len());
+        let mut cell_load = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            aggregate.absorb(&cell.aggregate);
+            if let Some(w) = &cell.windowed {
+                match &mut windowed {
+                    None => windowed = Some(w.clone()),
+                    Some(merged) => merged.absorb(w),
+                }
+            }
+            energy += cell.energy;
+            sessions += cell.sessions;
+            frames += cell.frames;
+            makespan_ms = makespan_ms.max(cell.makespan_ms);
+            busy_ms += cell.server_busy_ms;
+            capacity_ms += cell.makespan_ms * cell.server_units as f64;
+            server_units += cell.server_units;
+            peak_live_tasks += cell.peak_live_tasks;
+            cell_sessions.push(cell.sessions);
+            cell_load.push(cell.load.clone());
+        }
+        let (mtp_p50_ms, mtp_p95_ms, mtp_p99_ms) = aggregate.mtp_percentiles();
+        let (fps_floor, mean_fps) = aggregate.fps_stats();
+        let (windows, peak_open_samples) = match windowed {
+            Some(w) => (w.clone().finish(), w.peak_open_samples()),
+            None => (Vec::new(), 0),
+        };
+        ShardSummary {
+            cells: cells.len(),
+            sessions,
+            frames,
+            makespan_ms,
+            mtp_p50_ms,
+            mtp_p95_ms,
+            mtp_p99_ms,
+            fps_floor,
+            mean_fps,
+            server_utilization: if capacity_ms > 0.0 {
+                (busy_ms / capacity_ms).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
+            server_units,
+            energy,
+            windows,
+            peak_open_samples,
+            peak_live_tasks,
+            spilled: 0,
+            rejected: 0,
+            degraded: 0,
+            probes_run: 0,
+            cell_sessions,
+            cell_load,
+        }
+    }
+
+    /// Whether this shard's aggregates are bit-identical to a single
+    /// fleet's — the 1-cell degeneracy check (percentiles, FPS statistics,
+    /// utilisation, makespan, energy, and the windowed timeline all
+    /// compare with `==`, no tolerance).
+    #[must_use]
+    pub fn matches_fleet(&self, fleet: &FleetSummary) -> bool {
+        self.mtp_p50_ms == fleet.mtp_p50_ms
+            && self.mtp_p95_ms == fleet.mtp_p95_ms
+            && self.mtp_p99_ms == fleet.mtp_p99_ms
+            && self.fps_floor == fleet.fps_floor
+            && self.mean_fps == fleet.mean_fps
+            && self.server_utilization == fleet.server_utilization
+            && self.makespan_ms == fleet.makespan_ms
+            && self.server_units == fleet.server_units
+            && self.energy == fleet.energy
+            && self.windows == fleet.windows
+    }
+
+    /// One cell's load-EWMA snapshot (cell-id order over the cells that
+    /// ran).
+    #[must_use]
+    pub fn cell_load(&self, idx: usize) -> &[Option<f64>] {
+        &self.cell_load[idx]
+    }
+
+    /// A shard-wide measured-load view: every cell's snapshot replayed
+    /// into one [`LoadTracker`] through disjoint slot namespaces
+    /// ([`LoadTracker::namespaced`], bases = prefix sums of the snapshot
+    /// widths) — the structure a cross-cell placement policy would read,
+    /// and the regression pin for the stale-EWMA recycling bug (a slot id
+    /// can never alias across cells).
+    #[must_use]
+    pub fn merged_load(&self) -> LoadTracker {
+        let tracker = LoadTracker::new();
+        let mut base = 0;
+        for snapshot in &self.cell_load {
+            let view = tracker.namespaced(base);
+            for (slot, ewma) in snapshot.iter().enumerate() {
+                if let Some(ms) = ewma {
+                    // A first observation seeds the EWMA with exactly the
+                    // observed value, so replay reproduces the cell's
+                    // state bit-for-bit.
+                    view.observe(slot, *ms);
+                }
+            }
+            base += snapshot.len();
+        }
+        tracker
+    }
+}
+
+impl fmt::Display for ShardSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions over {} cells ({} GPU units): MTP p50/p95/p99 \
+             {:.1}/{:.1}/{:.1} ms, FPS floor {:.0}, util {:.0}%, \
+             {} spilled, {} degraded, {} rejected",
+            self.sessions,
+            self.cells,
+            self.server_units,
+            self.mtp_p50_ms,
+            self.mtp_p95_ms,
+            self.mtp_p99_ms,
+            self.fps_floor,
+            self.server_utilization * 100.0,
+            self.spilled,
+            self.degraded,
+            self.rejected,
+        )
+    }
+}
+
+/// The sharded-run entry point.
+#[derive(Debug)]
+pub struct Shard;
+
+impl Shard {
+    /// Routes, runs, and merges one sharded sweep: the deterministic
+    /// router places every join (module docs give the spill order), each
+    /// non-empty cell runs as an independent [`Fleet`] on the bounded
+    /// worker pool, and the cells' sink states fold into one
+    /// [`ShardSummary`]. Bit-deterministic for a fixed config regardless
+    /// of worker count.
+    #[must_use]
+    pub fn run(config: ShardConfig) -> ShardSummary {
+        let routing = route(&config);
+        let cell_configs: Vec<(usize, FleetConfig)> = routing
+            .placements
+            .iter()
+            .enumerate()
+            .filter(|(_, specs)| !specs.is_empty())
+            .map(|(cell, specs)| {
+                let mut fleet = config.template.clone();
+                fleet.sessions = specs.clone();
+                fleet.seed = cell_seed(config.template.seed, cell);
+                if fleet.telemetry.window_ms.is_some() {
+                    fleet.telemetry = fleet.telemetry.with_deferred_windows();
+                }
+                (cell, fleet)
+            })
+            .collect();
+        let workers = config
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |w| w.get()));
+        let cells = qvr_sim::parallel_map_with(workers, &cell_configs, |(cell, fleet)| {
+            Fleet::new(fleet.clone()).finish_cell(*cell)
+        });
+        let mut summary = ShardSummary::merge(cells);
+        summary.spilled = routing.spilled;
+        summary.rejected = routing.rejected;
+        summary.degraded = routing.degraded;
+        summary.probes_run = routing.probes_run;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{SchemeKind, SystemConfig};
+    use qvr_scene::Benchmark;
+
+    fn template(frames: usize, seed: u64) -> FleetConfig {
+        let mut t = FleetConfig::uniform(
+            SystemConfig::default(),
+            SchemeKind::Qvr,
+            Benchmark::Hl2H.profile(),
+            1, // ignored: the shard routes its own roster
+            frames,
+            seed,
+        );
+        t.server_units = 4;
+        t.link_streams = 2;
+        t
+    }
+
+    fn roster(n: usize) -> Vec<SessionSpec> {
+        (0..n)
+            .map(|i| {
+                let bench = [Benchmark::Hl2H, Benchmark::Doom3L, Benchmark::Wolf][i % 3];
+                SessionSpec::new(SchemeKind::Qvr, bench.profile())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cell_seed_is_identity_for_cell_zero_and_distinct_after() {
+        assert_eq!(cell_seed(42, 0), 42);
+        let seeds: Vec<u64> = (0..16).map(|c| cell_seed(42, c)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "cell seeds must not collide");
+    }
+
+    #[test]
+    fn occupancy_routing_balances_and_rejects_overflow() {
+        let config = ShardConfig::new(template(4, 7), 3, 2, roster(7));
+        let routing = route(&config);
+        let occupancy: Vec<usize> = routing.placements.iter().map(Vec::len).collect();
+        assert_eq!(occupancy, vec![2, 2, 2], "least-loaded fills evenly");
+        assert_eq!(routing.rejected, 1, "the 7th join finds every cell full");
+        assert_eq!(routing.probes_run, 0);
+        assert_eq!(routing.spilled, 0, "occupancy routing never spills");
+    }
+
+    #[test]
+    fn shard_summary_aggregates_across_cells() {
+        let mut config = ShardConfig::new(template(6, 11), 4, 4, roster(12));
+        config.template.telemetry = config.template.telemetry.with_window_ms(200.0);
+        let s = Shard::run(config);
+        assert_eq!(s.sessions, 12);
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.cell_sessions, vec![3, 3, 3, 3]);
+        assert_eq!(s.frames, 12 * 6);
+        assert_eq!(s.server_units, 16);
+        assert!(s.mtp_p50_ms <= s.mtp_p95_ms && s.mtp_p95_ms <= s.mtp_p99_ms);
+        assert!(s.fps_floor > 0.0 && s.fps_floor <= s.mean_fps + 1e-9);
+        assert!(s.server_utilization > 0.0 && s.server_utilization <= 1.0);
+        assert!(s.energy.total_mj() > 0.0);
+        assert!(!s.windows.is_empty());
+        let frames_in_windows: usize = s.windows.iter().map(|(_, n, _)| *n).sum();
+        assert_eq!(frames_in_windows, s.frames, "windows must not lose frames");
+        assert!(s.peak_live_tasks > 0);
+        assert!(s.to_string().contains("12 sessions over 4 cells"));
+    }
+
+    #[test]
+    fn merge_is_independent_of_cell_arrival_order() {
+        let config = ShardConfig::new(template(5, 3), 3, 4, roster(9));
+        let routing = route(&config);
+        let mut cells: Vec<CellSummary> = routing
+            .placements
+            .iter()
+            .enumerate()
+            .map(|(c, specs)| {
+                let mut fleet = config.template.clone();
+                fleet.sessions = specs.clone();
+                fleet.seed = cell_seed(config.template.seed, c);
+                Fleet::new(fleet).finish_cell(c)
+            })
+            .collect();
+        let forward = ShardSummary::merge(cells.clone());
+        cells.reverse();
+        let reversed = ShardSummary::merge(cells);
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell id")]
+    fn merge_rejects_duplicate_cell_ids() {
+        let mut fleet = template(3, 1);
+        fleet.sessions = roster(2);
+        let cell = Fleet::new(fleet).finish_cell(5);
+        let _ = ShardSummary::merge(vec![cell.clone(), cell]);
+    }
+
+    #[test]
+    fn merged_load_namespaces_cells_disjointly() {
+        let s = Shard::run(ShardConfig::new(template(4, 9), 2, 4, roster(8)));
+        let merged = s.merged_load();
+        // Cell 0 slot 0 and cell 1 slot 0 land on different merged slots
+        // with each cell's own measured value.
+        assert_eq!(merged.ewma(0), s.cell_load(0)[0]);
+        let base = s.cell_load(0).len();
+        assert_eq!(merged.ewma(base), s.cell_load(1)[0]);
+        assert!(merged.ewma(0).is_some() && merged.ewma(base).is_some());
+    }
+}

@@ -115,6 +115,14 @@ pub struct TelemetryConfig {
     pub window_ms: Option<f64>,
     /// Whether the energy meter runs (default `true`).
     pub energy: bool,
+    /// Defer window closing: the windowed sink ignores the fleet's closing
+    /// frontier and keeps every bucket open (raw samples retained) until
+    /// finalisation. This is how a shard *cell* runs — an un-collapsed
+    /// sink state is exactly mergeable across cells
+    /// ([`WindowedStatsSink::absorb`]), while a collapsed bucket has lost
+    /// the samples a bit-exact merge needs. Default `false` (streaming
+    /// closes keep live memory O(window)).
+    pub defer_window_close: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -122,6 +130,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             window_ms: None,
             energy: true,
+            defer_window_close: false,
         }
     }
 }
@@ -133,10 +142,19 @@ impl TelemetryConfig {
         self.window_ms = Some(window_ms);
         self
     }
+
+    /// Returns a copy whose windowed sink defers all bucket closing to
+    /// finalisation (the mergeable shard-cell mode; see
+    /// [`TelemetryConfig::defer_window_close`]).
+    #[must_use]
+    pub fn with_deferred_windows(mut self) -> Self {
+        self.defer_window_close = true;
+        self
+    }
 }
 
 /// Per-slot accumulators behind [`AggregateSink`]'s FPS statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 struct SlotSpan {
     frames: usize,
     first_start_ms: f64,
@@ -149,7 +167,7 @@ struct SlotSpan {
 /// finalisation mirrors the post-hoc path operation for operation, so the
 /// resulting summary is bit-identical (pinned by `tests/telemetry.rs` on
 /// the fig_fleet golden configs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AggregateSink {
     mtp_samples: Vec<f64>,
     slots: Vec<SlotSpan>,
@@ -166,6 +184,25 @@ impl AggregateSink {
     #[must_use]
     pub fn frames(&self) -> usize {
         self.mtp_samples.len()
+    }
+
+    /// Slot entries tracked so far (== highest session slot seen + 1).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Folds another sink's state into this one — the cross-cell merge of
+    /// the sharding seam. `other`'s slots are re-based at `self.slots()`
+    /// (cells tile the shard's slot-id space, so distinct cells can never
+    /// collide on a slot), and its MTP samples are appended in stream
+    /// order. Merging K cells' sinks in ascending cell order is
+    /// bit-identical to one sink consuming the concatenated event stream:
+    /// the percentile queries sort, so sample order never matters, and the
+    /// FPS statistics walk slots in the same tiled order either way.
+    pub fn absorb(&mut self, other: &AggregateSink) {
+        self.mtp_samples.extend_from_slice(&other.mtp_samples);
+        self.slots.extend_from_slice(&other.slots);
     }
 
     /// `(p50, p95, p99)` MTP over every streamed frame.
@@ -226,7 +263,7 @@ impl TelemetrySink for AggregateSink {
 /// [`WindowedStatsSink::close_before`] frontier guarantees no earlier
 /// sample can still arrive. Fleets drive the frontier from their virtual
 /// clock (the same quantity windowed task retirement keys on).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowedStatsSink {
     window_ms: f64,
     /// Open buckets by index, raw samples.
@@ -237,6 +274,10 @@ pub struct WindowedStatsSink {
     close_frontier: usize,
     open_samples: usize,
     peak_open_samples: usize,
+    /// Deferred mode: [`WindowedStatsSink::close_before`] is a no-op, so
+    /// every bucket stays open (raw samples retained) until finish — the
+    /// mergeable shard-cell mode (see [`WindowedStatsSink::absorb`]).
+    defer: bool,
 }
 
 impl WindowedStatsSink {
@@ -258,13 +299,80 @@ impl WindowedStatsSink {
             close_frontier: 0,
             open_samples: 0,
             peak_open_samples: 0,
+            defer: false,
         }
+    }
+
+    /// A sink that defers all bucket closing to finalisation, keeping raw
+    /// samples for every bucket — the state a shard cell ships, because an
+    /// un-collapsed sink merges exactly ([`WindowedStatsSink::absorb`])
+    /// while a closed bucket's samples are gone. Live memory is O(run)
+    /// rather than O(window); the timeline [`WindowedStatsSink::finish`]
+    /// produces is bit-identical to the streaming-close mode (same
+    /// per-bucket samples in the same order, collapsed by the same
+    /// arithmetic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ms` is not positive-finite.
+    #[must_use]
+    pub fn deferred(window_ms: f64) -> Self {
+        let mut sink = WindowedStatsSink::new(window_ms);
+        sink.defer = true;
+        sink
+    }
+
+    /// Whether this sink defers all closing to finalisation.
+    #[must_use]
+    pub fn is_deferred(&self) -> bool {
+        self.defer
+    }
+
+    /// Whether no bucket has collapsed yet (nothing closed, frontier still
+    /// at zero) — the precondition for an exact merge.
+    #[must_use]
+    pub fn is_uncollapsed(&self) -> bool {
+        self.close_frontier == 0 && self.closed.is_empty()
     }
 
     /// The bucket width, ms.
     #[must_use]
     pub fn window_ms(&self) -> f64 {
         self.window_ms
+    }
+
+    /// Folds another sink's open buckets into this one, index-wise: bucket
+    /// `k`'s samples are `self`'s then `other`'s, in each source's stream
+    /// order. Cells share one virtual-time origin, so equal bucket indices
+    /// mean the same time window, and merging K cells in ascending cell
+    /// order is bit-identical to one sink consuming the concatenated event
+    /// stream (per-bucket p95 sorts its samples, so cross-cell interleaving
+    /// never matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ, or if either sink has already
+    /// collapsed a bucket (closing is lossy — the raw samples an exact
+    /// merge needs are gone; build cells with
+    /// [`TelemetryConfig::defer_window_close`] /
+    /// [`WindowedStatsSink::deferred`]).
+    pub fn absorb(&mut self, other: &WindowedStatsSink) {
+        assert!(
+            self.window_ms == other.window_ms,
+            "windowed merge requires equal bucket widths: {} vs {} ms",
+            self.window_ms,
+            other.window_ms
+        );
+        assert!(
+            self.is_uncollapsed() && other.is_uncollapsed(),
+            "windowed merge requires un-collapsed sinks: a closed bucket \
+             has lost the raw samples an exact merge needs"
+        );
+        for (&b, samples) in &other.open {
+            self.open.entry(b).or_default().extend_from_slice(samples);
+        }
+        self.open_samples += other.open_samples;
+        self.peak_open_samples = self.peak_open_samples.max(self.open_samples);
     }
 
     /// Collapses one bucket's raw samples into its closed
@@ -284,7 +392,11 @@ impl WindowedStatsSink {
     /// frontier no future sample can precede — a fleet's minimum virtual
     /// clock). Closed buckets collapse to their `(start, frames, p95)`
     /// triple; empty buckets are skipped, as in the post-hoc series.
+    /// No-op in deferred mode (shard cells stay mergeable until finish).
     pub fn close_before(&mut self, t_ms: f64) {
+        if self.defer {
+            return;
+        }
         let first_open = (t_ms / self.window_ms).floor() as usize;
         while self.close_frontier < first_open {
             self.close_bucket(self.close_frontier);
@@ -349,15 +461,21 @@ impl TelemetrySink for WindowedStatsSink {
 /// plus every session's own mobile-side energy at finalisation. Metering
 /// the stream (instead of re-walking task history) makes the result
 /// independent of windowed retirement by construction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyMeter {
     server: ServerPowerModel,
     ap: ApPowerModel,
     preset: NetworkPreset,
     units: usize,
-    /// Per-slot attributed server busy, ms (render, encode).
-    per_slot: Vec<(f64, f64)>,
-    radio_ms: f64,
+    /// Per-slot attributed busy, ms (render, encode, radio). Radio is
+    /// accumulated per slot too — not in one running scalar — so that
+    /// merging K cells' meters (slot-tiled, in cell order) finalises
+    /// bit-identically to one meter consuming the concatenated stream:
+    /// every per-slot sum sees exactly its own slot's addends in stream
+    /// order, and the finalisation total folds the slots in the same tiled
+    /// order either way. A single running scalar would associate the
+    /// additions differently across the two paths.
+    per_slot: Vec<(f64, f64, f64)>,
 }
 
 impl EnergyMeter {
@@ -375,8 +493,28 @@ impl EnergyMeter {
             preset,
             units,
             per_slot: Vec::new(),
-            radio_ms: 0.0,
         }
+    }
+
+    /// Folds another meter's per-slot attribution into this one, re-based
+    /// at `self.slots()` (cells tile the slot-id space). The power models,
+    /// preset, and pool width must match — a merged meter describes one
+    /// homogeneous shard, and [`EnergyMeter::finalize`] on the merged
+    /// state is then bit-identical to metering the concatenated stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meters' power models, network preset, or pool widths
+    /// differ.
+    pub fn absorb(&mut self, other: &EnergyMeter) {
+        assert!(
+            self.server == other.server
+                && self.ap == other.ap
+                && self.preset == other.preset
+                && self.units == other.units,
+            "energy-meter merge requires identical power models and pools"
+        );
+        self.per_slot.extend_from_slice(&other.per_slot);
     }
 
     /// Server energy attributed to one slot so far, mJ (render + encode
@@ -389,7 +527,7 @@ impl EnergyMeter {
     /// tenant's share from the fleet totals, which must stay exact).
     #[must_use]
     pub fn slot_server_mj(&self, slot: usize) -> f64 {
-        self.per_slot.get(slot).map_or(0.0, |(r, e)| {
+        self.per_slot.get(slot).map_or(0.0, |(r, e, _)| {
             self.server.gpu_active_w * r + self.server.enc_active_w * e
         })
     }
@@ -407,8 +545,9 @@ impl EnergyMeter {
     pub fn finalize(&self, span_ms: f64, client_mj: f64) -> FleetEnergy {
         // Totals from the per-slot sums in slot order, so per-tenant
         // attribution is additive: Σ slot_server_mj == render + encode.
-        let render_ms: f64 = self.per_slot.iter().map(|(r, _)| *r).sum();
-        let encode_ms: f64 = self.per_slot.iter().map(|(_, e)| *e).sum();
+        let render_ms: f64 = self.per_slot.iter().map(|(r, _, _)| *r).sum();
+        let encode_ms: f64 = self.per_slot.iter().map(|(_, e, _)| *e).sum();
+        let radio_ms: f64 = self.per_slot.iter().map(|(_, _, w)| *w).sum();
         let (server_render_mj, server_encode_mj, server_idle_mj) = self
             .server
             .pool_energy_mj(self.units, span_ms, render_ms, encode_ms);
@@ -416,7 +555,7 @@ impl EnergyMeter {
             server_render_mj,
             server_encode_mj,
             server_idle_mj,
-            ap_radio_mj: self.ap.energy_mj(self.preset, span_ms, self.radio_ms),
+            ap_radio_mj: self.ap.energy_mj(self.preset, span_ms, radio_ms),
             client_mj,
         }
     }
@@ -425,12 +564,12 @@ impl EnergyMeter {
 impl TelemetrySink for EnergyMeter {
     fn on_frame(&mut self, event: &FrameEvent) {
         if event.session >= self.per_slot.len() {
-            self.per_slot.resize(event.session + 1, (0.0, 0.0));
+            self.per_slot.resize(event.session + 1, (0.0, 0.0, 0.0));
         }
-        let (r, e) = &mut self.per_slot[event.session];
+        let (r, e, w) = &mut self.per_slot[event.session];
         *r += event.server_render_ms;
         *e += event.server_encode_ms;
-        self.radio_ms += event.radio_ms;
+        *w += event.radio_ms;
     }
 }
 
@@ -442,6 +581,13 @@ impl TelemetrySink for EnergyMeter {
 #[derive(Debug, Clone, Default)]
 pub struct LoadTracker {
     state: Rc<RefCell<Vec<Option<f64>>>>,
+    /// Slot-id namespace offset: every slot this handle observes, reads,
+    /// or resets lands at `base + slot` in the shared state. Shard cells
+    /// get disjoint namespaces ([`LoadTracker::namespaced`]) so one cell's
+    /// slot-recycling reset can never clear — and a spilled joiner can
+    /// never inherit — another cell's EWMA under the same fleet-local
+    /// slot id.
+    base: usize,
 }
 
 /// EWMA smoothing for measured per-tenant server load (≈ the last ~8
@@ -456,8 +602,42 @@ impl LoadTracker {
         LoadTracker::default()
     }
 
+    /// A handle onto the same shared state whose slot ids are offset by a
+    /// further `base` — a disjoint namespace for one shard cell. Handing
+    /// cell `c` a view based at its capacity prefix-sum gives every cell
+    /// fleet-local slot ids (0..capacity) while the underlying state keys
+    /// on globally-unique `(cell × slot)` positions, so a churn recycle's
+    /// [`LoadTracker::reset`] in one cell cannot leak a stale EWMA into a
+    /// join spilled to another.
+    #[must_use]
+    pub fn namespaced(&self, base: usize) -> LoadTracker {
+        LoadTracker {
+            state: Rc::clone(&self.state),
+            base: self.base + base,
+        }
+    }
+
+    /// This handle's namespace offset into the shared state.
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// The raw EWMA state from this handle's namespace onward — what a
+    /// shard cell ships across the thread boundary (the tracker itself is
+    /// single-threaded shared state) for merge-time inspection.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Option<f64>> {
+        let state = self.state.borrow();
+        state
+            .get(self.base..)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default()
+    }
+
     /// Folds one frame's measured server time into a slot's EWMA.
     pub fn observe(&self, slot: usize, server_ms: f64) {
+        let slot = self.base + slot;
         let mut state = self.state.borrow_mut();
         if slot >= state.len() {
             state.resize(slot + 1, None);
@@ -472,12 +652,13 @@ impl LoadTracker {
     /// observation (a fresh tenant is presumed light until measured).
     #[must_use]
     pub fn ewma(&self, slot: usize) -> Option<f64> {
-        self.state.borrow().get(slot).copied().flatten()
+        self.state.borrow().get(self.base + slot).copied().flatten()
     }
 
     /// Clears a slot's history (churn fleets recycle slots; a joiner must
     /// not inherit its predecessor's load profile).
     pub fn reset(&self, slot: usize) {
+        let slot = self.base + slot;
         let mut state = self.state.borrow_mut();
         if slot < state.len() {
             state[slot] = None;
@@ -486,10 +667,12 @@ impl LoadTracker {
 }
 
 impl PartialEq for LoadTracker {
-    /// Identity equality: two handles are equal iff they share state (the
-    /// property placement directives actually care about).
+    /// Identity equality: two handles are equal iff they share state *and*
+    /// view it through the same slot namespace (two cells' views of one
+    /// shard tracker are deliberately unequal — they address disjoint
+    /// slots).
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.state, &other.state)
+        Rc::ptr_eq(&self.state, &other.state) && self.base == other.base
     }
 }
 
@@ -552,7 +735,11 @@ impl SinkSet {
                 units,
             ));
         }
-        sinks.windowed = telemetry.window_ms.map(WindowedStatsSink::new);
+        sinks.windowed = telemetry.window_ms.map(if telemetry.defer_window_close {
+            WindowedStatsSink::deferred
+        } else {
+            WindowedStatsSink::new
+        });
         sinks
     }
 
@@ -774,6 +961,240 @@ mod tests {
         t.reset(3);
         assert_eq!(t.ewma(3), None);
         assert_eq!(t.ewma(1), Some(5.0));
+    }
+
+    /// An event with explicit per-stage busy attribution (the energy-law
+    /// inputs), `span_start` trailing `end` by 5 ms.
+    fn evx(slot: usize, end: f64, mtp: f64, render: f64, encode: f64, radio: f64) -> FrameEvent {
+        FrameEvent {
+            session: slot,
+            frame: 0,
+            span_start_ms: end - 5.0,
+            end_ms: end,
+            mtp_ms: mtp,
+            tx_bytes: 500.0,
+            server_render_ms: render,
+            server_encode_ms: encode,
+            radio_ms: radio,
+            unit: Some(0),
+            class: TenantClass::Adaptive,
+        }
+    }
+
+    /// Per-cell event streams drawn from a proptest strategy tuple.
+    type CellStreams = Vec<Vec<(usize, f64, f64, f64, f64, f64)>>;
+
+    fn cell_events(cells: &CellStreams, k: usize) -> Vec<Vec<FrameEvent>> {
+        cells
+            .iter()
+            .take(k)
+            .map(|evs| {
+                evs.iter()
+                    .map(|&(slot, end, mtp, r, e, w)| evx(slot, end, mtp, r, e, w))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The concatenated stream one un-sharded fleet would see: cell after
+    /// cell in ascending cell order, slots re-based by each preceding
+    /// cell's tile width (max slot seen + 1), matching `absorb`.
+    fn concatenated(cells: &[Vec<FrameEvent>]) -> Vec<FrameEvent> {
+        let mut out = Vec::new();
+        let mut base = 0;
+        for events in cells {
+            let width = events.iter().map(|e| e.session + 1).max().unwrap_or(0);
+            for e in events {
+                let mut e = *e;
+                e.session += base;
+                out.push(e);
+            }
+            base += width;
+        }
+        out
+    }
+
+    use proptest::prelude::*;
+
+    /// The strategy behind every merge law: up to 4 cells, 17 events each,
+    /// slots in 0..4, times in [5, 1000) ms, varied busy attribution.
+    fn cells_strategy() -> impl Strategy<Value = CellStreams> {
+        collection::vec(
+            collection::vec(
+                (
+                    0usize..4,
+                    5.0f64..1_000.0,
+                    0.1f64..80.0,
+                    0.0f64..6.0,
+                    0.0f64..2.0,
+                    0.0f64..4.0,
+                ),
+                17,
+            ),
+            4,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn aggregate_merge_is_bit_identical_to_the_concatenated_stream(
+            raw in cells_strategy(),
+            k in 1usize..5,
+        ) {
+            let cells = cell_events(&raw, k);
+            let mut merged = AggregateSink::new();
+            let mut per_cell = Vec::new();
+            for events in &cells {
+                let mut sink = AggregateSink::new();
+                sink.on_batch(events);
+                merged.absorb(&sink);
+                per_cell.push(sink);
+            }
+            let mut whole = AggregateSink::new();
+            whole.on_batch(&concatenated(&cells));
+            prop_assert_eq!(&merged, &whole);
+            prop_assert_eq!(merged.mtp_percentiles(), whole.mtp_percentiles());
+            prop_assert_eq!(merged.fps_stats(), whole.fps_stats());
+            // Percentile queries sort, so *any* merge order yields the
+            // same percentiles bitwise (FPS layout legitimately differs —
+            // ShardSummary canonicalises by folding in cell-id order).
+            let mut reversed = AggregateSink::new();
+            for sink in per_cell.iter().rev() {
+                reversed.absorb(sink);
+            }
+            prop_assert_eq!(reversed.mtp_percentiles(), whole.mtp_percentiles());
+        }
+
+        #[test]
+        fn energy_merge_is_bit_identical_to_the_concatenated_stream(
+            raw in cells_strategy(),
+            k in 1usize..5,
+        ) {
+            let cells = cell_events(&raw, k);
+            let fresh = || {
+                EnergyMeter::new(
+                    ServerPowerModel::default(),
+                    ApPowerModel::default(),
+                    NetworkPreset::WiFi,
+                    4,
+                )
+            };
+            let mut merged = fresh();
+            for events in &cells {
+                let mut meter = fresh();
+                meter.on_batch(events);
+                merged.absorb(&meter);
+            }
+            let mut whole = fresh();
+            whole.on_batch(&concatenated(&cells));
+            prop_assert_eq!(&merged, &whole);
+            prop_assert_eq!(merged.finalize(1_000.0, 123.0), whole.finalize(1_000.0, 123.0));
+        }
+
+        #[test]
+        fn windowed_merge_is_bit_identical_to_the_concatenated_stream(
+            raw in cells_strategy(),
+            k in 1usize..5,
+        ) {
+            let cells = cell_events(&raw, k);
+            let mut merged = WindowedStatsSink::deferred(100.0);
+            for events in &cells {
+                let mut sink = WindowedStatsSink::deferred(100.0);
+                sink.on_batch(events);
+                merged.absorb(&sink);
+            }
+            let mut whole = WindowedStatsSink::deferred(100.0);
+            whole.on_batch(&concatenated(&cells));
+            prop_assert_eq!(&merged, &whole);
+            prop_assert_eq!(merged.finish(), whole.finish());
+        }
+
+        #[test]
+        fn deferred_windows_finish_bit_identically_to_streaming_closes(
+            raw in cells_strategy(),
+        ) {
+            // One time-ordered stream, consumed twice: once with the
+            // frontier trailing the stream (streaming closes, O(window)
+            // live memory), once fully deferred. The final timelines must
+            // match bitwise — deferral changes *when* buckets collapse,
+            // never what they collapse to.
+            let mut events = cell_events(&raw, 1).remove(0);
+            events.sort_by(|a, b| a.end_ms.total_cmp(&b.end_ms));
+            let mut streaming = WindowedStatsSink::new(100.0);
+            let mut deferred = WindowedStatsSink::deferred(100.0);
+            for e in &events {
+                streaming.on_frame(e);
+                streaming.close_before(e.end_ms - 150.0);
+                deferred.on_frame(e);
+                deferred.close_before(e.end_ms - 150.0); // no-op
+            }
+            prop_assert!(deferred.is_uncollapsed());
+            prop_assert_eq!(streaming.finish(), deferred.finish());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "un-collapsed sinks")]
+    fn windowed_merge_rejects_collapsed_sinks() {
+        // A sink that has closed a bucket no longer holds the raw samples
+        // an exact merge needs; absorbing it must fail loudly instead of
+        // silently losing them (the frontier-sensitivity bug class).
+        let mut closed = WindowedStatsSink::new(50.0);
+        closed.on_frame(&ev(0, 0, 10.0, 20.0, 5.0));
+        closed.close_before(200.0);
+        let mut merged = WindowedStatsSink::deferred(50.0);
+        merged.absorb(&closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal bucket widths")]
+    fn windowed_merge_rejects_mismatched_widths() {
+        let mut a = WindowedStatsSink::deferred(50.0);
+        let b = WindowedStatsSink::deferred(100.0);
+        a.absorb(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical power models")]
+    fn energy_merge_rejects_mismatched_pools() {
+        let mk = |units| {
+            EnergyMeter::new(
+                ServerPowerModel::default(),
+                ApPowerModel::default(),
+                NetworkPreset::WiFi,
+                units,
+            )
+        };
+        let mut a = mk(4);
+        a.absorb(&mk(8));
+    }
+
+    #[test]
+    fn load_tracker_namespaces_are_disjoint() {
+        // The shard slot-id namespace: two cells' views of one tracker
+        // address disjoint state, so cell 1's recycle-reset of slot 0
+        // cannot clear (and a spilled joiner cannot inherit) cell 0's
+        // slot 0.
+        let shard = LoadTracker::new();
+        let cell0 = shard.namespaced(0);
+        let cell1 = shard.namespaced(16);
+        assert_eq!(cell1.base(), 16);
+        assert_eq!(cell1.namespaced(4).base(), 20, "namespaces compose");
+        cell0.observe(0, 8.0);
+        cell1.observe(0, 3.0);
+        assert_eq!(cell0.ewma(0), Some(8.0));
+        assert_eq!(cell1.ewma(0), Some(3.0));
+        assert_eq!(shard.ewma(0), Some(8.0));
+        assert_eq!(shard.ewma(16), Some(3.0));
+        cell1.reset(0);
+        assert_eq!(cell1.ewma(0), None, "reset clears the cell's own slot");
+        assert_eq!(cell0.ewma(0), Some(8.0), "…but never a sibling cell's");
+        // Equality demands the same namespace, not just shared state.
+        assert_ne!(cell0.clone(), cell1);
+        assert_eq!(cell0, shard.namespaced(0));
+        // Snapshots are namespace-relative.
+        assert_eq!(cell1.snapshot(), vec![None]);
+        assert_eq!(cell0.snapshot().first(), Some(&Some(8.0)));
     }
 
     #[test]

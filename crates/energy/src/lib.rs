@@ -281,6 +281,36 @@ impl FleetEnergy {
     }
 }
 
+impl std::ops::Add for FleetEnergy {
+    type Output = FleetEnergy;
+
+    /// Component-wise sum: the fleet energy of two disjoint fleets (each
+    /// finalised over its own span and pool) is the sum of their parts —
+    /// how a sharded run folds per-cell energies into one total.
+    fn add(mut self, rhs: FleetEnergy) -> FleetEnergy {
+        self += rhs;
+        self
+    }
+}
+
+impl std::ops::AddAssign for FleetEnergy {
+    fn add_assign(&mut self, rhs: FleetEnergy) {
+        self.server_render_mj += rhs.server_render_mj;
+        self.server_encode_mj += rhs.server_encode_mj;
+        self.server_idle_mj += rhs.server_idle_mj;
+        self.ap_radio_mj += rhs.ap_radio_mj;
+        self.client_mj += rhs.client_mj;
+    }
+}
+
+impl std::iter::Sum for FleetEnergy {
+    /// Folds left-to-right from the zero identity, so a deterministic
+    /// iteration order yields bit-deterministic totals.
+    fn sum<I: Iterator<Item = FleetEnergy>>(iter: I) -> FleetEnergy {
+        iter.fold(FleetEnergy::default(), |acc, e| acc + e)
+    }
+}
+
 impl fmt::Display for FleetEnergy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

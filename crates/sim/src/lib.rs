@@ -996,13 +996,27 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let workers = std::thread::available_parallelism().map_or(4, |w| w.get());
+    parallel_map_with(workers, items, f)
+}
+
+/// [`parallel_map`] with an explicit worker-thread cap (at least 1 thread
+/// runs; the cap is also clamped to the item count). Results are written
+/// into input-order slots and work is handed out through one shared
+/// counter, so the output — and, for item-local `f`, every byte of it — is
+/// independent of the worker count: a sharded sweep can assert bit-equal
+/// results across `workers = 1, 2, n`.
+pub fn parallel_map_with<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |w| w.get())
-        .min(n.max(1));
+    let workers = workers.max(1).min(n.max(1));
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<&mut Option<R>>> = out.iter_mut().map(Mutex::new).collect();

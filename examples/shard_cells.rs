@@ -1,0 +1,69 @@
+//! Sharded cells: route a roster across independent fleet cells, run them
+//! on a worker pool, and merge the telemetry into one fleet-identical
+//! summary.
+//!
+//! ```text
+//! cargo run --release --example shard_cells
+//! ```
+
+use qvr::prelude::*;
+use qvr::scene::Benchmark;
+
+fn spec(i: usize) -> SessionSpec {
+    let apps = [
+        Benchmark::Hl2H,
+        Benchmark::Doom3H,
+        Benchmark::Wolf,
+        Benchmark::Ut3,
+    ];
+    SessionSpec::new(SchemeKind::Qvr, apps[i % apps.len()].profile())
+}
+
+fn main() {
+    // The per-cell fleet template: every cell gets its own 4-unit GPU pool
+    // and 2-stream link; windowed retirement keeps live schedule state
+    // O(window) per cell.
+    let mut template = FleetConfig::uniform(
+        SystemConfig::default(),
+        SchemeKind::Qvr,
+        Benchmark::Hl2H.profile(),
+        1, // the shard routes its own roster
+        40,
+        42,
+    );
+    template.server_units = 4;
+    template.link_streams = 2;
+    template.retire_window_ms = Some(300.0);
+    template.telemetry = template.telemetry.with_window_ms(200.0);
+
+    // 256 sessions over 16 cells, admission-controlled: a join probes the
+    // least-loaded cells at full share first and spills (or degrades)
+    // only when its first choice cannot hold the SLO.
+    let mut policy = AdmissionPolicy::default()
+        .with_mtp_p95_slo_ms(60.0)
+        .with_min_fps_floor(20.0);
+    policy.probe_frames = 4;
+    let config =
+        ShardConfig::new(template, 16, 16, (0..256).map(spec).collect()).with_admission(policy);
+
+    let summary = Shard::run(config);
+    println!("{summary}\n");
+    println!(
+        "cells ran {:?} sessions ({} spilled, {} degraded, {} rejected, {} probes)",
+        summary.cell_sessions,
+        summary.spilled,
+        summary.degraded,
+        summary.rejected,
+        summary.probes_run
+    );
+    println!(
+        "merged energy {:.0} mJ; peak live schedule state {} tasks \
+         (O(cells x window))",
+        summary.energy.total_mj(),
+        summary.peak_live_tasks
+    );
+    println!("windowed p95 timeline ({} buckets):", summary.windows.len());
+    for (start, frames, p95) in summary.windows.iter().take(6) {
+        println!("  {start:>6.0} ms  {frames:>4} frames  p95 {p95:.1} ms");
+    }
+}

@@ -91,6 +91,7 @@ pub mod prelude {
     pub use qvr_core::sched::{ServerPolicy, TenantClass};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
     pub use qvr_core::session::Session;
+    pub use qvr_core::shard::{cell_seed, CellSummary, Shard, ShardConfig, ShardSummary};
     pub use qvr_core::telemetry::{
         AggregateSink, EnergyMeter, FrameEvent, LoadTracker, SinkSet, TelemetryConfig,
         TelemetrySink, WindowedStatsSink,

@@ -50,8 +50,14 @@ fn sink_derived_summary_is_bit_identical_to_post_hoc_on_the_golden_configs() {
                 streamed.server_utilization,
                 streamed.server_units,
                 streamed.shared_network,
+                streamed.energy,
             );
             let ctx = format!("{} x{n}", preset.label());
+            assert_eq!(
+                streamed.energy, post_hoc.energy,
+                "{ctx}: re-aggregation must carry the full energy breakdown \
+                 (the zero-energy regression)"
+            );
             assert_eq!(
                 streamed.mtp_p50_ms.to_bits(),
                 post_hoc.mtp_p50_ms.to_bits(),
