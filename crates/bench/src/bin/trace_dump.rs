@@ -1,0 +1,358 @@
+//! Runs a small observed fleet (span tracing + mergeable metrics + the
+//! streaming health monitor) and dumps the two text artefacts:
+//!
+//! * the Chrome-trace / Perfetto JSON of the sampled sessions' per-stage
+//!   spans — load it at `chrome://tracing` or <https://ui.perfetto.dev>;
+//! * the Prometheus-style metrics exposition of the per-class histogram
+//!   families.
+//!
+//! ```text
+//! trace_dump [--sessions N] [--frames N] [--sample-one-in K]
+//!            [--out-trace FILE] [--out-exposition FILE] [--check]
+//! ```
+//!
+//! * `--sessions N`       fleet size (default 8)
+//! * `--frames N`         per-session frame budget (default 40)
+//! * `--sample-one-in K`  trace sampling rate (default 1 = every session)
+//! * `--out-trace FILE`   where the trace JSON goes (default trace.json)
+//! * `--out-exposition FILE` where the exposition goes (default
+//!   exposition.txt)
+//! * `--check`            CI mode: validate the trace with a standalone
+//!   JSON syntax parser, require sampled content on both process groups,
+//!   and require the exposition to round-trip byte-identically through
+//!   `parse_exposition`. Any failure exits 1.
+
+use qvr::prelude::*;
+use qvr::scene::Benchmark;
+use std::process::ExitCode;
+
+struct Args {
+    sessions: usize,
+    frames: usize,
+    sample_one_in: u32,
+    out_trace: String,
+    out_exposition: String,
+    check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sessions: 8,
+        frames: 40,
+        sample_one_in: 1,
+        out_trace: "trace.json".to_owned(),
+        out_exposition: "exposition.txt".to_owned(),
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--sessions" => {
+                args.sessions = value("--sessions")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--frames" => args.frames = value("--frames")?.parse().map_err(|e| format!("{e}"))?,
+            "--sample-one-in" => {
+                args.sample_one_in = value("--sample-one-in")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--out-trace" => args.out_trace = value("--out-trace")?,
+            "--out-exposition" => args.out_exposition = value("--out-exposition")?,
+            "--check" => args.check = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.sessions == 0 || args.frames == 0 {
+        return Err("--sessions and --frames must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+/// The observed fleet: a mixed-app Wi-Fi roster with every observability
+/// sink on. The health ceiling is calibrated off an unobserved run of the
+/// same config (1.2× its p95), so the monitor is armed at a meaningful
+/// threshold whatever the fleet size.
+fn observed_config(args: &Args) -> FleetConfig {
+    let apps = [
+        Benchmark::Hl2H,
+        Benchmark::Doom3H,
+        Benchmark::Wolf,
+        Benchmark::Ut3,
+    ];
+    let mut config = FleetConfig::uniform(
+        SystemConfig::default().with_network(NetworkPreset::WiFi),
+        SchemeKind::Qvr,
+        Benchmark::Hl2H.profile(),
+        args.sessions,
+        args.frames,
+        7,
+    );
+    for (i, spec) in config.sessions.iter_mut().enumerate() {
+        *spec = SessionSpec::new(SchemeKind::Qvr, apps[i % apps.len()].profile());
+    }
+    let calibration = Fleet::run(config.clone());
+    config.telemetry = TelemetryConfig::default()
+        .with_trace(TraceConfig::sampled(7, args.sample_one_in))
+        .with_metrics()
+        .with_health(
+            HealthRules::new(150.0)
+                .with_mtp_p95_ceiling_ms(1.2 * calibration.mtp_p95_ms)
+                .with_utilization_band(0.01, 0.99),
+        );
+    config
+}
+
+// ---------------------------------------------------------------------------
+// A standalone JSON syntax validator (the build environment has no JSON
+// dependency, and validating the emitter with the emitter would prove
+// nothing).
+// ---------------------------------------------------------------------------
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn fail(&self, what: &str) -> String {
+        format!("invalid JSON at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.fail("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                                    return Err(self.fail("bad \\u escape"));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.fail("raw control char in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(self.fail("expected a digit"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        self.digits()?;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{word}'")))
+        }
+    }
+}
+
+/// Validates that `text` is one complete JSON document.
+fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = JsonParser::new(text);
+    p.value()?;
+    p.skip_ws();
+    if p.pos == p.bytes.len() {
+        Ok(())
+    } else {
+        Err(p.fail("trailing garbage after the document"))
+    }
+}
+
+/// The `--check` gauntlet over the rendered artefacts.
+fn run_checks(trace_json: &str, exposition: &str, summary: &FleetSummary) -> Result<(), String> {
+    validate_json(trace_json)?;
+    let trace = summary.trace.as_ref().ok_or("no trace recorded")?;
+    if trace.is_empty() {
+        return Err("the trace sampled no sessions".to_owned());
+    }
+    for needle in ["\"sessions\"", "\"server units\"", "\"ph\":\"X\""] {
+        if !trace_json.contains(needle) {
+            return Err(format!("trace JSON is missing {needle}"));
+        }
+    }
+    match parse_exposition(exposition) {
+        None => Err("exposition does not parse".to_owned()),
+        Some(rendered) if rendered != exposition => {
+            Err("exposition round-trip is not byte-identical".to_owned())
+        }
+        Some(_) => Ok(()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("trace_dump: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let summary = Fleet::run(observed_config(&args));
+    let trace_json = summary
+        .trace
+        .as_ref()
+        .map(TraceSink::chrome_trace_json)
+        .unwrap_or_default();
+    let exposition = summary.exposition.clone().unwrap_or_default();
+    eprintln!(
+        "trace_dump: {} sessions x {} frames; {} traced frames, \
+         {}-line exposition, {} incidents",
+        args.sessions,
+        args.frames,
+        summary.trace.as_ref().map_or(0, TraceSink::len),
+        exposition.lines().count(),
+        summary.incidents.len(),
+    );
+    for inc in &summary.incidents {
+        eprintln!("trace_dump: health: {inc}");
+    }
+    for (path, text) in [
+        (&args.out_trace, &trace_json),
+        (&args.out_exposition, &exposition),
+    ] {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("trace_dump: cannot write {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("trace_dump: wrote {path} ({} bytes)", text.len());
+    }
+    if args.check {
+        if let Err(e) = run_checks(&trace_json, &exposition, &summary) {
+            eprintln!("trace_dump: CHECK FAILED: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("trace_dump: checks passed (JSON valid, exposition round-trips)");
+    }
+    ExitCode::SUCCESS
+}

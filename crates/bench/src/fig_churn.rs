@@ -88,9 +88,16 @@ fn burst_config(system: SystemConfig, probe_frames: usize, horizon_ms: f64) -> C
         ChurnEvent::leave(leave_at, 0),
         ChurnEvent::leave(leave_at + 1.0, 1),
     ]);
+    let policy = burst_policy(&system, probe_frames);
+    // The health monitor watches the same calibrated ceiling the admission
+    // controller enforces, so its incident timeline narrates the burst: the
+    // p95 breach opens when the 3-join burst lands and closes once the
+    // leave burst's reclaim pass restores the tail.
+    let rules = HealthRules::new(WINDOW_MS).with_mtp_p95_ceiling_ms(policy.mtp_p95_slo_ms);
     let mut config = ChurnConfig::new(system, vec![heavy(), heavy()], trace, horizon_ms, SEED)
         .with_fairness(FairnessPolicy::Weighted)
-        .with_admission(burst_policy(&system, probe_frames));
+        .with_admission(policy);
+    config.telemetry = config.telemetry.with_health(rules);
     config.server_units = 8;
     config.link_streams = 2;
     config
@@ -114,9 +121,18 @@ fn burst_report(preset: NetworkPreset, probe_frames: usize, horizon_ms: f64) -> 
     out.push_str(&t.render());
     out.push_str(&format!(
         "{}: {} rejected / {} degraded at the join burst; {} best-effort \
-         upgraded after the leave burst\n\n",
+         upgraded after the leave burst\n",
         summary, summary.rejected, summary.degraded, summary.upgrades,
     ));
+    // The streaming health monitor's deterministic incident timeline —
+    // the same burst story, told as SLO breaches.
+    if summary.incidents.is_empty() {
+        out.push_str("health: no SLO incidents\n");
+    }
+    for inc in &summary.incidents {
+        out.push_str(&format!("health: {inc}\n"));
+    }
+    out.push('\n');
     out
 }
 
@@ -281,6 +297,39 @@ mod tests {
         assert!(
             burst > calm,
             "the join burst must lift the tail: {burst:.1} vs {calm:.1} ms"
+        );
+    }
+
+    #[test]
+    fn burst_incident_timeline_is_deterministic_and_tracks_the_burst() {
+        // The observability acceptance shape: the health monitor's
+        // incident timeline is identical across reruns, non-empty, and its
+        // p95-MTP breach opens while the 3-join burst holds and closes
+        // after the leave burst's reclaim pass restores the tail.
+        let run = || ChurnFleet::run(burst_config(SystemConfig::default(), 10, BURST_HORIZON_MS));
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.incidents, b.incidents,
+            "the incident timeline must be deterministic across reruns"
+        );
+        let burst_at = 0.27 * BURST_HORIZON_MS;
+        let leave_at = 0.64 * BURST_HORIZON_MS;
+        let breach = a
+            .incidents
+            .iter()
+            .find(|i| i.rule == HealthRuleKind::MtpP95)
+            .expect("the join burst must open a p95-MTP incident");
+        assert!(
+            breach.open_ms >= burst_at - WINDOW_MS && breach.open_ms <= leave_at,
+            "the breach opens at the join burst: open @{:.0} ms vs burst @{burst_at:.0} ms",
+            breach.open_ms
+        );
+        let close = breach
+            .close_ms
+            .expect("the leave burst's upgrades must close the breach");
+        assert!(
+            close > leave_at,
+            "the breach closes after the leave burst: close @{close:.0} ms vs leave @{leave_at:.0} ms"
         );
     }
 }

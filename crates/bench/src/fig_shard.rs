@@ -78,18 +78,21 @@ fn shard_config(cells: usize, per_cell: usize, frames: usize) -> ShardConfig {
 fn identity_report() -> String {
     let mut config = template(30);
     config.sessions = (0..6).map(spec).collect();
-    config.telemetry = config.telemetry.with_window_ms(150.0);
+    config.telemetry = config.telemetry.with_window_ms(150.0).with_metrics();
     let fleet = Fleet::run(config.clone());
     let shard = Shard::run(ShardConfig::new(config.clone(), 1, 6, config.sessions));
     assert!(
         shard.matches_fleet(&fleet),
         "1-cell shard diverged from the fleet: {shard} vs {fleet}"
     );
+    let exposition_lines = shard.exposition.as_deref().map_or(0, |e| e.lines().count());
+    assert!(exposition_lines > 0, "metrics exposition must be present");
     format!(
         "Merge identity: a 1-cell shard over the fleet's roster reproduces\n\
          Fleet::run bit for bit (p50/p95/p99 {:.2}/{:.2}/{:.2} ms, util\n\
-         {:.3}, energy {:.1} mJ, {} windows) — asserted with `==`, no\n\
-         tolerance.\n\n",
+         {:.3}, energy {:.1} mJ, {} windows, {exposition_lines}-line metrics\n\
+         exposition) — asserted with `==`, no tolerance; the exposition text\n\
+         itself compares byte-identical.\n\n",
         shard.mtp_p50_ms,
         shard.mtp_p95_ms,
         shard.mtp_p99_ms,

@@ -30,7 +30,8 @@ use std::time::Instant;
 
 /// Version stamp of the emitted JSON document. Bump only when the key
 /// layout changes; CI hard-fails on a mismatch (schema drift).
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2 added the `peak_live_tasks` schedule-state gauge per measurement.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Per-session frame budget of the full (committed-baseline) shapes.
 pub const FULL_FRAMES: usize = 120;
@@ -51,7 +52,7 @@ pub struct Shape {
     pub sessions: usize,
     /// Per-session frame budget (nominal for churn shapes).
     pub frames: usize,
-    run: Box<dyn Fn() -> (usize, usize)>,
+    run: Box<dyn Fn() -> (usize, usize, usize)>,
 }
 
 impl std::fmt::Debug for Shape {
@@ -65,9 +66,11 @@ impl std::fmt::Debug for Shape {
 }
 
 impl Shape {
-    /// Runs the workload once; returns `(sessions_stepped, frames_stepped)`.
+    /// Runs the workload once; returns `(sessions_stepped, frames_stepped,
+    /// peak_live_tasks)` — the last is the run's peak retained schedule
+    /// state, the memory-footprint gauge tracked alongside the rates.
     #[must_use]
-    pub fn run_once(&self) -> (usize, usize) {
+    pub fn run_once(&self) -> (usize, usize, usize) {
         (self.run)()
     }
 }
@@ -87,6 +90,9 @@ pub struct Measurement {
     pub sessions_stepped_per_sec: f64,
     /// Frames stepped per wall-clock second.
     pub frames_stepped_per_sec: f64,
+    /// Peak live task intervals retained by the run's engine(s) — the
+    /// schedule-state footprint gauge (O(window) under retirement).
+    pub peak_live_tasks: usize,
 }
 
 /// Measures one shape: one warm-up run, then `iters` timed runs; rates are
@@ -100,7 +106,7 @@ pub fn measure(shape: &Shape, iters: usize) -> Measurement {
     assert!(iters > 0, "need at least one timed iteration");
     let _ = shape.run_once(); // warm-up
     let mut times = Vec::with_capacity(iters);
-    let mut counts = (0usize, 0usize);
+    let mut counts = (0usize, 0usize, 0usize);
     for _ in 0..iters {
         let t0 = Instant::now();
         counts = shape.run_once();
@@ -115,6 +121,7 @@ pub fn measure(shape: &Shape, iters: usize) -> Measurement {
         median_iter_ms: median_s * 1e3,
         sessions_stepped_per_sec: counts.0 as f64 / median_s,
         frames_stepped_per_sec: counts.1 as f64 / median_s,
+        peak_live_tasks: counts.2,
     }
 }
 
@@ -157,7 +164,7 @@ pub fn shapes_with(fleet_sizes: &[usize], frames: usize) -> Vec<Shape> {
                         config.stepping = stepping;
                         let s = Fleet::run(config);
                         let stepped: usize = s.sessions.iter().map(|r| r.frames.len()).sum();
-                        (s.len(), stepped)
+                        (s.len(), stepped, s.peak_live_tasks)
                     }),
                 });
             }
@@ -182,7 +189,7 @@ pub fn shapes_with(fleet_sizes: &[usize], frames: usize) -> Vec<Shape> {
                 let config = crate::fig_sched::mixed_config(NetworkPreset::WiFi, policy, frames);
                 let s = Fleet::run(config);
                 let stepped: usize = s.sessions.iter().map(|r| r.frames.len()).sum();
-                (s.len(), stepped)
+                (s.len(), stepped, s.peak_live_tasks)
             }),
         });
     }
@@ -228,7 +235,7 @@ fn shard_shape(frames: usize) -> Shape {
                 PER_CELL,
                 (0..CELLS * PER_CELL).map(spec).collect(),
             ));
-            (s.sessions, s.frames)
+            (s.sessions, s.frames, s.peak_live_tasks)
         }),
     }
 }
@@ -271,7 +278,7 @@ fn churn_shape(frames: usize) -> Shape {
             config.link_streams = 4;
             let s = ChurnFleet::run(config);
             let stepped: usize = s.tenants.iter().map(|t| t.summary.frames.len()).sum();
-            (s.len(), stepped)
+            (s.len(), stepped, s.peak_live_per_resource)
         }),
     }
 }
@@ -305,6 +312,7 @@ fn write_measurement(out: &mut String, key: &str, m: &Measurement, indent: &str)
     let _ = writeln!(out, "{indent}  \"iters\": {},", m.iters);
     let _ = writeln!(out, "{indent}  \"sessions\": {},", m.sessions);
     let _ = writeln!(out, "{indent}  \"frames\": {},", m.frames);
+    let _ = writeln!(out, "{indent}  \"peak_live_tasks\": {},", m.peak_live_tasks);
     let _ = writeln!(
         out,
         "{indent}  \"median_iter_ms\": {:.3},",
@@ -408,6 +416,7 @@ pub fn parse_reports(text: &str) -> Option<(u32, Vec<ShapeReport>)> {
         median_iter_ms: 0.0,
         sessions_stepped_per_sec: 0.0,
         frames_stepped_per_sec: 0.0,
+        peak_live_tasks: 0,
     };
     for line in text.lines() {
         let t = line.trim();
@@ -435,6 +444,8 @@ pub fn parse_reports(text: &str) -> Option<(u32, Vec<ShapeReport>)> {
                 cur.sessions = parse_key_usize(t)?;
             } else if t.starts_with("\"frames\"") {
                 cur.frames = parse_key_usize(t)?;
+            } else if t.starts_with("\"peak_live_tasks\"") {
+                cur.peak_live_tasks = parse_key_usize(t)?;
             } else if t.starts_with("\"median_iter_ms\"") {
                 cur.median_iter_ms = parse_key_f64(t)?;
             } else if t.starts_with('}') {
@@ -469,6 +480,7 @@ pub fn render_table(reports: &[ShapeReport]) -> String {
         "median iter",
         "sessions/s",
         "frames/s",
+        "peak live",
         "speedup",
     ]);
     for r in reports {
@@ -479,6 +491,7 @@ pub fn render_table(reports: &[ShapeReport]) -> String {
             format!("{:.1} ms", r.after.median_iter_ms),
             format!("{:.2}", r.after.sessions_stepped_per_sec),
             format!("{:.0}", r.after.frames_stepped_per_sec),
+            format!("{}", r.after.peak_live_tasks),
             match r.speedup() {
                 Some(s) => format!("{s:.2}x"),
                 None => "-".to_owned(),
@@ -500,6 +513,7 @@ mod tests {
             median_iter_ms: 125.5,
             sessions_stepped_per_sec: r,
             frames_stepped_per_sec: 30.0 * r,
+            peak_live_tasks: 1920,
         };
         ShapeReport {
             name: name.to_owned(),
@@ -522,6 +536,7 @@ mod tests {
         assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.contains("\"speedup\": null"));
         assert!(json.contains("\"before\": null"));
+        assert!(json.contains("\"peak_live_tasks\": 1920"));
     }
 
     #[test]
@@ -545,13 +560,15 @@ mod tests {
         assert_eq!(m.frames, 6);
         assert!(m.sessions_stepped_per_sec > 0.0);
         assert!(m.frames_stepped_per_sec > 0.0);
+        assert!(m.peak_live_tasks > 0, "fleets retain live schedule state");
         let churn = shapes.iter().find(|s| s.family == "fig_churn").unwrap();
-        let (sessions, frames) = churn.run_once();
+        let (sessions, frames, _) = churn.run_once();
         assert!(sessions >= 2, "initial tenants always run");
         assert!(frames > 0);
         let sched = shapes.iter().find(|s| s.family == "fig_sched").unwrap();
-        let (sessions, _) = sched.run_once();
+        let (sessions, _, peak) = sched.run_once();
         assert_eq!(sessions, 8, "the mixed roster is 8 tenants");
+        assert!(peak > 0);
     }
 
     #[test]

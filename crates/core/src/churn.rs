@@ -43,7 +43,7 @@ use crate::telemetry::{
     client_energy_mj, AggregateSink, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink,
 };
 use qvr_energy::FleetEnergy;
-use qvr_net::{FairnessPolicy, NetworkChannel, SharedChannel};
+use qvr_net::{FairnessPolicy, LinkShare, NetworkChannel, SharedChannel};
 use qvr_sim::SharedEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -225,6 +225,13 @@ pub struct ChurnConfig {
     /// Whether joiners warm-start their LIWC at the live fleet's mean
     /// operating eccentricity instead of the cold default.
     pub warm_start: bool,
+    /// Whether an *open critical* SLO incident (see
+    /// [`TelemetryConfig::with_health`]) forces joiners in on a degraded
+    /// link share — the health monitor acting as a lightweight
+    /// load-shedding trigger when no admission gate is configured. With an
+    /// [`AdmissionPolicy`] the controller's probe governs and this flag is
+    /// ignored (the monitor only observes).
+    pub health_degrade: bool,
     /// Which built-in telemetry sinks stream this run's frame events
     /// (default-on). With [`TelemetryConfig::window_ms`] set, the MTP
     /// timeline streams through a [`crate::telemetry::WindowedStatsSink`] at O(window) live
@@ -259,6 +266,7 @@ impl ChurnConfig {
             admission: None,
             retire_window_ms: None,
             warm_start: true,
+            health_degrade: false,
             telemetry: TelemetryConfig::default(),
         }
     }
@@ -305,6 +313,15 @@ impl ChurnConfig {
     #[must_use]
     pub fn cold_start(mut self) -> Self {
         self.warm_start = false;
+        self
+    }
+
+    /// Returns a copy where an open critical health incident degrades
+    /// joiners' link shares (see [`ChurnConfig::health_degrade`]); only
+    /// meaningful together with [`TelemetryConfig::with_health`] rules.
+    #[must_use]
+    pub fn with_health_degrade(mut self) -> Self {
+        self.health_degrade = true;
         self
     }
 }
@@ -358,6 +375,10 @@ pub struct ChurnSummary {
     /// (0 when streaming was off) — the O(window) memory bound the
     /// bounded-memory CI job asserts.
     pub peak_open_samples: usize,
+    /// The deterministic SLO incident timeline, when
+    /// [`TelemetryConfig::with_health`] rules were configured; empty
+    /// otherwise.
+    pub incidents: Vec<crate::obs::Incident>,
     /// Fleet-level energy over the run (server pool + AP + every tenant's
     /// headset), streamed by the telemetry [`crate::telemetry::EnergyMeter`].
     pub energy: FleetEnergy,
@@ -494,6 +515,7 @@ pub struct ChurnFleet {
     server_policy: ServerPolicy,
     retire_window_ms: Option<f64>,
     warm_start: bool,
+    health_degrade: bool,
     engine: SharedEngine,
     server: ServerPool,
     link: SharedChannel,
@@ -604,6 +626,7 @@ impl ChurnFleet {
             server_policy: config.server_policy,
             retire_window_ms: config.retire_window_ms,
             warm_start: config.warm_start,
+            health_degrade: config.health_degrade,
             engine,
             server,
             link,
@@ -709,12 +732,13 @@ impl ChurnFleet {
                 }
             }
         }
-        if self.stream_stats {
-            // Close streamed stat buckets no future sample can reach: a
-            // future frame ends after its session's clock (≥ the heap
-            // frontier), and a future *joiner*'s first frame ends after its
-            // join event's time — so the safe frontier is the earlier of
-            // the clock head and the next pending membership event.
+        if self.stream_stats || self.sinks.health.is_some() {
+            // Close streamed stat buckets (and health windows) no future
+            // sample can reach: a future frame ends after its session's
+            // clock (≥ the heap frontier), and a future *joiner*'s first
+            // frame ends after its join event's time — so the safe frontier
+            // is the earlier of the clock head and the next pending
+            // membership event.
             let frontier = self.clock.peek().map(|(_, f)| f);
             let pending_at = self.pending.front().map(|e| e.at_ms);
             let safe = match (frontier, pending_at) {
@@ -773,7 +797,21 @@ impl ChurnFleet {
                 self.roster_ordinals.push(ordinal);
                 (decision, c.admitted().last().expect("just joined").clone())
             }
-            None => (AdmissionDecision::Admitted, spec),
+            None => {
+                // Health-driven load shedding: with no admission gate, an
+                // open critical SLO incident forces the joiner in on a
+                // quarter link share (it still joins — the monitor can
+                // only degrade, never reject).
+                if self.health_degrade && self.sinks.health_open_critical() {
+                    self.degraded += 1;
+                    (
+                        AdmissionDecision::Degraded,
+                        spec.with_share(LinkShare::weighted(0.25)),
+                    )
+                } else {
+                    (AdmissionDecision::Admitted, spec)
+                }
+            }
         };
         let seed = session_seed(self.seed, ordinal);
         let channel = if spec.scheme.uses_network() {
@@ -931,11 +969,13 @@ impl ChurnFleet {
             client_energy_mj(tenants.iter().map(|t| &t.summary.energy)),
         );
         let (windows, peak_open_samples) = self.sinks.windowed_finish();
+        let incidents = self.sinks.health_finish();
         ChurnSummary {
             tenants,
             samples: self.samples,
             windows,
             peak_open_samples,
+            incidents,
             energy,
             occupancy: self.occupancy,
             rejected: self.rejected,
@@ -1024,6 +1064,8 @@ impl ChurnFleet {
             energy,
             load: self.sinks.load.snapshot(),
             peak_live_tasks,
+            metrics: self.sinks.metrics.take(),
+            incidents: self.sinks.health_finish(),
         }
     }
 }
@@ -1199,6 +1241,7 @@ mod tests {
             ],
             windows: Vec::new(),
             peak_open_samples: 0,
+            incidents: Vec::new(),
             energy: FleetEnergy::default(),
             occupancy: Vec::new(),
             rejected: 0,

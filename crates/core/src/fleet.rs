@@ -426,7 +426,10 @@ impl Fleet {
     /// sample can reach). No-op for both once everyone has finished
     /// (finish flushes the sink).
     fn advance_frontier(&mut self) {
-        if self.retire_window_ms.is_none() && self.sinks.windowed.is_none() {
+        if self.retire_window_ms.is_none()
+            && self.sinks.windowed.is_none()
+            && self.sinks.health.is_none()
+        {
             return;
         }
         let frontier = match self.stepping {
@@ -525,10 +528,18 @@ impl Fleet {
                 shared_network: self.shared_network,
                 energy: FleetEnergy::default(),
                 windows: Vec::new(),
+                exposition: None,
+                incidents: Vec::new(),
+                trace: None,
+                peak_live_tasks: 0,
             }
         };
         summary.energy = energy;
         summary.windows = windows;
+        summary.exposition = self.sinks.metrics_exposition();
+        summary.incidents = self.sinks.health_finish();
+        summary.trace = self.sinks.trace.take();
+        summary.peak_live_tasks = self.engine.max_live_intervals();
         summary
     }
 
@@ -584,6 +595,8 @@ impl Fleet {
             energy,
             load: self.sinks.load.snapshot(),
             peak_live_tasks,
+            metrics: self.sinks.metrics.take(),
+            incidents: self.sinks.health_finish(),
         }
     }
 
@@ -664,6 +677,21 @@ pub struct FleetSummary {
     /// The streaming windowed-p95 MTP timeline `(start_ms, frames, p95)`,
     /// when [`TelemetryConfig::window_ms`] was configured; empty otherwise.
     pub windows: Vec<(f64, usize, f64)>,
+    /// Prometheus-style text exposition of the per-class metric families,
+    /// when [`TelemetryConfig::metrics`] was enabled; `None` otherwise.
+    pub exposition: Option<String>,
+    /// The deterministic SLO incident timeline, when
+    /// [`TelemetryConfig::health`] rules were configured; empty otherwise.
+    pub incidents: Vec<crate::obs::Incident>,
+    /// The span-trace recording, when [`TelemetryConfig::trace`] was
+    /// configured; `None` otherwise. Render it with
+    /// [`crate::obs::TraceSink::chrome_trace_json`].
+    pub trace: Option<crate::obs::TraceSink>,
+    /// Peak live task intervals the engine retained at any point — the
+    /// schedule-state footprint the perf harness gauges (equals total
+    /// submitted tasks when windowed retirement is off; 0 on post-hoc
+    /// re-aggregations, which have no engine).
+    pub peak_live_tasks: usize,
 }
 
 impl FleetSummary {
@@ -713,6 +741,10 @@ impl FleetSummary {
             shared_network,
             energy: FleetEnergy::default(),
             windows: Vec::new(),
+            exposition: None,
+            incidents: Vec::new(),
+            trace: None,
+            peak_live_tasks: 0,
         }
     }
 
@@ -797,6 +829,10 @@ impl FleetSummary {
             ..self.energy
         };
         summary.windows = self.windows.clone();
+        summary.exposition = self.exposition.clone();
+        summary.incidents = self.incidents.clone();
+        summary.trace = self.trace.clone();
+        summary.peak_live_tasks = self.peak_live_tasks;
         summary
     }
 
@@ -1414,7 +1450,11 @@ mod tests {
         let keep_engine = keep.shared_engine();
         let drop_engine = drop.shared_engine();
         let a = keep.finish();
-        let b = drop.finish();
+        let mut b = drop.finish();
+        // The schedule-state gauge measures the retained engine footprint
+        // — the one field retirement is supposed to shrink.
+        assert!(b.peak_live_tasks < a.peak_live_tasks);
+        b.peak_live_tasks = a.peak_live_tasks;
         assert_eq!(a, b, "retirement output drifted under pre-reservation");
         let retired = drop_engine.retired_tasks();
         assert!(retired > 0, "history must actually retire");

@@ -39,7 +39,12 @@
 //!   [`telemetry::TelemetrySink`]s (streaming aggregates, windowed
 //!   percentiles, fleet energy, measured load).
 //! * [`metrics`] — per-frame records and run summaries (latency breakdowns,
-//!   FPS, transmitted bytes, energy).
+//!   FPS, transmitted bytes, energy), plus the mergeable log-linear
+//!   [`metrics::Histogram`] behind the monitoring paths.
+//! * [`obs`] — observability over the telemetry seam: sampled span tracing
+//!   with Chrome-trace export, per-class mergeable histogram metrics with
+//!   a Prometheus-style exposition, and a streaming SLO health monitor
+//!   emitting deterministic incident timelines.
 //!
 //! # Example
 //!
@@ -64,6 +69,7 @@ pub mod fleet;
 pub mod foveation;
 pub mod liwc;
 pub mod metrics;
+pub mod obs;
 pub mod sched;
 pub mod schemes;
 pub mod session;
@@ -78,13 +84,17 @@ pub use f16::F16;
 pub use fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
 pub use foveation::{FoveationPlan, LayerChannel, RenderGraph, VrsRate};
 pub use liwc::Liwc;
-pub use metrics::{FrameRecord, RunSummary};
+pub use metrics::{FrameRecord, Histogram, RunSummary};
+pub use obs::{
+    HealthMonitor, HealthRuleKind, HealthRules, Incident, MetricsSink, Severity, TraceConfig,
+    TraceSink,
+};
 pub use sched::{ServerPolicy, TenantClass};
 pub use schemes::{SchemeKind, SystemConfig};
 pub use session::Session;
 pub use shard::{cell_seed, CellSummary, Shard, ShardConfig, ShardSummary};
 pub use telemetry::{
-    AggregateSink, EnergyMeter, FrameEvent, LoadTracker, SinkSet, TelemetryConfig, TelemetrySink,
-    WindowedStatsSink,
+    AggregateSink, EnergyMeter, FrameEvent, FrameSpans, LoadTracker, SinkSet, StageSpan,
+    TelemetryConfig, TelemetrySink, WindowedStatsSink,
 };
 pub use uca::Uca;

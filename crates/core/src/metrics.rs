@@ -210,6 +210,193 @@ impl SortedSamples {
     }
 }
 
+/// A log-linear bucketed latency histogram with a bounded *relative*
+/// quantile error, built for the telemetry seam's merge laws (DESIGN.md
+/// §12–13): bucket counts are integers, merging is bucket-wise `u64`
+/// addition, so a K-way merge is **bit-identical** to one histogram fed
+/// the concatenated stream — no f64 accumulation order to worry about.
+///
+/// Layout (the DDSketch family): with accuracy `α`, `γ = (1+α)/(1−α)`,
+/// a positive value `v` lands in bucket `k = ⌈ln v / ln γ⌉` (so bucket
+/// `k` covers `(γ^(k−1), γ^k]`), and the bucket's representative value
+/// `2γ^k/(γ+1)` is within `α·v` of every value it absorbs. Zero and
+/// negative values share a dedicated zero bucket. Memory is O(occupied
+/// buckets) — ~`ln(max/min)/ln γ` ≈ 700 buckets across twelve decades at
+/// the default 1% accuracy — which is what lets the monitoring path drop
+/// the O(run) `SortedSamples` retention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Relative-error bound `α` (construction parameter).
+    accuracy: f64,
+    /// Cached `ln γ` — the only value `record` needs per sample.
+    ln_gamma: f64,
+    /// Count of samples `≤ 0` (latencies land here only degenerately).
+    zero: u64,
+    /// Occupied buckets, keyed by index `k` — `BTreeMap` so iteration is
+    /// ascending-value and every derived rendering is deterministic.
+    buckets: std::collections::BTreeMap<i32, u64>,
+    /// Total samples recorded (including the zero bucket).
+    count: u64,
+}
+
+impl Default for Histogram {
+    /// The monitoring default: 1% relative error.
+    fn default() -> Self {
+        Histogram::new(0.01)
+    }
+}
+
+impl Histogram {
+    /// A histogram with relative-error bound `accuracy` in `(0, 1)`.
+    ///
+    /// # Panics
+    /// If `accuracy` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(accuracy: f64) -> Self {
+        assert!(
+            accuracy > 0.0 && accuracy < 1.0,
+            "histogram accuracy must lie in (0, 1), got {accuracy}"
+        );
+        let gamma = (1.0 + accuracy) / (1.0 - accuracy);
+        Histogram {
+            accuracy,
+            ln_gamma: gamma.ln(),
+            zero: 0,
+            buckets: std::collections::BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// The relative-error bound this histogram was built with.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Records one sample. Non-positive and non-finite-negative values go
+    /// to the zero bucket; everything else to its log-linear bucket.
+    pub fn record(&mut self, v: f64) {
+        if v > 0.0 {
+            #[allow(clippy::cast_possible_truncation)]
+            let k = (v.ln() / self.ln_gamma).ceil() as i32;
+            *self.buckets.entry(k).or_insert(0) += 1;
+        } else {
+            self.zero += 1;
+        }
+        self.count += 1;
+    }
+
+    /// Folds another histogram in by bucket-wise `u64` addition — the
+    /// merge half of the seam's merge laws: `a.absorb(&b)` is
+    /// bit-identical to one histogram that recorded both streams, in any
+    /// order and any association.
+    ///
+    /// # Panics
+    /// If the accuracies differ (buckets would not line up).
+    pub fn absorb(&mut self, other: &Histogram) {
+        assert!(
+            self.accuracy.to_bits() == other.accuracy.to_bits(),
+            "histogram merge requires identical accuracy ({} vs {})",
+            self.accuracy,
+            other.accuracy
+        );
+        self.zero += other.zero;
+        self.count += other.count;
+        for (&k, &n) in &other.buckets {
+            *self.buckets.entry(k).or_insert(0) += n;
+        }
+    }
+
+    /// Nearest-rank percentile over the bucketed distribution, `q` in
+    /// `[0, 100]`; 0.0 for an empty histogram. The returned value is a
+    /// bucket representative, within `accuracy × true-value` of the exact
+    /// [`SortedSamples`] nearest-rank answer for positive samples.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero {
+            return 0.0;
+        }
+        let mut seen = self.zero;
+        for (&k, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return self.representative(k);
+            }
+        }
+        // Unreachable: bucket counts sum to `count`.
+        self.buckets
+            .last_key_value()
+            .map_or(0.0, |(&k, _)| self.representative(k))
+    }
+
+    /// Median (nearest-rank p50).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the histogram has recorded nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Occupied buckets in ascending value order as
+    /// `(upper_bound, cumulative_count)` pairs, the zero bucket first when
+    /// occupied — exactly the shape a Prometheus-style cumulative
+    /// `_bucket{le=...}` rendering wants.
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut running = 0u64;
+        std::iter::once((0.0, self.zero))
+            .filter(|&(_, z)| z > 0)
+            .chain(
+                self.buckets
+                    .iter()
+                    .map(move |(&k, &n)| (self.upper_bound(k), n)),
+            )
+            .map(move |(le, n)| {
+                running += n;
+                (le, running)
+            })
+    }
+
+    /// The representative value reported for bucket `k` (the point
+    /// minimising worst-case relative error over the bucket's range).
+    fn representative(&self, k: i32) -> f64 {
+        let gamma_k = (f64::from(k) * self.ln_gamma).exp();
+        let gamma = (1.0 + self.accuracy) / (1.0 - self.accuracy);
+        2.0 * gamma_k / (gamma + 1.0)
+    }
+
+    /// Bucket `k`'s inclusive upper bound `γ^k`.
+    fn upper_bound(&self, k: i32) -> f64 {
+        (f64::from(k) * self.ln_gamma).exp()
+    }
+}
+
 fn mean(iter: impl Iterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
@@ -359,5 +546,139 @@ mod tests {
         assert_eq!(five.p50(), 30.0);
         assert_eq!(five.p95(), 50.0);
         assert_eq!(five.p99(), 50.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_stay_within_the_relative_error_bound() {
+        let mut h = Histogram::new(0.01);
+        let exact = SortedSamples::new((1..=100).map(f64::from).collect());
+        for v in 1..=100 {
+            h.record(f64::from(v));
+        }
+        assert_eq!(h.count(), 100);
+        for q in [0.0, 10.0, 50.0, 95.0, 99.0, 100.0] {
+            let e = exact.percentile(q);
+            let a = h.percentile(q);
+            assert!(
+                (a - e).abs() <= 0.01 * e,
+                "p{q}: {a} vs exact {e} exceeds 1% relative error"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_zero_and_empty_cases() {
+        let empty = Histogram::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.p95(), 0.0);
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.p50(), 0.0, "two of three samples sit in the zero bucket");
+        assert!((h.p99() - 10.0).abs() <= 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical accuracy")]
+    fn histogram_merge_rejects_mismatched_accuracy() {
+        let mut a = Histogram::new(0.01);
+        let b = Histogram::new(0.02);
+        a.absorb(&b);
+    }
+
+    #[test]
+    fn histogram_cumulative_buckets_are_monotone() {
+        let mut h = Histogram::default();
+        for v in [0.0, 1.0, 1.0, 5.0, 80.0] {
+            h.record(v);
+        }
+        let buckets: Vec<(f64, u64)> = h.cumulative_buckets().collect();
+        assert_eq!(buckets.last().map(|&(_, n)| n), Some(5));
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "upper bounds ascend");
+            assert!(w[0].1 <= w[1].1, "cumulative counts are monotone");
+        }
+    }
+
+    use proptest::prelude::*;
+
+    /// Adversarial positive sample streams: up to 4 shards × 50 samples
+    /// spanning nine orders of magnitude (sub-ms jitter to multi-minute
+    /// stalls), which is where naive linear bucketing falls over. (The
+    /// offline proptest shim generates fixed-size vectors, so shard count
+    /// and per-shard lengths are drawn separately and applied by
+    /// truncation.)
+    fn shard_streams() -> impl Strategy<Value = Vec<Vec<f64>>> {
+        (
+            collection::vec(collection::vec(1e-3..1e6, 50), 4),
+            1usize..5,
+            collection::vec(0usize..51, 4),
+        )
+            .prop_map(|(shards, count, lens)| {
+                shards
+                    .into_iter()
+                    .zip(lens)
+                    .take(count)
+                    .map(|(mut shard, len)| {
+                        shard.truncate(len);
+                        shard
+                    })
+                    .collect()
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_merge_is_bit_identical_to_the_concatenated_stream(
+            shards in shard_streams(),
+        ) {
+            // K-way merge == one histogram over the concatenated stream,
+            // compared with `==` (bucket maps, counts, everything).
+            let mut merged = Histogram::default();
+            let mut concatenated = Histogram::default();
+            for shard in &shards {
+                let mut part = Histogram::default();
+                for &v in shard {
+                    part.record(v);
+                    concatenated.record(v);
+                }
+                merged.absorb(&part);
+            }
+            prop_assert_eq!(&merged, &concatenated);
+            // And merge order does not matter: fold in reverse.
+            let mut reversed = Histogram::default();
+            for shard in shards.iter().rev() {
+                let mut part = Histogram::default();
+                for &v in shard {
+                    part.record(v);
+                }
+                reversed.absorb(&part);
+            }
+            prop_assert_eq!(&reversed, &concatenated);
+        }
+
+        #[test]
+        fn histogram_quantiles_track_sorted_samples_within_accuracy(
+            shards in shard_streams(),
+            q in 0.0..100.0f64,
+        ) {
+            let samples: Vec<f64> = shards.into_iter().flatten().collect();
+            if !samples.is_empty() {
+                let mut h = Histogram::new(0.01);
+                for &v in &samples {
+                    h.record(v);
+                }
+                let exact = SortedSamples::new(samples).percentile(q);
+                let approx = h.percentile(q);
+                // 1% bound plus a hair of slack for float rounding at exact
+                // bucket boundaries (ceil(ln v / ln γ) can tip either way).
+                prop_assert!(
+                    (approx - exact).abs() <= 0.0101 * exact + 1e-9,
+                    "p{}: {} vs exact {}", q, approx, exact
+                );
+            }
+        }
     }
 }

@@ -11,6 +11,7 @@
 use super::SystemConfig;
 use crate::metrics::{FrameRecord, RunSummary};
 use crate::sched::UnitDirective;
+use crate::telemetry::FrameSpans;
 use qvr_energy::BusyTimes;
 use qvr_gpu::{FrameWorkload, GpuTimingModel};
 use qvr_net::{NetworkChannel, SharedChannel};
@@ -110,6 +111,10 @@ pub struct Rig {
     pending_radio_ms: f64,
     /// Server unit the latest remote chain landed on, if any this frame.
     pending_unit: Option<usize>,
+    /// Per-stage span envelopes accumulated since the last frame-span take
+    /// — task times are final at submission, so each stage's start/end is
+    /// widened eagerly as chains submit (no TaskId kept alive).
+    pending_spans: FrameSpans,
     /// Per-resource busy time already accumulated when this rig was built
     /// — non-zero when a churn fleet reuses a departed session's resource
     /// slot; subtracted at finish so energy stays per-tenant.
@@ -241,6 +246,7 @@ impl Rig {
             pending_encode_ms: 0.0,
             pending_radio_ms: 0.0,
             pending_unit: None,
+            pending_spans: FrameSpans::default(),
             busy_baseline,
             recent_displays: std::collections::VecDeque::with_capacity(
                 config.frames_in_flight as usize + 1,
@@ -439,9 +445,15 @@ impl Rig {
             lbl.clear();
             let _ = write!(lbl, "{label}:rr{i}");
             let rr = self.engine.submit(&lbl, Some(rgpu), render_ms / kf, deps);
+            self.pending_spans
+                .render
+                .widen(self.engine.start_of(rr), self.engine.end_of(rr));
             lbl.clear();
             let _ = write!(lbl, "{label}:enc{i}");
             let enc = self.engine.submit(&lbl, Some(senc), encode_ms / kf, &[rr]);
+            self.pending_spans
+                .encode
+                .widen(self.engine.start_of(enc), self.engine.end_of(enc));
             // Sample the channel for this chunk's transfer time. The stream
             // pays its base (propagation) latency once, on the first chunk.
             let tx_ms = if i == 0 {
@@ -458,12 +470,18 @@ impl Rig {
                     .submit(&lbl, Some(self.net_down), tx_ms, &[enc, p]),
                 None => self.engine.submit(&lbl, Some(self.net_down), tx_ms, &[enc]),
             };
+            self.pending_spans
+                .network
+                .widen(self.engine.start_of(tx), self.engine.end_of(tx));
             prev_tx = Some(tx);
             lbl.clear();
             let _ = write!(lbl, "{label}:vd{i}");
             let vd = self
                 .engine
                 .submit(&lbl, Some(self.vdec), decode_ms / kf, &[tx]);
+            self.pending_spans
+                .decode
+                .widen(self.engine.start_of(vd), self.engine.end_of(vd));
             last_decode = Some(vd);
         }
         self.scratch.label = lbl;
@@ -491,7 +509,11 @@ impl Rig {
     pub fn upload(&mut self, label: &str, bytes: f64, deps: &[TaskId]) -> (TaskId, f64) {
         let t = self.channel.upload_ms(bytes);
         self.pending_radio_ms += t;
-        (self.engine.submit(label, Some(self.net_up), t, deps), t)
+        let task = self.engine.submit(label, Some(self.net_up), t, deps);
+        self.pending_spans
+            .upload
+            .widen(self.engine.start_of(task), self.engine.end_of(task));
+        (task, t)
     }
 
     /// The fleet slot this rig occupies (0 for private rigs).
@@ -525,12 +547,22 @@ impl Rig {
         stats
     }
 
+    /// Takes (and resets) the frame's accumulated per-stage span envelopes
+    /// — the trace attribution the observability sinks consume. Called once
+    /// per frame alongside [`Rig::take_frame_stats`].
+    pub(crate) fn take_frame_spans(&mut self) -> FrameSpans {
+        std::mem::take(&mut self.pending_spans)
+    }
+
     /// Submits the display scanout as a latency-only stage and registers it
     /// for pacing. Returns the display task.
     pub fn display(&mut self, label: &str, deps: &[TaskId]) -> TaskId {
         let t = self
             .engine
             .submit(label, None, self.config.display_ms, deps);
+        self.pending_spans
+            .display
+            .widen(self.engine.start_of(t), self.engine.end_of(t));
         self.recent_displays.push_back(t);
         if self.recent_displays.len() > self.config.frames_in_flight as usize {
             self.recent_displays.pop_front();

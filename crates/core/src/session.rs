@@ -112,6 +112,7 @@ impl Session {
             radio_ms,
             unit,
             class: self.scheme.tenant_class(),
+            spans: self.rig.take_frame_spans(),
         }
     }
 
@@ -264,6 +265,27 @@ mod tests {
             assert!(ev.server_render_ms > 0.0, "Q-VR streams its periphery");
             assert!(ev.radio_ms > 0.0);
             assert!(ev.unit.is_some());
+            // Q-VR's remote branch fills every stage span, and the stages
+            // tile sensibly: render before the network finishes, network
+            // before display ends, display closing the frame.
+            let sp = ev.spans;
+            for (name, span) in [
+                ("upload", sp.upload),
+                ("render", sp.render),
+                ("encode", sp.encode),
+                ("network", sp.network),
+                ("decode", sp.decode),
+                ("display", sp.display),
+            ] {
+                assert!(!span.is_empty(), "Q-VR frames fill the {name} span");
+                assert!(span.duration_ms() > 0.0);
+            }
+            assert!(sp.render.start_ms <= sp.network.end_ms);
+            assert!(sp.network.end_ms <= sp.display.end_ms);
+            assert_eq!(
+                sp.display.end_ms, ev.end_ms,
+                "display span closes the frame"
+            );
             prev_end = ev.end_ms;
         }
         // A local-only session touches neither the server nor the link.
@@ -273,6 +295,12 @@ mod tests {
         assert_eq!(ev.server_encode_ms, 0.0);
         assert_eq!(ev.radio_ms, 0.0);
         assert_eq!(ev.unit, None);
+        assert!(
+            ev.spans.render.is_empty(),
+            "no remote chain, no render span"
+        );
+        assert!(ev.spans.network.is_empty());
+        assert!(!ev.spans.display.is_empty(), "every frame scans out");
     }
 
     #[test]

@@ -49,6 +49,7 @@
 
 use crate::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
 use crate::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
+use crate::obs::{Incident, MetricsSink};
 use crate::telemetry::{AggregateSink, LoadTracker, WindowedStatsSink};
 use qvr_energy::FleetEnergy;
 use std::fmt;
@@ -295,6 +296,14 @@ pub struct CellSummary {
     pub load: Vec<Option<f64>>,
     /// Peak live engine intervals — the cell's O(window) memory witness.
     pub peak_live_tasks: usize,
+    /// The cell's per-class metrics sink (un-rendered, the mergeable
+    /// form), when [`crate::telemetry::TelemetryConfig::metrics`] was
+    /// enabled. Span traces deliberately do *not* ship across the seam —
+    /// tracing is a per-fleet debugging tool, not an O(1)-per-frame sink.
+    pub metrics: Option<MetricsSink>,
+    /// The cell's SLO incident timeline, cell-local (no cell stamp); the
+    /// shard merge stamps each incident with this cell's id.
+    pub incidents: Vec<Incident>,
 }
 
 /// Fleet-identical aggregates over every cell, plus the shard-level
@@ -343,6 +352,14 @@ pub struct ShardSummary {
     pub degraded: usize,
     /// Admission probe fleets simulated by the router.
     pub probes_run: usize,
+    /// The shard-wide Prometheus-style exposition: every cell's metrics
+    /// sink folded bucket-wise in cell-id order, then rendered once.
+    /// `None` when no cell shipped metrics. On one cell this is bitwise
+    /// the fleet's own exposition (the merge laws' 1-cell degeneracy).
+    pub exposition: Option<String>,
+    /// Every cell's incidents in cell-id order, each stamped with its
+    /// originating cell ([`Incident::cell`]).
+    pub incidents: Vec<Incident>,
     /// Per-cell session counts, cell-id order (ran cells only).
     pub cell_sessions: Vec<usize>,
     /// Per-cell load-EWMA snapshots, cell-id order.
@@ -373,6 +390,8 @@ impl ShardSummary {
         }
         let mut aggregate = AggregateSink::new();
         let mut windowed: Option<WindowedStatsSink> = None;
+        let mut metrics: Option<MetricsSink> = None;
+        let mut incidents: Vec<Incident> = Vec::new();
         let mut energy = FleetEnergy::default();
         let mut sessions = 0;
         let mut frames = 0;
@@ -391,6 +410,16 @@ impl ShardSummary {
                     Some(merged) => merged.absorb(w),
                 }
             }
+            if let Some(m) = &cell.metrics {
+                match &mut metrics {
+                    None => metrics = Some(m.clone()),
+                    Some(merged) => merged.absorb(m),
+                }
+            }
+            incidents.extend(cell.incidents.iter().cloned().map(|mut inc| {
+                inc.cell = Some(cell.cell);
+                inc
+            }));
             energy += cell.energy;
             sessions += cell.sessions;
             frames += cell.frames;
@@ -428,6 +457,8 @@ impl ShardSummary {
             windows,
             peak_open_samples,
             peak_live_tasks,
+            exposition: metrics.map(|m| m.exposition()),
+            incidents,
             spilled: 0,
             rejected: 0,
             degraded: 0,
@@ -453,6 +484,7 @@ impl ShardSummary {
             && self.server_units == fleet.server_units
             && self.energy == fleet.energy
             && self.windows == fleet.windows
+            && self.exposition == fleet.exposition
     }
 
     /// One cell's load-EWMA snapshot (cell-id order over the cells that

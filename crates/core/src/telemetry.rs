@@ -50,6 +50,69 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// One pipeline stage's `(start, end)` span in virtual time, ms. The empty
+/// span is `(0, 0)` — a stage the frame never exercised (e.g. the remote
+/// stages of a local-only scheme) reads as empty rather than absent, which
+/// keeps [`FrameEvent`] `Copy` and the hot path allocation-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSpan {
+    /// Earliest virtual time any task of this stage started, ms.
+    pub start_ms: f64,
+    /// Latest virtual time any task of this stage ended, ms.
+    pub end_ms: f64,
+}
+
+impl StageSpan {
+    /// Whether the stage recorded no (non-degenerate) work this frame.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end_ms <= self.start_ms
+    }
+
+    /// The span's extent, ms (0 when empty).
+    #[must_use]
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ms - self.start_ms).max(0.0)
+    }
+
+    /// Widens the span to cover `[start_ms, end_ms]`; an empty span adopts
+    /// the interval outright. The rig calls this once per submitted task,
+    /// right after submission (task times are final at submission, and
+    /// eager capture is what keeps span attribution exact once old tasks
+    /// retire out of the engine's history window).
+    pub fn widen(&mut self, start_ms: f64, end_ms: f64) {
+        if self.is_empty() {
+            self.start_ms = start_ms;
+            self.end_ms = end_ms;
+        } else {
+            self.start_ms = self.start_ms.min(start_ms);
+            self.end_ms = self.end_ms.max(end_ms);
+        }
+    }
+}
+
+/// Per-stage span breakdown of one frame — where the frame's wall time
+/// actually went, in virtual time. Chunked pipelines (DESIGN.md §4) submit
+/// k tasks per stage; each stage's span covers the union `[first start,
+/// last end]`, so overlap between consecutive stages is *visible* (that is
+/// the point: the §7 coupling artifacts show up as one tenant's network
+/// span stretching while its render span does not).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameSpans {
+    /// Pose/input upload on the shared uplink.
+    pub upload: StageSpan,
+    /// Server GPU render tasks.
+    pub render: StageSpan,
+    /// Server hardware-encode tasks.
+    pub encode: StageSpan,
+    /// Downlink transfer tasks.
+    pub network: StageSpan,
+    /// Client decode tasks.
+    pub decode: StageSpan,
+    /// Display scanout.
+    pub display: StageSpan,
+}
+
 /// Everything the stack reports about one displayed frame, emitted by
 /// [`crate::session::Session::step`] at display end.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +144,11 @@ pub struct FrameEvent {
     pub unit: Option<usize>,
     /// The emitting tenant's scheduling class.
     pub class: TenantClass,
+    /// Per-stage span breakdown (render / encode / network / decode /
+    /// display / upload start+end in virtual time). Captured eagerly by
+    /// the rig's attribution hooks; always populated — the *sinks* that
+    /// consume it (tracing) are what the configuration gates.
+    pub spans: FrameSpans,
 }
 
 /// An online consumer of [`FrameEvent`]s.
@@ -123,6 +191,21 @@ pub struct TelemetryConfig {
     /// the samples a bit-exact merge needs. Default `false` (streaming
     /// closes keep live memory O(window)).
     pub defer_window_close: bool,
+    /// Span tracing: `Some` attaches a [`crate::obs::TraceSink`] recording
+    /// the sampled sessions' per-frame stage spans for Chrome-trace export.
+    /// Default `None` — tracing off adds zero work and zero allocations to
+    /// the frame loop (spans ride the event either way).
+    pub trace: Option<crate::obs::TraceConfig>,
+    /// Mergeable metrics: `true` attaches a [`crate::obs::MetricsSink`]
+    /// maintaining per-class MTP/tx/stage-busy histograms and counters at
+    /// the default 1% accuracy, exposable as Prometheus-style text. Default
+    /// `false` (the exact `SortedSamples` aggregate path stays the
+    /// percentile source either way).
+    pub metrics: bool,
+    /// Health monitoring: `Some` attaches a [`crate::obs::HealthMonitor`]
+    /// evaluating these SLO rules over sliding histogram windows and
+    /// emitting a deterministic incident timeline. Default `None`.
+    pub health: Option<crate::obs::HealthRules>,
 }
 
 impl Default for TelemetryConfig {
@@ -131,6 +214,9 @@ impl Default for TelemetryConfig {
             window_ms: None,
             energy: true,
             defer_window_close: false,
+            trace: None,
+            metrics: false,
+            health: None,
         }
     }
 }
@@ -149,6 +235,28 @@ impl TelemetryConfig {
     #[must_use]
     pub fn with_deferred_windows(mut self) -> Self {
         self.defer_window_close = true;
+        self
+    }
+
+    /// Returns a copy with span tracing enabled under this sampling
+    /// configuration.
+    #[must_use]
+    pub fn with_trace(mut self, trace: crate::obs::TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Returns a copy with the mergeable metrics sink enabled.
+    #[must_use]
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Returns a copy with the health monitor enabled under these rules.
+    #[must_use]
+    pub fn with_health(mut self, rules: crate::obs::HealthRules) -> Self {
+        self.health = Some(rules);
         self
     }
 }
@@ -698,6 +806,12 @@ pub struct SinkSet {
     pub(crate) energy: Option<EnergyMeter>,
     /// The measured-load EWMA (always on: placement may read it).
     pub(crate) load: LoadTracker,
+    /// Span tracing over the sampled sessions, when configured.
+    pub(crate) trace: Option<crate::obs::TraceSink>,
+    /// The mergeable per-class histogram metrics, when configured.
+    pub(crate) metrics: Option<crate::obs::MetricsSink>,
+    /// The streaming SLO health monitor, when configured.
+    pub(crate) health: Option<crate::obs::HealthMonitor>,
     custom: Vec<Box<dyn TelemetrySink>>,
 }
 
@@ -740,6 +854,13 @@ impl SinkSet {
         } else {
             WindowedStatsSink::new
         });
+        sinks.trace = telemetry.trace.map(crate::obs::TraceSink::new);
+        if telemetry.metrics {
+            sinks.metrics = Some(crate::obs::MetricsSink::new());
+        }
+        sinks.health = telemetry
+            .health
+            .map(|rules| crate::obs::HealthMonitor::new(rules, system.server_power, units));
         sinks
     }
 
@@ -767,6 +888,15 @@ impl SinkSet {
             s.on_batch(events);
         }
         self.load.on_batch(events);
+        if let Some(s) = &mut self.trace {
+            s.on_batch(events);
+        }
+        if let Some(s) = &mut self.metrics {
+            s.on_batch(events);
+        }
+        if let Some(s) = &mut self.health {
+            s.on_batch(events);
+        }
         for s in &mut self.custom {
             s.on_batch(events);
         }
@@ -777,10 +907,15 @@ impl SinkSet {
         self.custom.push(sink);
     }
 
-    /// Advances the windowed sink's closing frontier, if one is running.
+    /// Advances the windowed sink's and the health monitor's closing
+    /// frontiers, if either is running (both evaluate time buckets no
+    /// future sample can precede).
     pub fn close_windows_before(&mut self, t_ms: f64) {
         if let Some(w) = &mut self.windowed {
             w.close_before(t_ms);
+        }
+        if let Some(h) = &mut self.health {
+            h.close_before(t_ms);
         }
     }
 
@@ -811,6 +946,35 @@ impl SinkSet {
             None => (Vec::new(), 0),
         }
     }
+
+    /// The metrics sink's Prometheus-style text exposition (`None` when
+    /// metrics are off).
+    #[must_use]
+    pub fn metrics_exposition(&self) -> Option<String> {
+        self.metrics
+            .as_ref()
+            .map(crate::obs::MetricsSink::exposition)
+    }
+
+    /// Finishes the health monitor and returns its incident timeline
+    /// (empty when no monitor ran).
+    #[must_use]
+    pub fn health_finish(&mut self) -> Vec<crate::obs::Incident> {
+        self.health
+            .take()
+            .map(crate::obs::HealthMonitor::finish)
+            .unwrap_or_default()
+    }
+
+    /// Whether the health monitor currently holds an open critical-severity
+    /// incident — the churn fleet's optional degrade trigger reads this at
+    /// join time. `false` when no monitor runs.
+    #[must_use]
+    pub fn health_open_critical(&self) -> bool {
+        self.health
+            .as_ref()
+            .is_some_and(crate::obs::HealthMonitor::has_open_critical)
+    }
 }
 
 /// Sums a set of per-session energy breakdowns, mJ (in roster order — the
@@ -837,6 +1001,7 @@ mod tests {
             radio_ms: 1.5,
             unit: Some(0),
             class: TenantClass::Adaptive,
+            spans: FrameSpans::default(),
         }
     }
 
@@ -978,6 +1143,7 @@ mod tests {
             radio_ms: radio,
             unit: Some(0),
             class: TenantClass::Adaptive,
+            spans: FrameSpans::default(),
         }
     }
 

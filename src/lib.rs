@@ -87,14 +87,18 @@ pub mod prelude {
     };
     pub use qvr_core::clock::{FleetClock, SteppingPolicy};
     pub use qvr_core::fleet::{Fleet, FleetConfig, FleetSummary, SessionSpec};
-    pub use qvr_core::metrics::{FrameRecord, RunSummary};
+    pub use qvr_core::metrics::{FrameRecord, Histogram, RunSummary};
+    pub use qvr_core::obs::{
+        parse_exposition, HealthMonitor, HealthRuleKind, HealthRules, Incident, MetricsSink,
+        Severity, TraceConfig, TraceSink,
+    };
     pub use qvr_core::sched::{ServerPolicy, TenantClass};
     pub use qvr_core::schemes::{SchemeKind, SystemConfig};
     pub use qvr_core::session::Session;
     pub use qvr_core::shard::{cell_seed, CellSummary, Shard, ShardConfig, ShardSummary};
     pub use qvr_core::telemetry::{
-        AggregateSink, EnergyMeter, FrameEvent, LoadTracker, SinkSet, TelemetryConfig,
-        TelemetrySink, WindowedStatsSink,
+        AggregateSink, EnergyMeter, FrameEvent, FrameSpans, LoadTracker, SinkSet, StageSpan,
+        TelemetryConfig, TelemetrySink, WindowedStatsSink,
     };
     pub use qvr_core::{FoveationPlan, Liwc, RenderGraph, Uca, VrsRate};
     pub use qvr_energy::{

@@ -17,6 +17,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use qvr::prelude::*;
 use qvr::scene::Benchmark;
@@ -64,12 +65,26 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// measurement window.
 const MAX_ALLOCS_PER_FRAME: f64 = 2.0;
 
-#[test]
-fn steady_state_fleet_round_is_allocation_free() {
+/// Ceiling with 1-in-32 span-trace sampling on: the sampled slot's event
+/// push into the `TraceSink` recording is the only new allocation site
+/// (one amortized-doubling `Vec` push per sampled frame; span capture
+/// itself is plain `Copy` field writes on the rig), so the traced bound
+/// sits just above the untraced one.
+const MAX_ALLOCS_PER_FRAME_TRACED: f64 = 4.0;
+
+/// Warms an 8-session Q-VR fleet under the given telemetry config past
+/// its start-up transient, then returns the steady-state allocations per
+/// frame over the measured window. Serialized with a mutex — the counting
+/// allocator's tallies are process-global.
+fn measured_per_frame(telemetry: TelemetryConfig) -> f64 {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _serial = GATE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let sessions = 8;
     let warmup_rounds = 24;
     let measured_rounds = 32;
-    let config = FleetConfig::uniform(
+    let mut config = FleetConfig::uniform(
         SystemConfig::default(),
         SchemeKind::Qvr,
         Benchmark::Hl2H.profile(),
@@ -77,6 +92,7 @@ fn steady_state_fleet_round_is_allocation_free() {
         warmup_rounds + measured_rounds,
         42,
     );
+    config.telemetry = telemetry;
     let mut fleet = Fleet::new(config);
     for _ in 0..warmup_rounds {
         fleet.step_round();
@@ -93,9 +109,35 @@ fn steady_state_fleet_round_is_allocation_free() {
     let frames = (measured_rounds * sessions) as f64;
     let per_frame = allocs as f64 / frames;
     eprintln!("steady-state: {allocs} allocations / {frames} frames = {per_frame:.3} per frame");
+    per_frame
+}
+
+#[test]
+fn steady_state_fleet_round_is_allocation_free() {
+    // The default telemetry config leaves tracing, metrics, and health
+    // disabled, so holding this bound is also the receipt that the
+    // observability hooks add zero allocations per frame when off.
+    let per_frame = measured_per_frame(TelemetryConfig::default());
     assert!(
         per_frame <= MAX_ALLOCS_PER_FRAME,
-        "steady-state hot path regressed: {allocs} allocations over \
-         {frames} frames = {per_frame:.2}/frame (limit {MAX_ALLOCS_PER_FRAME})"
+        "steady-state hot path regressed: {per_frame:.2} allocations/frame \
+         (limit {MAX_ALLOCS_PER_FRAME})"
+    );
+}
+
+#[test]
+fn sampled_tracing_stays_within_its_pinned_allocation_bound() {
+    // 1-in-32 sampling over 8 slots: pick a seed whose deterministic
+    // sampler selects exactly one of this fleet's sessions, so the window
+    // measures the real record-one-slot configuration.
+    let trace = (0..10_000u64)
+        .map(|seed| TraceConfig::sampled(seed, 32))
+        .find(|t| (0..8).filter(|&i| t.samples_session(i)).count() == 1)
+        .expect("some seed samples exactly one of 8 slots");
+    let per_frame = measured_per_frame(TelemetryConfig::default().with_trace(trace));
+    assert!(
+        per_frame <= MAX_ALLOCS_PER_FRAME_TRACED,
+        "sampled tracing blew its allocation budget: {per_frame:.2} \
+         allocations/frame (limit {MAX_ALLOCS_PER_FRAME_TRACED})"
     );
 }

@@ -251,6 +251,7 @@ fn windowed_sink_reproduces_churn_windowed_p95_on_a_recorded_trace() {
             radio_ms: 0.0,
             unit: None,
             class: TenantClass::Adaptive,
+            spans: FrameSpans::default(),
         });
         // Samples across sessions interleave non-monotonically; a frontier
         // trailing by a generous margin is what fleets guarantee.
