@@ -20,6 +20,8 @@
 //!    O(cells × window) while sessions-stepped/sec holds the single-fleet
 //!    rate (near-linear scaling in cell count).
 
+// qvr-lint: module(report)
+
 use crate::{TextTable, SEED};
 use qvr::prelude::*;
 use qvr::scene::Benchmark;
@@ -197,6 +199,24 @@ fn sweep_line(cells: usize, per_cell: usize, frames: usize) -> String {
         s.cells,
         RETIRE_WINDOW_MS,
     )
+}
+
+/// A stable digest of one shard run at an explicit worker count.
+///
+/// Hashes the merged `ShardSummary`'s full `Debug` form (every field:
+/// percentiles, utilisation, energy, incidents, windowed timeline, and
+/// the metrics exposition) with FNV-1a. Wall-clock never enters the
+/// summary, so two invocations — at *any* worker counts — must agree bit
+/// for bit. The determinism smoke test pins exactly that.
+#[must_use]
+pub fn determinism_digest(cells: usize, per_cell: usize, frames: usize, workers: usize) -> u64 {
+    let s = Shard::run(shard_config(cells, per_cell, frames).with_workers(workers));
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{s:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Regenerates the full sharded-cell sweep (the ≥100k-session run).

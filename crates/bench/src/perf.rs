@@ -22,6 +22,8 @@
 //! a *frame-stepped* is one `Session::step` call. Both rates come from the
 //! median of `iters` timed full runs after one warm-up run.
 
+// qvr-lint: module(report)
+
 use crate::SEED;
 use qvr::prelude::*;
 use qvr::scene::Benchmark;

@@ -446,10 +446,10 @@ impl ChurnSummary {
             window_ms.is_finite() && window_ms > 0.0,
             "window must be positive"
         );
-        let buckets = (self.horizon_ms / window_ms).ceil().max(1.0) as usize;
+        let buckets = qvr_sim::checked::ceil_index(self.horizon_ms / window_ms).max(1);
         let mut per: Vec<Vec<f64>> = vec![Vec::new(); buckets];
         for (t, mtp) in &self.samples {
-            let b = (t / window_ms).floor() as usize;
+            let b = qvr_sim::checked::floor_index(t / window_ms);
             if b >= per.len() {
                 per.resize(b + 1, Vec::new());
             }

@@ -175,7 +175,7 @@ impl SortedSamples {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let rank = (q / 100.0 * self.sorted.len() as f64).ceil() as usize;
+        let rank = qvr_sim::checked::ceil_index(q / 100.0 * self.sorted.len() as f64);
         self.sorted[rank.clamp(1, self.sorted.len()) - 1]
     }
 
@@ -277,8 +277,7 @@ impl Histogram {
     /// to the zero bucket; everything else to its log-linear bucket.
     pub fn record(&mut self, v: f64) {
         if v > 0.0 {
-            #[allow(clippy::cast_possible_truncation)]
-            let k = (v.ln() / self.ln_gamma).ceil() as i32;
+            let k = qvr_sim::checked::ceil_key(v.ln() / self.ln_gamma);
             *self.buckets.entry(k).or_insert(0) += 1;
         } else {
             self.zero += 1;
@@ -316,8 +315,7 @@ impl Histogram {
         if self.count == 0 {
             return 0.0;
         }
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let rank = qvr_sim::checked::ceil_rank(q / 100.0 * self.count as f64).clamp(1, self.count);
         if rank <= self.zero {
             return 0.0;
         }

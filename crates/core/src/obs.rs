@@ -748,8 +748,7 @@ impl HealthMonitor {
     /// the same frontier that drives windowed-stats closing: a time no
     /// future frame can precede).
     pub fn close_before(&mut self, t_ms: f64) {
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let first_open = (t_ms / self.rules.window_ms).floor().max(0.0) as usize;
+        let first_open = qvr_sim::checked::floor_index((t_ms / self.rules.window_ms).max(0.0));
         while self.frontier < first_open {
             let window = self.frontier;
             self.evaluate(window);
@@ -936,8 +935,7 @@ fn severity_of(magnitude: f64) -> Severity {
 
 impl TelemetrySink for HealthMonitor {
     fn on_frame(&mut self, event: &FrameEvent) {
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let mut b = (event.end_ms / self.rules.window_ms).floor().max(0.0) as usize;
+        let mut b = qvr_sim::checked::floor_index((event.end_ms / self.rules.window_ms).max(0.0));
         if b < self.frontier {
             // Mirror of the windowed sink's frontier promise: simulations
             // never deliver below the closing frontier (debug asserts),

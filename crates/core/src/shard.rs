@@ -420,11 +420,14 @@ impl ShardSummary {
                 inc.cell = Some(cell.cell);
                 inc
             }));
+            // qvr-lint: allow(D4): fixed cell-id-sorted fold, audited in DESIGN §12
             energy += cell.energy;
             sessions += cell.sessions;
             frames += cell.frames;
             makespan_ms = makespan_ms.max(cell.makespan_ms);
+            // qvr-lint: allow(D4): cell-id-sorted fold, divided once by capacity_ms
             busy_ms += cell.server_busy_ms;
+            // qvr-lint: allow(D4): cell-id-sorted fold, consumed once for utilisation
             capacity_ms += cell.makespan_ms * cell.server_units as f64;
             server_units += cell.server_units;
             peak_live_tasks += cell.peak_live_tasks;

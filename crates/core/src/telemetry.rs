@@ -505,7 +505,9 @@ impl WindowedStatsSink {
         if self.defer {
             return;
         }
-        let first_open = (t_ms / self.window_ms).floor() as usize;
+        // A frontier below t=0 (e.g. `min_clock - window` at startup) means
+        // no bucket can close yet; clamp before indexing.
+        let first_open = qvr_sim::checked::floor_index((t_ms / self.window_ms).max(0.0));
         while self.close_frontier < first_open {
             self.close_bucket(self.close_frontier);
             self.close_frontier += 1;
@@ -544,7 +546,7 @@ impl WindowedStatsSink {
 
 impl TelemetrySink for WindowedStatsSink {
     fn on_frame(&mut self, event: &FrameEvent) {
-        let mut b = (event.end_ms / self.window_ms).floor() as usize;
+        let mut b = qvr_sim::checked::floor_index(event.end_ms / self.window_ms);
         if b < self.close_frontier {
             // A sample arrived below the closing frontier: the caller's
             // frontier promise was broken. Deterministic simulations never

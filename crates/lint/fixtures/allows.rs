@@ -1,0 +1,41 @@
+//! Suppression fixture: one audited `allow` per rule, each with a
+//! reason. All findings here are suppressed, so this file renders no
+//! output — the self-test asserts the suppressed count instead.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn profile_step() -> f64 {
+    // qvr-lint: allow(D1): wall-clock feeds a perf report, never sim state
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+fn shuffle_seedless() -> u32 {
+    // qvr-lint: allow(D2): fixture demonstrating an audited entropy escape hatch
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+fn merge_index() -> usize {
+    // qvr-lint: allow(D3): insertion order never observed; drained via sorted keys
+    let mut by_id = HashMap::new();
+    by_id.insert(1u32, 2u32);
+    by_id.len()
+}
+
+fn absorb_energy(acc: &mut f64, x: f64) {
+    // qvr-lint: allow(D4): fixed-order fold, audited against the merge laws
+    *acc += x;
+}
+
+fn fan_out() {
+    // qvr-lint: allow(D5): fixture demonstrating a sanctioned raw-thread escape
+    let handle = std::thread::spawn(|| ());
+    handle.join().unwrap();
+}
+
+fn col_of(x: f64) -> usize {
+    // qvr-lint: allow(D6): caller asserts x finite and non-negative
+    x.floor() as usize
+}

@@ -1,0 +1,18 @@
+//! Directive-misuse fixture: malformed suppressions are findings in
+//! their own right (A0), and an allow that matches nothing is dead
+//! audit trail (A1). A reasonless allow suppresses nothing, so the
+//! underlying finding surfaces too.
+
+fn merge_totals(acc: &mut f64, x: f64) {
+    // qvr-lint: allow(D4)
+    *acc += x; // finding: D4 (the reasonless allow above is A0, not a suppression)
+}
+
+// qvr-lint: allow(D9): there is no rule D9
+fn quiet() {}
+
+fn tidy() -> usize {
+    // qvr-lint: allow(D3): nothing below uses a hash map, so this is A1
+    let v: Vec<u32> = Vec::new();
+    v.len()
+}

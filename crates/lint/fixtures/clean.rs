@@ -1,0 +1,16 @@
+//! Clean fixture: the sanctioned shape of everything the linter checks.
+//! Zero findings expected.
+
+use std::collections::BTreeMap;
+
+fn merge_counts(acc: &mut BTreeMap<u32, u64>, xs: &[(u32, u64)]) {
+    for (k, n) in xs {
+        // u64 bucket adds in sorted-key order: the merge-law ideal.
+        *acc.entry(*k).or_insert(0) += n;
+    }
+}
+
+fn summary_line(acc: &BTreeMap<u32, u64>) -> String {
+    let total: u64 = acc.values().sum();
+    format!("{} buckets, {total} frames", acc.len())
+}

@@ -1,0 +1,13 @@
+//! D1 fixture: wall-clock reads in simulation code. A simulator's only
+//! clock is the virtual one it advances itself.
+
+use std::time::{Instant, SystemTime};
+
+fn step_frame() -> f64 {
+    let t0 = Instant::now(); // finding: D1
+    t0.elapsed().as_secs_f64()
+}
+
+fn stamp_run() -> SystemTime {
+    SystemTime::now() // finding: D1
+}

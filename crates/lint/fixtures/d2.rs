@@ -1,0 +1,15 @@
+//! D2 fixture: unseeded randomness. Every RNG must be constructed from
+//! an explicit seed so runs replay bit-for-bit.
+
+fn roll_die() -> u32 {
+    let mut rng = thread_rng(); // finding: D2
+    rng.gen_range(1..=6)
+}
+
+fn reseed() -> StdRng {
+    StdRng::from_entropy() // finding: D2
+}
+
+fn raw_entropy() -> OsRng {
+    OsRng // finding: D2
+}

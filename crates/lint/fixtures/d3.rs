@@ -1,0 +1,27 @@
+//! D3 fixture: iteration-ordered containers on merge/summary paths.
+//! `HashMap` iteration order varies run to run; merge and report code
+//! must use `BTreeMap`/`BTreeSet` or sorted vectors.
+
+use std::collections::{HashMap, HashSet};
+
+fn merge_cells(ids: &[u32]) -> usize {
+    let mut seen = HashMap::new(); // finding: D3
+    for id in ids {
+        seen.insert(*id, ());
+    }
+    seen.len()
+}
+
+fn summary_rows(ids: &[u32]) -> usize {
+    let mut rows = HashSet::new(); // finding: D3
+    rows.extend(ids.iter().copied());
+    rows.len()
+}
+
+fn hot_path_is_fine(ids: &[u32]) -> usize {
+    // Outside merge/summary scope a HashMap is legitimate (per-frame
+    // lookups never reach an exposition), so this must NOT flag.
+    let mut cache = HashMap::new();
+    cache.insert(ids.len(), ());
+    cache.len()
+}

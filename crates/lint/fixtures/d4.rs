@@ -1,0 +1,16 @@
+//! D4 fixture: float accumulation in merge/absorb functions. f64
+//! addition is not associative, so an unordered float fold makes the
+//! merged result depend on merge order. u64 bucket adds are exact and
+//! always sanctioned.
+
+fn merge_energy(acc: &mut f64, cells: &[f64]) {
+    let delta: f64 = cells.iter().sum(); // finding: D4
+    *acc += delta; // finding: D4
+}
+
+fn absorb_frames(count: &mut u64, frames: &[u64]) {
+    for f in frames {
+        // u64 adds are exactly associative: this must NOT flag.
+        *count += f;
+    }
+}

@@ -1,0 +1,12 @@
+//! D5 fixture: raw thread spawns. All parallelism goes through
+//! `qvr_sim::parallel_map_with`, whose input-order result slots keep
+//! worker count unobservable.
+
+fn fan_out(jobs: Vec<u64>) -> Vec<u64> {
+    let handle = std::thread::spawn(move || jobs); // finding: D5
+    handle.join().unwrap()
+}
+
+fn scoped_fan_out(jobs: &[u64]) -> u64 {
+    std::thread::scope(|s| s.spawn(|| jobs.len() as u64).join().unwrap()) // finding: D5
+}

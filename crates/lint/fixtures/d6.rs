@@ -1,0 +1,17 @@
+//! D6 fixture: bare `as` casts on rounded floats in index math. `as`
+//! saturates silently (NaN becomes 0), so a poisoned frontier would
+//! quietly file every sample into bucket 0. Index math must use the
+//! checked helpers in `qvr_sim::checked`.
+
+fn bucket_of(t_ms: f64, window_ms: f64) -> usize {
+    (t_ms / window_ms).floor() as usize // finding: D6
+}
+
+fn span_cols(span_ms: f64) -> usize {
+    (span_ms / 10.0).ceil() as usize // finding: D6
+}
+
+fn exact_width(cols: usize) -> f64 {
+    // Integer→float widening never truncates: this must NOT flag.
+    cols as f64
+}

@@ -1,0 +1,10 @@
+// qvr-lint: module(report)
+//! Module-pragma fixture: the directive above opts the whole file into
+//! D3's report scope, so hash containers flag even outside merge-named
+//! functions.
+
+fn render_table() -> usize {
+    let mut cols = std::collections::HashSet::new(); // finding: D3 (module pragma)
+    cols.insert(1u32);
+    cols.len()
+}

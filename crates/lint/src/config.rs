@@ -1,0 +1,267 @@
+//! `lint.toml` — the pass's workspace configuration.
+//!
+//! A hand-rolled parser for the tiny TOML subset the config needs
+//! (sections, string keys, string-array keys); the build environment is
+//! offline, so no external TOML crate. Unknown sections or keys are a
+//! hard error — a typo in scope configuration must not silently turn a
+//! rule off.
+
+use std::collections::BTreeMap;
+
+/// Per-rule scoping knobs. Empty `paths` means "every scanned file".
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// Path prefixes (workspace-relative, `/`-separated) the rule
+    /// applies to. Empty = all scanned files.
+    pub paths: Vec<String>,
+    /// Path prefixes the rule is *exempt* in (checked after `paths`;
+    /// D5 uses this to sanction `qvr_sim`'s own worker pool).
+    pub exempt: Vec<String>,
+    /// Function-name scope words (D3/D4): a function is in scope when
+    /// any `_`-separated segment of its name starts with one of these.
+    pub scope_fns: Vec<String>,
+    /// Type names treated as float evidence for D4 (`f64`, `f32`, and
+    /// float-carrying aggregates like `FleetEnergy`).
+    pub float_types: Vec<String>,
+}
+
+/// The whole config: what to scan, and each rule's scope.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories (workspace-relative) to walk for `.rs` files.
+    pub roots: Vec<String>,
+    /// Path prefixes excluded from the scan entirely (vendored shims,
+    /// the fixture corpus, build output).
+    pub exclude: Vec<String>,
+    /// Per-rule scoping, keyed by rule id (`D1` … `D6`).
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses `lint.toml` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// the supported subset: unknown sections/keys, non-string values,
+    /// or syntax errors.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        // Pre-join multi-line arrays: a `key = [` opener absorbs lines
+        // until its closing `]`.
+        let mut joined: Vec<(usize, String)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let continuing = joined
+                .last()
+                .is_some_and(|(_, prev)| prev.contains('[') && !prev.contains(']'));
+            if continuing {
+                let (_, prev) = joined.last_mut().expect("checked non-empty");
+                prev.push(' ');
+                prev.push_str(&line);
+            } else {
+                joined.push((idx + 1, line));
+            }
+        }
+        for (lineno, line) in joined {
+            if line.starts_with('[') {
+                if !line.ends_with(']') {
+                    return Err(format!("lint.toml:{lineno}: unterminated section header"));
+                }
+                section = line[1..line.len() - 1].trim().to_string();
+                match section.as_str() {
+                    "scan" => {}
+                    s if s.strip_prefix("rules.").is_some_and(is_rule_id) => {
+                        cfg.rules
+                            .entry(s["rules.".len()..].to_string())
+                            .or_default();
+                    }
+                    other => {
+                        return Err(format!("lint.toml:{lineno}: unknown section [{other}]"));
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let values =
+                parse_string_array(value.trim()).map_err(|e| format!("lint.toml:{lineno}: {e}"))?;
+            match (section.as_str(), key) {
+                ("scan", "roots") => cfg.roots = values,
+                ("scan", "exclude") => cfg.exclude = values,
+                (s, k) if s.starts_with("rules.") => {
+                    let rule = cfg
+                        .rules
+                        .get_mut(&s["rules.".len()..])
+                        .expect("section entry created at header");
+                    match k {
+                        "paths" => rule.paths = values,
+                        "exempt" => rule.exempt = values,
+                        "scope_fns" => rule.scope_fns = values,
+                        "float_types" => rule.float_types = values,
+                        other => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown key `{other}` in [{s}]"
+                            ));
+                        }
+                    }
+                }
+                (s, k) => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{k}` in [{s}]"));
+                }
+            }
+        }
+        if cfg.roots.is_empty() {
+            return Err("lint.toml: [scan] roots must name at least one directory".into());
+        }
+        Ok(cfg)
+    }
+
+    /// The scope for `rule`, or a default (all-files) scope when the
+    /// config has no section for it.
+    #[must_use]
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is inside the
+    /// scan set.
+    #[must_use]
+    pub fn scans(&self, path: &str) -> bool {
+        !self.exclude.iter().any(|p| path_has_prefix(path, p))
+    }
+}
+
+impl RuleConfig {
+    /// Whether the rule applies to `path` at all.
+    #[must_use]
+    pub fn applies_to(&self, path: &str) -> bool {
+        let included = self.paths.is_empty() || self.paths.iter().any(|p| path_has_prefix(path, p));
+        included && !self.exempt.iter().any(|p| path_has_prefix(path, p))
+    }
+}
+
+/// Prefix match on whole path components (`crates/sim` matches
+/// `crates/sim/src/lib.rs` but not `crates/simulator/x.rs`).
+#[must_use]
+pub fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+fn is_rule_id(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_ascii_uppercase())
+        && s.len() >= 2
+        && chars.all(|c| c.is_ascii_alphanumeric())
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` or a bare `"a"` into a vec of strings.
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let inner = if v.starts_with('[') {
+        let Some(stripped) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+            return Err("unterminated array".into());
+        };
+        stripped
+    } else {
+        v
+    };
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some(s) = part.strip_prefix('"').and_then(|p| p.strip_suffix('"')) else {
+            return Err(format!("expected a double-quoted string, got `{part}`"));
+        };
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_subset() {
+        let cfg = Config::parse(
+            r#"
+            # comment
+            [scan]
+            roots = ["crates", "src"]
+            exclude = ["crates/lint/fixtures"] # trailing comment
+
+            [rules.D1]
+            paths = ["crates/sim", "crates/core"]
+
+            [rules.D4]
+            scope_fns = ["merge", "absorb"]
+            float_types = ["f64", "FleetEnergy"]
+            "#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.roots, vec!["crates", "src"]);
+        assert!(cfg.rule("D1").applies_to("crates/sim/src/lib.rs"));
+        assert!(!cfg.rule("D1").applies_to("crates/net2/src/lib.rs"));
+        assert!(cfg.rule("D2").applies_to("anything/at/all.rs"));
+        assert_eq!(cfg.rule("D4").float_types, vec!["f64", "FleetEnergy"]);
+        assert!(!cfg.scans("crates/lint/fixtures/d1.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("[scan]\nroots = [\"a\"]\nbogus = [\"b\"]").is_err());
+        assert!(Config::parse("[weird]\n").is_err());
+        assert!(Config::parse("[rules.D1]\ntypo = [\"x\"]").is_err());
+    }
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        assert!(path_has_prefix("crates/sim/src/lib.rs", "crates/sim"));
+        assert!(!path_has_prefix("crates/simulator/lib.rs", "crates/sim"));
+        assert!(path_has_prefix("crates/sim", "crates/sim"));
+    }
+}

@@ -1,0 +1,101 @@
+//! `qvr_lint` — the workspace determinism & merge-law static-analysis
+//! pass (DESIGN.md §14).
+//!
+//! Every result this repro reports rests on hand-maintained determinism
+//! discipline: golden-pinned fleet configs, shard merges bit-identical
+//! to a single `Fleet::run`, worker-count-independent sweeps, and
+//! byte-identical metrics expositions. This crate turns that discipline
+//! into a machine-checked invariant: a comment/string-aware Rust lexer
+//! (no external parser deps — same vendored-shim spirit as
+//! `crates/proptest`), a rule engine with spans, and a findings report
+//! keyed `file:line: rule-id`, enforced in CI via `qvr_lint --check`.
+//!
+//! The rule catalogue (scoped by `lint.toml` at the workspace root):
+//!
+//! | rule | invariant it guards |
+//! |------|---------------------|
+//! | D1   | no wall-clock reads in `sim`/`core`/`net` (virtual time only) |
+//! | D2   | no unseeded RNG anywhere (runs are pure functions of the seed) |
+//! | D3   | no `HashMap`/`HashSet` in merge/summary/exposition/report code |
+//! | D4   | no f64 `+=`/`sum()` accumulation in merge/absorb fns |
+//! | D5   | parallelism only via `qvr_sim::parallel_map_with` |
+//! | D6   | no `as` float→int casts in span/bucket index math |
+//! | A0   | every `qvr-lint:` directive is well-formed and carries a reason |
+//! | A1   | every inline allow suppresses something (no stale audits) |
+//!
+//! Suppression is inline and auditable:
+//! `// qvr-lint: allow(D4): <reason>` on (or directly above) the
+//! finding line; `// qvr-lint: module(report)` opts a whole file into
+//! D3's report-code scope.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use config::Config;
+use report::Report;
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Runs the pass over `root` under `cfg`, returning the full report.
+///
+/// File discovery is sorted at every directory level, so the report is
+/// byte-identical across filesystems and invocations.
+///
+/// # Errors
+///
+/// Returns an error message when a scan root cannot be read.
+pub fn run_pass(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for scan_root in &cfg.roots {
+        let dir = root.join(scan_root);
+        if !dir.exists() {
+            return Err(format!(
+                "scan root `{scan_root}` does not exist under {root:?}"
+            ));
+        }
+        collect_rs_files(&dir, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut scanned = 0;
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if !cfg.scans(&rel) {
+            continue;
+        }
+        let src = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        findings.extend(rules::analyze_file(&rel, &src, cfg));
+        scanned += 1;
+    }
+    Ok(Report::new(findings, scanned))
+}
+
+/// Recursively collects `.rs` files, directory entries sorted for a
+/// deterministic walk.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! CLI for the determinism & merge-law pass.
+//!
+//! ```text
+//! qvr_lint [--check] [--root <dir>] [--config <lint.toml>]
+//! ```
+//!
+//! Prints one line per unsuppressed finding (`file:line: rule-id …`)
+//! plus a summary. With `--check`, exits 1 when any unsuppressed
+//! finding remains — the CI gate. Exit 2 is reserved for usage or
+//! configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "qvr_lint [--check] [--root <dir>] [--config <lint.toml>]\n\
+                     Workspace determinism & merge-law static analysis (DESIGN.md §14)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("qvr_lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match qvr_lint::config::Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("qvr_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match qvr_lint::run_pass(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("qvr_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render());
+    println!("{}", report.summary());
+    if check && report.count() > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("qvr_lint: {msg}\nusage: qvr_lint [--check] [--root <dir>] [--config <lint.toml>]");
+    ExitCode::from(2)
+}

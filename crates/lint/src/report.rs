@@ -1,0 +1,70 @@
+//! Findings report: deterministic rendering keyed `file:line: rule-id`.
+
+use crate::rules::Finding;
+
+/// The pass's result over a scan set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, suppressed ones included, sorted by
+    /// `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Files lexed and analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Builds a report from per-file findings (re-sorts globally so
+    /// output is independent of scan order).
+    #[must_use]
+    pub fn new(mut findings: Vec<Finding>, files_scanned: usize) -> Report {
+        findings.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+        Report {
+            findings,
+            files_scanned,
+        }
+    }
+
+    /// Unsuppressed findings — the ones that fail `--check`.
+    pub fn unsuppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// Count of unsuppressed findings.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.unsuppressed().count()
+    }
+
+    /// Count of suppressed (audited-allow) findings.
+    #[must_use]
+    pub fn suppressed_count(&self) -> usize {
+        self.findings.len() - self.count()
+    }
+
+    /// One line per unsuppressed finding: `path:line: RULE message`.
+    /// This exact text is golden-pinned by the fixture corpus.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in self.unsuppressed() {
+            out.push_str(&format!(
+                "{}:{}: {} {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out
+    }
+
+    /// The human summary line (not part of the goldens).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "qvr_lint: {} finding(s), {} suppressed by audited allows, {} file(s) scanned",
+            self.count(),
+            self.suppressed_count(),
+            self.files_scanned
+        )
+    }
+}

@@ -1,0 +1,535 @@
+//! The rule engine: six determinism/merge-law rules (D1–D6) plus the
+//! suppression-audit rules (A0 malformed, A1 unused), evaluated over
+//! the lexed token stream of one file.
+//!
+//! Every rule is lexical on purpose: the pass must run offline with no
+//! parser dependencies, so rules match token shapes, scoped by file
+//! path (from `lint.toml`) and by enclosing-function name (tracked with
+//! a brace stack). The corresponding invariants are catalogued in
+//! DESIGN.md §14.
+
+use crate::config::Config;
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// One finding. `suppressed` findings were matched by an inline
+/// `qvr-lint: allow(...)` and do not fail `--check`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+    pub suppressed: bool,
+}
+
+/// Rule ids, used in reports and in the suppression grammar.
+pub const RULES: &[&str] = &["D1", "D2", "D3", "D4", "D5", "D6"];
+
+/// An inline suppression parsed from a comment.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rule: String,
+    used: bool,
+}
+
+/// Directives parsed from one file's comments.
+#[derive(Debug, Default)]
+struct Directives {
+    allows: Vec<Allow>,
+    /// `module(report)` pragma present: the whole file is D3 scope.
+    report_module: bool,
+    /// A0 findings produced while parsing (malformed directives).
+    malformed: Vec<(u32, String)>,
+}
+
+/// Analyzes one file and returns its findings (suppressions already
+/// applied; sorted by line, then rule).
+#[must_use]
+pub fn analyze_file(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let lexed = lex(src);
+    let directives = parse_directives(&lexed.comments);
+    let scopes = fn_scopes(&lexed.toks);
+    let mut raw: Vec<Finding> = Vec::new();
+
+    let mk = |line: u32, rule: &'static str, message: String| Finding {
+        path: path.to_string(),
+        line,
+        rule,
+        message,
+        suppressed: false,
+    };
+
+    let toks = &lexed.toks;
+    let d1 = cfg.rule("D1");
+    let d2 = cfg.rule("D2");
+    let d3 = cfg.rule("D3");
+    let d4 = cfg.rule("D4");
+    let d5 = cfg.rule("D5");
+    let d6 = cfg.rule("D6");
+    let float_idents = float_typed_idents(toks, &d4.float_types);
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident && t.text != "+=" {
+            continue;
+        }
+
+        // D1 — wall-clock reads in simulation/aggregation crates.
+        if d1.applies_to(path)
+            && (t.text == "Instant" || t.text == "SystemTime")
+            && tok_text(toks, i + 1) == "::"
+            && tok_text(toks, i + 2) == "now"
+        {
+            raw.push(mk(
+                t.line,
+                "D1",
+                format!(
+                    "wall-clock read `{}::now` in deterministic code — simulated \
+                     time must come from the virtual clock",
+                    t.text
+                ),
+            ));
+        }
+
+        // D2 — unseeded randomness anywhere in the scan set.
+        if d2.applies_to(path)
+            && matches!(
+                t.text.as_str(),
+                "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng"
+            )
+        {
+            raw.push(mk(
+                t.line,
+                "D2",
+                format!(
+                    "unseeded RNG `{}` — every generator must derive from the \
+                     run's configured seed",
+                    t.text
+                ),
+            ));
+        }
+
+        // D3 — unordered-map use in merge/summary/exposition/report code.
+        if d3.applies_to(path) && (t.text == "HashMap" || t.text == "HashSet") {
+            let scoped_fn = scopes[i]
+                .as_deref()
+                .filter(|name| fn_in_scope(name, &d3.scope_fns));
+            if directives.report_module || scoped_fn.is_some() {
+                let ctx = scoped_fn.map_or_else(
+                    || "report-pragma module".to_string(),
+                    |name| format!("merge-scoped fn `{name}`"),
+                );
+                raw.push(mk(
+                    t.line,
+                    "D3",
+                    format!(
+                        "`{}` in {ctx} — unordered iteration breaks bitwise \
+                         reproducibility; use BTreeMap/SortedSamples or an \
+                         explicit sort",
+                        t.text
+                    ),
+                ));
+            }
+        }
+
+        // D4 — f64 accumulation inside merge/absorb functions.
+        if d4.applies_to(path) {
+            if let Some(name) = scopes[i]
+                .as_deref()
+                .filter(|n| fn_in_scope(n, &d4.scope_fns))
+            {
+                let is_add_assign = t.text == "+=";
+                let is_sum_call = t.text == "sum"
+                    && tok_text(toks, i.wrapping_sub(1)) == "."
+                    && matches!(tok_text(toks, i + 1), "(" | "::");
+                if (is_add_assign || is_sum_call) && stmt_has_float_evidence(toks, i, &float_idents)
+                {
+                    let what = if is_add_assign { "`+=`" } else { "`.sum()`" };
+                    raw.push(mk(
+                        t.line,
+                        "D4",
+                        format!(
+                            "float accumulation {what} in merge fn `{name}` — \
+                             merge laws require associative folds; use u64 \
+                             bucket adds or an audited allow"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // D5 — raw thread primitives outside the sanctioned worker pool.
+        if d5.applies_to(path)
+            && t.text == "thread"
+            && tok_text(toks, i + 1) == "::"
+            && matches!(tok_text(toks, i + 2), "spawn" | "scope")
+        {
+            raw.push(mk(
+                t.line,
+                "D5",
+                format!(
+                    "raw `thread::{}` outside qvr_sim — parallelism must go \
+                     through qvr_sim::parallel_map_with (worker-count-independent \
+                     by construction)",
+                    tok_text(toks, i + 2)
+                ),
+            ));
+        }
+
+        // D6 — `as` float→int casts in span/bucket index math.
+        if d6.applies_to(path) && t.text == "as" {
+            if let Some(int_ty) = toks.get(i + 1).filter(|n| {
+                n.kind == TokKind::Ident
+                    && matches!(
+                        n.text.as_str(),
+                        "usize"
+                            | "u64"
+                            | "u32"
+                            | "u16"
+                            | "u8"
+                            | "isize"
+                            | "i64"
+                            | "i32"
+                            | "i16"
+                            | "i8"
+                    )
+            }) {
+                if let Some(rounder) = stmt_rounding_call(toks, i) {
+                    raw.push(mk(
+                        t.line,
+                        "D6",
+                        format!(
+                            "`as {}` on a `.{rounder}()` result — index math must \
+                             use the checked helpers (qvr_sim::checked), which \
+                             reject NaN instead of saturating silently",
+                            int_ty.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    apply_suppressions(path, raw, directives)
+}
+
+/// Marks findings suppressed by a same-line or previous-line allow,
+/// then appends A0 (malformed directive) and A1 (unused allow) audit
+/// findings.
+fn apply_suppressions(
+    path: &str,
+    mut raw: Vec<Finding>,
+    mut directives: Directives,
+) -> Vec<Finding> {
+    for f in &mut raw {
+        for a in &mut directives.allows {
+            if a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+                f.suppressed = true;
+                a.used = true;
+            }
+        }
+    }
+    for (line, message) in directives.malformed {
+        raw.push(Finding {
+            path: path.to_string(),
+            line,
+            rule: "A0",
+            message,
+            suppressed: false,
+        });
+    }
+    for a in &directives.allows {
+        if !a.used {
+            raw.push(Finding {
+                path: path.to_string(),
+                line: a.line,
+                rule: "A1",
+                message: format!(
+                    "allow({}) suppresses nothing — delete it or move it onto \
+                     (or directly above) the finding it audits",
+                    a.rule
+                ),
+                suppressed: false,
+            });
+        }
+    }
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    raw
+}
+
+/// Parses `qvr-lint:` directives out of the comment stream.
+///
+/// Grammar (DESIGN.md §14):
+///   `// qvr-lint: allow(<rule>): <reason>`   suppress <rule> on this
+///                                            line or the next
+///   `// qvr-lint: module(report)`            whole file is D3 scope
+fn parse_directives(comments: &[Comment]) -> Directives {
+    let mut d = Directives::default();
+    for c in comments {
+        // A directive must open the comment (`// qvr-lint: …`): prose
+        // that merely *mentions* the grammar (docs, this file) stays
+        // inert. Comment markers `//`, `///`, `//!`, `/*` strip first.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("qvr-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(body) = rest.strip_prefix("allow(") {
+            let Some((rule, after)) = body.split_once(')') else {
+                d.malformed.push((
+                    c.line,
+                    "malformed suppression — expected `qvr-lint: allow(<rule>): <reason>`"
+                        .to_string(),
+                ));
+                continue;
+            };
+            let rule = rule.trim();
+            if !RULES.contains(&rule) {
+                d.malformed.push((
+                    c.line,
+                    format!("unknown rule `{rule}` in allow — known rules: D1…D6"),
+                ));
+                continue;
+            }
+            let reason = after.trim().strip_prefix(':').map(str::trim);
+            match reason {
+                Some(r) if !r.is_empty() => d.allows.push(Allow {
+                    line: c.line,
+                    rule: rule.to_string(),
+                    used: false,
+                }),
+                _ => d.malformed.push((
+                    c.line,
+                    format!(
+                        "allow({rule}) missing its reason — audited suppressions \
+                         must say why (`allow({rule}): <reason>`)"
+                    ),
+                )),
+            }
+        } else if let Some(body) = rest.strip_prefix("module(") {
+            match body.split_once(')').map(|(v, _)| v.trim()) {
+                Some("report") => d.report_module = true,
+                Some(other) => d.malformed.push((
+                    c.line,
+                    format!("unknown module pragma `{other}` — expected module(report)"),
+                )),
+                None => d.malformed.push((
+                    c.line,
+                    "malformed pragma — expected `qvr-lint: module(report)`".to_string(),
+                )),
+            }
+        } else {
+            d.malformed.push((
+                c.line,
+                "unrecognized qvr-lint directive — expected allow(<rule>): <reason> \
+                 or module(report)"
+                    .to_string(),
+            ));
+        }
+    }
+    d
+}
+
+/// For every token, the name of the innermost enclosing `fn`, tracked
+/// with a brace stack. Trait-method declarations (no body) clear the
+/// pending name at `;`.
+fn fn_scopes(toks: &[Tok]) -> Vec<Option<String>> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut stack: Vec<Option<String>> = Vec::new();
+    let mut pending: Option<String> = None;
+    for (i, t) in toks.iter().enumerate() {
+        // The scope a token sees excludes the brace that opens it.
+        out.push(stack.iter().rev().flatten().next().cloned());
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "fn") => {
+                if let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) {
+                    pending = Some(name.text.clone());
+                }
+            }
+            (TokKind::Punct, "{") => stack.push(pending.take()),
+            (TokKind::Punct, "}") => {
+                stack.pop();
+            }
+            // A `;` before the body's `{` closes a bodyless declaration
+            // (trait methods); inside bodies `pending` is already None.
+            (TokKind::Punct, ";") => pending = None,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// A function name is in scope when any `_`-separated segment starts
+/// with a scope word (`merged_load` → `merged` → scope word `merge`).
+fn fn_in_scope(name: &str, scope_fns: &[String]) -> bool {
+    name.split('_')
+        .any(|seg| scope_fns.iter().any(|w| seg.starts_with(w.as_str())))
+}
+
+/// Identifiers declared with a float-carrying type anywhere in the
+/// file: matches `name: <float_type>` through an optional `&`/`mut`
+/// prefix (struct fields, fn params, annotated lets).
+fn float_typed_idents(toks: &[Tok], float_types: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || tok_text(toks, i + 1) != ":" {
+            continue;
+        }
+        let mut j = i + 2;
+        while matches!(tok_text(toks, j), "&" | "mut") {
+            j += 1;
+        }
+        if let Some(ty) = toks.get(j) {
+            if ty.kind == TokKind::Ident && float_types.iter().any(|f| f == &ty.text) {
+                out.push(toks[i].text.clone());
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Statement bounds around token `i`: the exclusive window between the
+/// nearest `;`/`{`/`}` on either side.
+fn stmt_bounds(toks: &[Tok], i: usize) -> (usize, usize) {
+    let stop = |t: &Tok| t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}");
+    let mut lo = i;
+    while lo > 0 && !stop(&toks[lo - 1]) {
+        lo -= 1;
+    }
+    let mut hi = i;
+    while hi + 1 < toks.len() && !stop(&toks[hi + 1]) {
+        hi += 1;
+    }
+    (lo, hi)
+}
+
+/// Float evidence inside the statement containing token `i`: a float
+/// literal, an `f64`/`f32` token, or an identifier declared with a
+/// float-carrying type in this file.
+fn stmt_has_float_evidence(toks: &[Tok], i: usize, float_idents: &[String]) -> bool {
+    let (lo, hi) = stmt_bounds(toks, i);
+    toks[lo..=hi].iter().any(|t| match t.kind {
+        TokKind::Num => is_float_literal(&t.text),
+        TokKind::Ident => {
+            t.text == "f64" || t.text == "f32" || float_idents.binary_search(&t.text).is_ok()
+        }
+        _ => false,
+    })
+}
+
+/// Whether the statement containing the `as` at `i` rounds a float
+/// first (`.floor()` / `.ceil()` / `.round()` before the cast).
+fn stmt_rounding_call(toks: &[Tok], i: usize) -> Option<&'static str> {
+    let (lo, _) = stmt_bounds(toks, i);
+    for j in (lo..i).rev() {
+        if toks[j].kind == TokKind::Ident
+            && tok_text(toks, j.wrapping_sub(1)) == "."
+            && tok_text(toks, j + 1) == "("
+        {
+            match toks[j].text.as_str() {
+                "floor" => return Some("floor"),
+                "ceil" => return Some("ceil"),
+                "round" => return Some("round"),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Float-literal test on a `Num` token's raw text (hex/octal/binary
+/// are integers; `.`/exponent/f-suffix mark floats).
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains('e')
+        || text.contains('E')
+}
+
+fn tok_text(toks: &[Tok], i: usize) -> &str {
+    toks.get(i).map_or("", |t| t.text.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = Config::parse(
+            r#"
+            [scan]
+            roots = ["."]
+            [rules.D3]
+            scope_fns = ["merge", "absorb", "finish", "exposition", "summary", "report"]
+            [rules.D4]
+            scope_fns = ["merge", "absorb"]
+            float_types = ["f64", "f32", "FleetEnergy"]
+            "#,
+        )
+        .expect("test config");
+        analyze_file("t.rs", src, &cfg)
+    }
+
+    fn unsuppressed(src: &str) -> Vec<Finding> {
+        run(src).into_iter().filter(|f| !f.suppressed).collect()
+    }
+
+    #[test]
+    fn d1_matches_only_real_calls() {
+        let f = unsuppressed("fn step() { let t = Instant::now(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D1");
+        assert!(unsuppressed("// Instant::now in prose\nlet s = \"Instant::now\";").is_empty());
+    }
+
+    #[test]
+    fn d3_needs_scope() {
+        assert!(unsuppressed("fn step() { let m: HashMap<u32, u32>; }").is_empty());
+        let f = unsuppressed("fn merge_cells() { let m: HashMap<u32, u32>; }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D3");
+        let via_pragma =
+            unsuppressed("// qvr-lint: module(report)\nfn anything() { let m: HashSet<u32>; }");
+        assert_eq!(via_pragma.len(), 1);
+    }
+
+    #[test]
+    fn d4_distinguishes_u64_from_f64() {
+        // u64 bucket adds are the sanctioned form: no float evidence.
+        assert!(
+            unsuppressed("fn absorb(&mut self, other: &H) { self.count += other.count; }")
+                .is_empty()
+        );
+        let f = unsuppressed("fn merge(xs: &[f64]) { let mut acc: f64 = 0.0; acc += xs[0]; }");
+        assert!(f.iter().any(|f| f.rule == "D4"));
+        let sum = unsuppressed("fn merge(xs: &[f64]) { let t: f64 = xs.iter().sum::<f64>(); }");
+        assert!(sum.iter().any(|f| f.rule == "D4"));
+    }
+
+    #[test]
+    fn d6_requires_a_rounding_call() {
+        let f = unsuppressed("fn f(t: f64, w: f64) { let b = (t / w).floor() as usize; }");
+        assert_eq!(f.iter().filter(|f| f.rule == "D6").count(), 1);
+        assert!(unsuppressed("fn f(n: u64) { let b = n as usize; }").is_empty());
+    }
+
+    #[test]
+    fn suppression_needs_reason_and_use() {
+        let ok = run("fn merge(a: f64) { let mut s: f64 = 0.0;\n    // qvr-lint: allow(D4): audited fold in cell-id order\n    s += a; }");
+        assert!(ok.iter().any(|f| f.rule == "D4" && f.suppressed));
+        assert!(!ok.iter().any(|f| f.rule == "A0" || f.rule == "A1"));
+
+        let bare = run("fn f() {} // qvr-lint: allow(D4)");
+        assert!(bare.iter().any(|f| f.rule == "A0"));
+
+        let unused = run("fn f() { // qvr-lint: allow(D1): nothing here to allow\n }");
+        assert!(unused.iter().any(|f| f.rule == "A1"));
+    }
+}

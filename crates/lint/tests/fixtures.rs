@@ -1,0 +1,114 @@
+//! Lint self-tests: the fixture corpus pins rule behaviour byte for
+//! byte, and the workspace itself must run clean.
+//!
+//! Each `fixtures/<name>.rs` carries a `fixtures/<name>.expected`
+//! golden holding exactly the unsuppressed findings the linter must
+//! emit for it (empty for the clean and fully-suppressed fixtures).
+//! The aggregate render over the whole corpus must equal the goldens
+//! concatenated in sorted filename order — the same (path, line, rule)
+//! order `Report::new` pins.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qvr_lint::config::Config;
+use qvr_lint::run_pass;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+fn fixture_config() -> Config {
+    let text = fs::read_to_string(fixtures_dir().join("lint.toml")).expect("fixture lint.toml");
+    Config::parse(&text).expect("fixture lint.toml parses")
+}
+
+/// Every fixture's findings, byte-identical to its committed golden.
+#[test]
+fn fixture_corpus_matches_goldens() {
+    let dir = fixtures_dir();
+    let report = run_pass(&dir, &fixture_config()).expect("fixture pass runs");
+
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(names.len() >= 10, "fixture corpus went missing: {names:?}");
+
+    let mut expected = String::new();
+    for name in &names {
+        let golden = dir.join(format!("{}.expected", name.trim_end_matches(".rs")));
+        expected.push_str(
+            &fs::read_to_string(&golden)
+                .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden.display())),
+        );
+    }
+    assert_eq!(
+        report.render(),
+        expected,
+        "fixture findings diverged from the committed goldens — if the \
+         rules changed on purpose, regenerate the .expected files"
+    );
+}
+
+/// The corpus holds at least two positives per rule, one audited
+/// suppression per rule, and misuse findings — so `--check` must fail
+/// on it. This is the negated CI check.
+#[test]
+fn fixture_corpus_fails_check_mode() {
+    let report = run_pass(&fixtures_dir(), &fixture_config()).expect("fixture pass runs");
+    for rule in ["D1", "D2", "D3", "D4", "D5", "D6", "A0", "A1"] {
+        let n = report.unsuppressed().filter(|f| f.rule == rule).count();
+        let floor = if rule.starts_with('A') { 1 } else { 2 };
+        assert!(
+            n >= floor,
+            "corpus must keep >= {floor} {rule} positives, found {n}"
+        );
+    }
+    assert_eq!(
+        report.suppressed_count(),
+        6,
+        "allows.rs audits exactly one suppression per rule D1..D6"
+    );
+    assert!(
+        report.count() > 0,
+        "--check must exit non-zero on the corpus"
+    );
+}
+
+/// The workspace itself runs clean under the root `lint.toml`: zero
+/// unsuppressed findings, with the audited allows accounted for.
+#[test]
+fn workspace_runs_clean() {
+    let root = repo_root();
+    let text = fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml");
+    let cfg = Config::parse(&text).expect("workspace lint.toml parses");
+    let report = run_pass(&root, &cfg).expect("workspace pass runs");
+    assert_eq!(
+        report.render(),
+        "",
+        "workspace must lint clean — fix the finding or add an audited allow"
+    );
+    assert!(
+        report.suppressed_count() >= 7,
+        "the audited allows in shard.rs and checked.rs should register"
+    );
+    assert!(
+        report.files_scanned > 100,
+        "the walk should cover the workspace"
+    );
+}

@@ -1203,7 +1203,7 @@ mod tests {
     }
 
     #[test]
-    fn streams_absorb_contention_until_oversubscribed() {
+    fn streams_share_contention_until_oversubscribed() {
         let avg = |occ: usize, streams: usize| -> f64 {
             let mut ch = NetworkChannel::new(NetworkPreset::WiFi, 17);
             ch.set_concurrent_streams(streams);

@@ -1,0 +1,125 @@
+//! Checked float→integer conversions for span/bucket index math
+//! (lint rule **D6**, DESIGN.md §14).
+//!
+//! A bare `as` cast from `f64` saturates silently: NaN becomes 0,
+//! infinities become the type's extremes. In index math that failure
+//! mode is poisonous — a NaN virtual-time frontier would quietly file
+//! every sample into bucket 0 and the run would *look* deterministic
+//! while aggregating garbage. These helpers are the audited conversion
+//! points the D6 rule requires: they assert the value is finite and in
+//! range, then perform exactly the rounding-and-cast the call sites
+//! used to inline, so every valid input converts bit-identically to
+//! the code they replaced (the fleet goldens pin this).
+
+/// `v.floor()` as a bucket/column index.
+///
+/// # Panics
+///
+/// Panics if `v` is NaN, infinite, negative, or beyond `usize` range.
+#[must_use]
+pub fn floor_index(v: f64) -> usize {
+    let r = v.floor();
+    assert!(
+        r.is_finite() && r >= 0.0 && r <= usize::MAX as f64,
+        "floor_index: {v} is not a valid index"
+    );
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        r as usize
+    }
+}
+
+/// `v.ceil()` as a bucket/column index.
+///
+/// # Panics
+///
+/// Panics if `v` is NaN, infinite, negative, or beyond `usize` range.
+#[must_use]
+pub fn ceil_index(v: f64) -> usize {
+    let r = v.ceil();
+    assert!(
+        r.is_finite() && r >= 0.0 && r <= usize::MAX as f64,
+        "ceil_index: {v} is not a valid index"
+    );
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        r as usize
+    }
+}
+
+/// `v.ceil()` as a nearest-rank position (1-based ranks clamp at the
+/// caller).
+///
+/// # Panics
+///
+/// Panics if `v` is NaN, infinite, or negative.
+#[must_use]
+pub fn ceil_rank(v: f64) -> u64 {
+    let r = v.ceil();
+    assert!(
+        r.is_finite() && r >= 0.0 && r <= u64::MAX as f64,
+        "ceil_rank: {v} is not a valid rank"
+    );
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        r as u64
+    }
+}
+
+/// `v.ceil()` as a signed log-linear bucket key (histogram keys go
+/// negative for sub-unit samples).
+///
+/// # Panics
+///
+/// Panics if `v` is NaN, infinite, or outside `i32` range.
+#[must_use]
+pub fn ceil_key(v: f64) -> i32 {
+    let r = v.ceil();
+    assert!(
+        r.is_finite() && r >= f64::from(i32::MIN) && r <= f64::from(i32::MAX),
+        "ceil_key: {v} is not a valid bucket key"
+    );
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        r as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_inline_casts_bit_for_bit() {
+        for v in [0.0, 0.49, 0.5, 1.0, 7.99, 1234.0, 1e9] {
+            // qvr-lint: allow(D6): the bit-identity oracle is the inline cast itself
+            assert_eq!(floor_index(v), v.floor() as usize);
+            // qvr-lint: allow(D6): the bit-identity oracle is the inline cast itself
+            assert_eq!(ceil_index(v), v.ceil() as usize);
+            // qvr-lint: allow(D6): the bit-identity oracle is the inline cast itself
+            assert_eq!(ceil_rank(v), v.ceil() as u64);
+        }
+        for v in [-40.9, -1.0, 0.0, 3.2, 88.0] {
+            // qvr-lint: allow(D6): the bit-identity oracle is the inline cast itself
+            assert_eq!(ceil_key(v), v.ceil() as i32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid index")]
+    fn nan_panics_instead_of_saturating() {
+        let _ = floor_index(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid index")]
+    fn negative_index_panics() {
+        let _ = ceil_index(-2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid bucket key")]
+    fn infinite_key_panics() {
+        let _ = ceil_key(f64::INFINITY);
+    }
+}

@@ -43,6 +43,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checked;
+
 use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
@@ -705,8 +707,8 @@ impl Engine {
             if t.resource.is_none() && t.label.ends_with(":release") {
                 continue;
             }
-            let s = ((t.start / span) * COLS as f64).floor() as usize;
-            let e = (((t.end / span) * COLS as f64).ceil() as usize).clamp(s + 1, COLS);
+            let s = checked::floor_index((t.start / span) * COLS as f64);
+            let e = checked::ceil_index((t.end / span) * COLS as f64).clamp(s + 1, COLS);
             let rname = t.resource.map_or("-", |r| self.resource_name(r));
             out.push_str(&format!(
                 "{:18} {:8}|",

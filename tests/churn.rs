@@ -265,7 +265,7 @@ fn churn_bounded_memory_64_sessions_retains_o_window_tasks() {
     );
     let total_frames: usize = summary.windows.iter().map(|(_, f, _)| *f).sum();
     assert!(total_frames > 0, "the streamed timeline saw every frame");
-    let stats_cap = 4 * n * (window_ms / 10.0).ceil() as usize;
+    let stats_cap = 4 * n * qvr::sim::checked::ceil_index(window_ms / 10.0);
     assert!(
         summary.peak_open_samples < stats_cap,
         "live stats memory must stay O(sessions x window): peak {} vs cap {} \

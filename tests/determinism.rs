@@ -1,0 +1,42 @@
+//! Double-run determinism smoke: the whole pipeline is a pure function
+//! of (config, profile, frames, seed).
+//!
+//! `qvr_lint` enforces this *statically* (no wall-clock in sim paths, no
+//! unseeded RNG, no iteration-ordered containers on merge paths); this
+//! test is the dynamic receipt. It runs the sharded 8×8 sweep shape
+//! twice in the same process and at two worker counts, hashing every
+//! deterministic field of the merged `ShardSummary` — if any ambient
+//! state (time, address-space layout, thread interleaving) leaked into a
+//! result, the digests would diverge.
+
+use qvr_bench::fig_shard::determinism_digest;
+
+const CELLS: usize = 8;
+const PER_CELL: usize = 8;
+const FRAMES: usize = 6;
+
+/// Two invocations of the identical shape must agree bit for bit.
+#[test]
+fn shard_digest_is_stable_across_invocations() {
+    let first = determinism_digest(CELLS, PER_CELL, FRAMES, 1);
+    let second = determinism_digest(CELLS, PER_CELL, FRAMES, 1);
+    assert_eq!(
+        first, second,
+        "re-running the same shard shape changed its digest — ambient \
+         state leaked into the summary"
+    );
+}
+
+/// Worker count is a throughput knob, never an observable: cells only
+/// talk through the telemetry seam, so 1-worker and 4-worker runs merge
+/// to the same summary.
+#[test]
+fn shard_digest_is_worker_count_independent() {
+    let serial = determinism_digest(CELLS, PER_CELL, FRAMES, 1);
+    let parallel = determinism_digest(CELLS, PER_CELL, FRAMES, 4);
+    assert_eq!(
+        serial, parallel,
+        "worker count changed the merged summary — a cell leaked state \
+         outside the telemetry seam"
+    );
+}
