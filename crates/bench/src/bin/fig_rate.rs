@@ -1,0 +1,9 @@
+//! Regenerates the closed-loop rate-control sweep (content-true rate path).
+//!
+//! ```text
+//! cargo run --release -p qvr-bench --bin fig_rate
+//! ```
+
+fn main() {
+    println!("{}", qvr_bench::fig_rate::report());
+}

@@ -7,7 +7,7 @@
 type Section = (&'static str, fn() -> String);
 
 fn main() {
-    let sections: [Section; 15] = [
+    let sections: [Section; 16] = [
         ("Fig. 3 (motivation)", qvr_bench::fig03::report),
         (
             "Table 1 + Fig. 5 (static characterisation)",
@@ -43,6 +43,10 @@ fn main() {
         (
             "Sharded cells (the 100k-session sweep)",
             qvr_bench::fig_shard::report,
+        ),
+        (
+            "Closed-loop rate control (convergence + LIWC equilibrium)",
+            qvr_bench::fig_rate::report,
         ),
     ];
     for (name, f) in sections {

@@ -24,6 +24,7 @@ pub mod fig_admission;
 pub mod fig_churn;
 pub mod fig_energy;
 pub mod fig_fleet;
+pub mod fig_rate;
 pub mod fig_sched;
 pub mod fig_shard;
 pub mod overhead;

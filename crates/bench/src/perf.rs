@@ -17,6 +17,8 @@
 //!   measured-load placement policies; exercises the policy directives.
 //! * `fig_shard` — an 8-cell × 8-session shard with windowed retirement;
 //!   exercises the route → parallel cells → merge path end to end.
+//! * `fig_rate` — an 8-session Q-VR fleet with the closed-loop rate
+//!   controller on; exercises the entropy-model + controller hot path.
 //!
 //! A *session-stepped* is one session completing its full frame budget;
 //! a *frame-stepped* is one `Session::step` call. Both rates come from the
@@ -196,7 +198,34 @@ pub fn shapes_with(fleet_sizes: &[usize], frames: usize) -> Vec<Shape> {
         });
     }
     out.push(shard_shape(frames));
+    out.push(rate_shape(frames));
     out
+}
+
+/// The closed-loop rate-control shape: an 8-session Q-VR fleet with the
+/// per-tenant controller on — the fleet hot loop plus the entropy-model
+/// evaluation and controller step every frame (the content-true rate
+/// path's stepping cost relative to `fig_fleet/n8/wifi/rr`).
+fn rate_shape(frames: usize) -> Shape {
+    Shape {
+        name: "fig_rate/n8/wifi/rc_on".to_owned(),
+        family: "fig_rate",
+        sessions: 8,
+        frames,
+        run: Box::new(move || {
+            let config = FleetConfig::uniform(
+                SystemConfig::default().with_rate_control(RateControlConfig::on()),
+                SchemeKind::Qvr,
+                Benchmark::Hl2H.profile(),
+                8,
+                frames,
+                SEED,
+            );
+            let s = Fleet::run(config);
+            let stepped: usize = s.sessions.iter().map(|r| r.frames.len()).sum();
+            (s.len(), stepped, s.peak_live_tasks)
+        }),
+    }
 }
 
 /// The sharded-cell shape: 8 cells × 8 Q-VR sessions routed, run on the
@@ -553,8 +582,8 @@ mod tests {
         // every family's build path without the full sweep's cost.
         let shapes = shapes_with(&[2], 3);
         // 1 size x 2 networks x 2 stepping policies, + churn, + 2 sched,
-        // + shard.
-        assert_eq!(shapes.len(), 2 * 2 + 1 + 2 + 1);
+        // + shard, + rate control.
+        assert_eq!(shapes.len(), 2 * 2 + 1 + 2 + 1 + 1);
         let fleet = &shapes[0];
         assert!(fleet.name.starts_with("fig_fleet/n2/"));
         let m = measure(fleet, 1);

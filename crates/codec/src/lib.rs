@@ -40,11 +40,15 @@
 #![warn(missing_docs)]
 
 pub mod latency;
+pub mod rc;
 pub mod size_model;
+pub mod stats;
 pub mod transform;
 
 pub use latency::CodecLatencyModel;
+pub use rc::{RateControlConfig, RateController};
 pub use size_model::SizeModel;
+pub use stats::{BlockStats, EntropyModel};
 pub use transform::{CodecError, EncodedFrame, TransformCodec};
 
 /// Shared synthetic content for tests: game-like frames (smooth regions,

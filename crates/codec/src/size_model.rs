@@ -158,6 +158,58 @@ mod tests {
         assert!(std::panic::catch_unwind(|| SizeModel::new(0.0, 1.2, 1.0)).is_err());
     }
 
+    /// Calibration regression over a detail × quality grid: the real codec's
+    /// encoded sizes must stay monotone in both axes, and the closed-form
+    /// model must track the same detail ordering — so the analytical path
+    /// can't silently drift from `TransformCodec` behaviour.
+    #[test]
+    fn grid_monotone_against_real_codec() {
+        let details = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let qualities = [0.2, 0.4, 0.6, 0.8];
+        let mut grid = [[0usize; 4]; 5];
+        for (di, &detail) in details.iter().enumerate() {
+            let frame = crate::test_content::game_frame(64, detail, 31);
+            for (qi, &quality) in qualities.iter().enumerate() {
+                grid[di][qi] = TransformCodec::new(quality)
+                    .encode_intra(&frame)
+                    .size_bytes();
+            }
+        }
+        // Monotone in quality at every detail, and in detail at every
+        // quality (strictly: each grid step changes quantiser step or
+        // content energy enough to move the coded size).
+        for (di, row) in grid.iter().enumerate() {
+            for qi in 1..qualities.len() {
+                assert!(
+                    row[qi] > row[qi - 1],
+                    "detail {}: bytes not monotone in quality ({} vs {})",
+                    details[di],
+                    row[qi],
+                    row[qi - 1]
+                );
+            }
+        }
+        for qi in 0..qualities.len() {
+            for di in 1..details.len() {
+                assert!(
+                    grid[di][qi] > grid[di - 1][qi],
+                    "quality {}: bytes not monotone in detail ({} vs {})",
+                    qualities[qi],
+                    grid[di][qi],
+                    grid[di - 1][qi]
+                );
+            }
+        }
+        // The closed-form model orders details identically.
+        let m = SizeModel::default();
+        for di in 1..details.len() {
+            assert!(
+                m.frame_bytes(64 * 64, details[di], 1.0)
+                    > m.frame_bytes(64 * 64, details[di - 1], 1.0)
+            );
+        }
+    }
+
     /// Cross-validation: the γ exponent matches the real transform codec's
     /// behaviour when encoding box-downscaled versions of the same content
     /// (flat regions + edges + mild noise, the mix that makes compressed

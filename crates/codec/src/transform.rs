@@ -77,7 +77,7 @@ pub struct TransformCodec {
 }
 
 /// JPEG luminance quantisation matrix (quality 0.5 reference).
-const QUANT_BASE: [f32; 64] = [
+pub(crate) const QUANT_BASE: [f32; 64] = [
     16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
     12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
     14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
@@ -89,7 +89,7 @@ const QUANT_BASE: [f32; 64] = [
 ];
 
 /// Zigzag scan order for an 8×8 block.
-const ZIGZAG: [usize; 64] = [
+pub(crate) const ZIGZAG: [usize; 64] = [
     0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
     13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
     52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
@@ -112,7 +112,7 @@ impl TransformCodec {
     }
 
     /// Quantisation scale: quality 1.0 ⇒ fine (~0.14×), 0.0 ⇒ coarse (3.5×).
-    fn quant_scale(&self) -> f32 {
+    pub(crate) fn quant_scale(&self) -> f32 {
         // Exponential mapping gives a useful dynamic range.
         (3.5 * (-3.2 * self.quality).exp()).max(0.04) as f32
     }
@@ -495,7 +495,13 @@ fn get_vlc(payload: &mut Bytes) -> Result<i32, CodecError> {
             return Err(CodecError::Truncated);
         }
         let byte = payload.get_u8();
-        u |= u32::from(byte & 0x7F) << shift;
+        let group = u32::from(byte & 0x7F);
+        // The fifth group can only carry the top 4 bits of a u32; a larger
+        // value is a corrupt stream (and would overflow the shift below).
+        if shift == 28 && group > 0x0F {
+            return Err(CodecError::Truncated);
+        }
+        u |= group << shift;
         if byte & 0x80 == 0 {
             break;
         }
@@ -676,5 +682,78 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(CodecError::Truncated.to_string(), "bitstream truncated");
+    }
+
+    /// Every strict prefix of a valid bitstream must decode to a clean
+    /// `Truncated` error — a cut stream can never panic or over-read.
+    #[test]
+    fn all_truncations_are_rejected() {
+        let a = crate::test_content::game_frame(16, 0.7, 21);
+        let b = crate::test_content::game_frame(16, 0.7, 22);
+        let codec = TransformCodec::default();
+        let intra = codec.encode_intra(&a);
+        let inter = codec.encode_inter(&b, &a);
+        for n in 0..intra.payload.len() {
+            let mut cut = intra.clone();
+            cut.payload = cut.payload.slice(0..n);
+            assert_eq!(codec.decode(&cut), Err(CodecError::Truncated), "prefix {n}");
+        }
+        for n in 0..inter.payload.len() {
+            let mut cut = inter.clone();
+            cut.payload = cut.payload.slice(0..n);
+            assert_eq!(
+                codec.decode_with_reference(&cut, &a),
+                Err(CodecError::Truncated),
+                "inter prefix {n}"
+            );
+        }
+    }
+
+    /// Flipping any single bit of the payload must yield either a decoded
+    /// frame or a `CodecError` — never a panic. Exercises every byte
+    /// position with a position-dependent bit, then sweeps the marker bytes
+    /// that steer the block parser.
+    #[test]
+    fn bit_flips_never_panic() {
+        let a = crate::test_content::game_frame(16, 0.7, 23);
+        let b = crate::test_content::game_frame(16, 0.7, 24);
+        let codec = TransformCodec::default();
+        let intra = codec.encode_intra(&a);
+        let inter = codec.encode_inter(&b, &a);
+        for (enc, reference) in [(&intra, None), (&inter, Some(&a))] {
+            let base = enc.payload.as_slice().to_vec();
+            for i in 0..base.len() {
+                let mut mutants = vec![base.clone(); 4];
+                mutants[0][i] ^= 1 << (i % 8);
+                mutants[1][i] = BLOCK_SKIP;
+                mutants[2][i] = BLOCK_CODED;
+                mutants[3][i] = RLE_END;
+                for m in mutants {
+                    let mut e = enc.clone();
+                    e.payload = Bytes::copy_from_slice(&m);
+                    // Ok or Err are both acceptable; the assertion is the
+                    // absence of a panic or over-read.
+                    let _ = match reference {
+                        Some(r) => codec.decode_with_reference(&e, r),
+                        None => codec.decode(&e),
+                    };
+                }
+            }
+        }
+    }
+
+    /// A maximal VLC continuation chain whose fifth group carries more than
+    /// the 4 bits a u32 has left must be rejected, not overflow the shift
+    /// (regression: panicked under `-C overflow-checks` before the guard).
+    #[test]
+    fn vlc_overflow_is_rejected_not_panicking() {
+        let enc = EncodedFrame {
+            inter: false,
+            width: 8,
+            height: 8,
+            payload: Bytes::copy_from_slice(&[BLOCK_CODED, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]),
+        };
+        let codec = TransformCodec::default();
+        assert_eq!(codec.decode(&enc), Err(CodecError::Truncated));
     }
 }

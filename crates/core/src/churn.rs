@@ -308,6 +308,17 @@ impl ChurnConfig {
         self
     }
 
+    /// Returns a copy with every tenant's per-tenant rate controller
+    /// configured (see [`SystemConfig::with_rate_control`]). A joiner
+    /// recycling a departed tenant's slot always builds a fresh controller
+    /// at the configured initial quality — rate state never leaks across
+    /// occupancies.
+    #[must_use]
+    pub fn with_rate_control(mut self, rate_control: qvr_codec::RateControlConfig) -> Self {
+        self.system = self.system.with_rate_control(rate_control);
+        self
+    }
+
     /// Returns a copy with warm starts disabled (joiners cold-start their
     /// controllers at the configured `initial_e1_deg`).
     #[must_use]

@@ -155,6 +155,15 @@ impl FleetConfig {
         }
     }
 
+    /// Returns a copy with every session's per-tenant rate controller
+    /// configured (see [`SystemConfig::with_rate_control`]); pass
+    /// `RateControlConfig::on()` for the content-true byte path.
+    #[must_use]
+    pub fn with_rate_control(mut self, rate_control: qvr_codec::RateControlConfig) -> Self {
+        self.system = self.system.with_rate_control(rate_control);
+        self
+    }
+
     /// Whether this config degenerates to the classic dedicated single-user
     /// setup (see the module docs' tenancy semantics).
     #[must_use]

@@ -8,7 +8,7 @@
 //! (eccentricities, VRS-quantised layer scales, per-layer pixel and byte
 //! volumes) that both the scheme pipelines and the benchmarks consume.
 
-use qvr_codec::SizeModel;
+use qvr_codec::{EntropyModel, SizeModel};
 use qvr_hvs::{DisplayGeometry, GazePoint, LayerKind, LayerPartition, MarModel};
 use std::fmt;
 
@@ -284,6 +284,33 @@ impl FoveationPlan {
             self.outer_rate.linear_scale(),
         );
         (mid + out) * q
+    }
+
+    /// Entropy-modeled compressed bytes for the periphery streams of **one
+    /// eye** at an explicit codec `quality` (the rate controller's knob).
+    ///
+    /// Unlike [`FoveationPlan::periphery_bytes`], this path is content-,
+    /// motion-, and foveation-true: each layer's bytes come from a
+    /// [`qvr_codec::EntropyModel`] synthesized from the scene's detail and
+    /// head motion and the layer's eccentricity (HVS attenuation), with the
+    /// VRS downscale concentrating the surviving detail. Allocation-free.
+    #[must_use]
+    pub fn periphery_entropy_bytes(&self, content_detail: f64, motion: f64, quality: f64) -> f64 {
+        let mid = EntropyModel::vrs_layer(
+            self.middle_region_px,
+            content_detail,
+            motion,
+            self.middle_rate.linear_scale(),
+            self.e1_deg,
+        );
+        let out = EntropyModel::vrs_layer(
+            self.outer_region_px,
+            content_detail,
+            motion,
+            self.outer_rate.linear_scale(),
+            self.e2_deg,
+        );
+        mid.frame_bytes(quality) + out.frame_bytes(quality)
     }
 
     /// Resolution reduction relative to native rendering (the Fig. 13

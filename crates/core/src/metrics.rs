@@ -20,6 +20,10 @@ pub struct FrameRecord {
     pub frame_interval_ms: f64,
     /// Bytes transmitted over the downlink for this frame.
     pub tx_bytes: f64,
+    /// Codec quality the rate controller chose for this frame's streams;
+    /// `None` when rate control is off (closed-form byte path) or the
+    /// scheme never transmits.
+    pub quality: Option<f64>,
     /// Fraction by which rendered resolution was reduced vs native, `[0,1]`.
     pub resolution_reduction: f64,
     /// Whether a prefetch misprediction forced a blocking re-fetch
@@ -437,6 +441,7 @@ mod tests {
             mtp_ms: mtp,
             frame_interval_ms: 11.0,
             tx_bytes: 100_000.0,
+            quality: None,
             resolution_reduction: 0.4,
             misprediction: false,
         }

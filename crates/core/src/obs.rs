@@ -272,6 +272,9 @@ struct ClassMetrics {
     tx_bytes: Histogram,
     /// Attributed per-frame busy across server + radio stages, ms.
     stage_busy_ms: Histogram,
+    /// Rate-controller codec quality per frame (recorded only when a
+    /// tenant's controller is on; empty otherwise).
+    quality: Histogram,
 }
 
 impl ClassMetrics {
@@ -281,6 +284,7 @@ impl ClassMetrics {
         self.mtp_ms.absorb(&other.mtp_ms);
         self.tx_bytes.absorb(&other.tx_bytes);
         self.stage_busy_ms.absorb(&other.stage_busy_ms);
+        self.quality.absorb(&other.quality);
     }
 }
 
@@ -374,6 +378,7 @@ impl MetricsSink {
             ("qvr_mtp_ms", 0usize),
             ("qvr_tx_bytes", 1),
             ("qvr_stage_busy_ms", 2),
+            ("qvr_quality", 3),
         ] {
             let _ = writeln!(out, "# TYPE {name} histogram");
             for class in CLASSES {
@@ -381,7 +386,8 @@ impl MetricsSink {
                 let h = match pick {
                     0 => &c.mtp_ms,
                     1 => &c.tx_bytes,
-                    _ => &c.stage_busy_ms,
+                    2 => &c.stage_busy_ms,
+                    _ => &c.quality,
                 };
                 for (le, cumulative) in h.cumulative_buckets() {
                     let _ = writeln!(
@@ -419,6 +425,9 @@ impl TelemetrySink for MetricsSink {
         c.tx_bytes.record(event.tx_bytes);
         c.stage_busy_ms
             .record(event.server_render_ms + event.server_encode_ms + event.radio_ms);
+        if let Some(q) = event.quality {
+            c.quality.record(q);
+        }
     }
 }
 
@@ -988,6 +997,11 @@ mod tests {
             end_ms: end,
             mtp_ms: mtp,
             tx_bytes: 10_000.0,
+            quality: if session.is_multiple_of(2) {
+                Some(0.6)
+            } else {
+                None
+            },
             server_render_ms: 3.0,
             server_encode_ms: 1.0,
             radio_ms: 2.0,
@@ -1089,6 +1103,7 @@ mod tests {
         assert!(text.contains("qvr_frames_total{class=\"adaptive\"} 20"));
         assert!(text.contains("qvr_frames_total{class=\"best-effort\"} 10"));
         assert!(text.contains("# TYPE qvr_mtp_ms histogram"));
+        assert!(text.contains("# TYPE qvr_quality histogram"));
         assert!(text.contains("le=\"+Inf\""));
         assert_eq!(
             parse_exposition(&text).as_deref(),

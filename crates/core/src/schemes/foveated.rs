@@ -17,6 +17,7 @@ use super::{Stepper, SystemConfig};
 use crate::foveation::FoveationPlan;
 use crate::liwc::{LatencyPredictor, Liwc, SoftwareController};
 use crate::metrics::FrameRecord;
+use qvr_codec::RateController;
 use qvr_hvs::DisplayGeometry;
 use qvr_scene::{AppProfile, AppSession, TriangleFractionCache};
 use qvr_sim::TaskId;
@@ -75,6 +76,11 @@ pub(crate) struct FoveatedStepper {
     prev_compose: Option<TaskId>,
     /// Per-frame triangle-fraction memo (gaze-keyed, bit-identical reuse).
     fovea_cache: TriangleFractionCache,
+    /// Per-tenant closed-loop rate controller. Lives inside the stepper, so
+    /// churn recycling a slot builds a fresh controller and a sharded cell
+    /// carries exactly its own sessions' state — consulted only when
+    /// `rate_control.enabled`.
+    rc: RateController,
 }
 
 impl FoveatedStepper {
@@ -114,6 +120,7 @@ impl FoveatedStepper {
             sw,
             prev_compose: None,
             fovea_cache: TriangleFractionCache::new(),
+            rc: RateController::new(config.rate_control),
         }
     }
 }
@@ -132,6 +139,11 @@ impl Stepper for FoveatedStepper {
         let options = self.options;
         let display = self.profile.display;
         let frame = session.advance();
+
+        // Rate control: the quality chosen for this frame's streams (None
+        // keeps the legacy closed-form byte path bit-identical).
+        let rc_quality = config.rate_control.enabled.then(|| self.rc.quality());
+        let motion = super::motion_index(&frame.delta);
 
         // --- eccentricity selection -------------------------------------
         let e1 = match options.controller {
@@ -154,11 +166,15 @@ impl Stepper for FoveatedStepper {
                         frame.triangles,
                         |e| profile.fovea_triangle_fraction_cached(&frame, e, fovea_cache),
                         |e| {
-                            FoveationPlan::resolve(e, &display, &mar, gaze).periphery_bytes(
-                                &size_model,
-                                detail,
-                                pq,
-                            ) * stereo
+                            let plan = FoveationPlan::resolve(e, &display, &mar, gaze);
+                            // LIWC's byte predictor must model the same
+                            // path the frame will actually ship on, or the
+                            // equilibrium it finds is for the wrong system.
+                            let layer_bytes = match rc_quality {
+                                Some(q) => plan.periphery_entropy_bytes(detail, motion, q),
+                                None => plan.periphery_bytes(&size_model, detail, pq),
+                            };
+                            layer_bytes * stereo
                         },
                         observed,
                         base,
@@ -211,11 +227,14 @@ impl Stepper for FoveatedStepper {
             .full_workload(&frame)
             .scaled_region(periph_px / self.native_px, 1.0);
         let rr_ms = rig.remote_render_ms(&periph_wl);
-        let bytes = plan.periphery_bytes(
-            &config.size_model,
-            frame.content_detail,
-            config.periphery_quality,
-        ) * config.stereo_stream_factor;
+        let bytes = match rc_quality {
+            Some(q) => plan.periphery_entropy_bytes(frame.content_detail, motion, q),
+            None => plan.periphery_bytes(
+                &config.size_model,
+                frame.content_detail,
+                config.periphery_quality,
+            ),
+        } * config.stereo_stream_factor;
         let chain = rig.remote_chain("periph", rr_ms, bytes, periph_px * 2.0, &[send]);
 
         // --- composition + ATW -------------------------------------------
@@ -274,6 +293,17 @@ impl Stepper for FoveatedStepper {
             Controller::Software => self.sw.observe(t_local, t_remote),
             Controller::Fixed(_) => {}
         }
+        if rc_quality.is_some() {
+            // Close the rate loop against this tenant's allocated share of
+            // the link (not the observed throughput: a converged controller
+            // must track its *fair* share, or tenants steal from each
+            // other through the feedback).
+            let target = RateController::target_bytes(
+                rig.channel.allocated_download_mbps(),
+                config.target_fps,
+            );
+            self.rc.observe(bytes, target);
+        }
 
         rig.record(FrameRecord {
             frame_id: frame.frame_id,
@@ -287,6 +317,7 @@ impl Stepper for FoveatedStepper {
             ),
             frame_interval_ms: 0.0,
             tx_bytes: bytes,
+            quality: rc_quality,
             resolution_reduction: plan.resolution_reduction(),
             misprediction: false,
         });

@@ -53,6 +53,7 @@ impl Stepper for LocalStepper {
             mtp_ms: rig.path_mtp_ms(config.cl_ms + config.ls_ms, render_ms, atw_ms),
             frame_interval_ms: 0.0, // finalised by Rig::finish
             tx_bytes: 0.0,
+            quality: None,
             resolution_reduction: 0.0,
             misprediction: false,
         });

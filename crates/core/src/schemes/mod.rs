@@ -25,7 +25,7 @@ pub use rig::{RemoteChain, Rig, ServerPool};
 use crate::metrics::RunSummary;
 use crate::session::Session;
 use crate::uca::UcaTiming;
-use qvr_codec::{CodecLatencyModel, SizeModel};
+use qvr_codec::{CodecLatencyModel, RateControlConfig, SizeModel};
 use qvr_energy::{ApPowerModel, PowerModel, ServerPowerModel};
 use qvr_gpu::{GpuConfig, RemoteGpuModel};
 use qvr_hvs::MarModel;
@@ -47,6 +47,10 @@ pub struct SystemConfig {
     pub mar: MarModel,
     /// Compressed-size model.
     pub size_model: SizeModel,
+    /// Per-tenant closed-loop rate control (default **off**: tx bytes come
+    /// from the closed-form size model, bit-identical to the pinned
+    /// goldens; on: entropy-modeled bytes at the controller's quality).
+    pub rate_control: RateControlConfig,
     /// Hardware codec latency model.
     pub codec_latency: CodecLatencyModel,
     /// Power model for energy accounting (the headset's own hardware).
@@ -116,6 +120,7 @@ impl Default for SystemConfig {
             network: NetworkPreset::WiFi,
             mar: MarModel::default(),
             size_model: SizeModel::default(),
+            rate_control: RateControlConfig::default(),
             codec_latency: CodecLatencyModel::mobile_soc(),
             power: PowerModel::default(),
             server_power: ServerPowerModel::default(),
@@ -162,6 +167,22 @@ impl SystemConfig {
         self.network = preset;
         self
     }
+
+    /// Returns a copy with the per-tenant rate controller configured
+    /// (pass [`RateControlConfig::on`] to switch the content-true,
+    /// entropy-modeled byte path on).
+    #[must_use]
+    pub fn with_rate_control(mut self, rate_control: RateControlConfig) -> Self {
+        self.rate_control = rate_control;
+        self
+    }
+}
+
+/// Maps a frame's head-motion delta to the entropy model's inter-frame
+/// coherence index in `[0, 1]`: around 1.5° of rotation in one frame (a
+/// fast head turn at 90 Hz) destroys block reuse entirely.
+pub(crate) fn motion_index(delta: &qvr_scene::MotionDelta) -> f64 {
+    (delta.rotation_magnitude() / 1.5).clamp(0.0, 1.0)
 }
 
 impl fmt::Display for SystemConfig {
@@ -321,7 +342,9 @@ impl SchemeKind {
     ) -> AnyStepper {
         match self {
             SchemeKind::LocalOnly => AnyStepper::Local(local::LocalStepper::new(profile)),
-            SchemeKind::RemoteOnly => AnyStepper::Remote(remote::RemoteStepper::new(profile)),
+            SchemeKind::RemoteOnly => {
+                AnyStepper::Remote(remote::RemoteStepper::new(config, profile))
+            }
             SchemeKind::StaticCollab => AnyStepper::Static(static_collab::StaticStepper::new(
                 profile,
                 config.prefetch_lookahead as usize,
@@ -446,5 +469,16 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(SchemeKind::StaticCollab.label(), "Static");
         assert_eq!(SchemeKind::Qvr.label(), "Q-VR");
+    }
+
+    #[test]
+    fn rate_control_is_opt_in() {
+        // The content-true rate path must stay off by default: every golden
+        // (fleet hashes, figure tables, energy sweeps) pins the closed-form
+        // size-model byte path, and `enabled: false` is what guarantees the
+        // legacy expressions are evaluated verbatim.
+        assert!(!SystemConfig::default().rate_control.enabled);
+        let on = SystemConfig::default().with_rate_control(qvr_codec::RateControlConfig::on());
+        assert!(on.rate_control.enabled);
     }
 }

@@ -7,8 +7,9 @@
 //! motivation study.
 
 use super::rig::Rig;
-use super::Stepper;
+use super::{Stepper, SystemConfig};
 use crate::metrics::FrameRecord;
+use qvr_codec::{EntropyModel, RateController};
 use qvr_scene::{AppProfile, AppSession};
 
 /// Per-frame stepper for remote-only streaming.
@@ -16,13 +17,20 @@ use qvr_scene::{AppProfile, AppSession};
 pub(crate) struct RemoteStepper {
     profile: AppProfile,
     native_px: f64,
+    /// Per-tenant rate controller (consulted only when enabled); stepper-
+    /// local, so churn recycling and shard cells get fresh, disjoint state.
+    rc: RateController,
 }
 
 impl RemoteStepper {
-    pub(super) fn new(profile: AppProfile) -> Self {
+    pub(super) fn new(config: &SystemConfig, profile: AppProfile) -> Self {
         let native_px =
             f64::from(profile.display.width_px()) * f64::from(profile.display.height_px());
-        RemoteStepper { profile, native_px }
+        RemoteStepper {
+            profile,
+            native_px,
+            rc: RateController::new(config.rate_control),
+        }
     }
 }
 
@@ -41,12 +49,32 @@ impl Stepper for RemoteStepper {
 
         let workload = self.profile.full_workload(&frame);
         let render_ms = rig.remote_render_ms(&workload);
-        let bytes =
-            config
-                .size_model
-                .frame_bytes(self.native_px.round() as u64, frame.content_detail, 1.0)
-                * config.stereo_stream_factor;
+        let rc_quality = config.rate_control.enabled.then(|| self.rc.quality());
+        let bytes = match rc_quality {
+            // Full-frame stream: native resolution (no VRS), fovea-grade
+            // statistics (eccentricity 0 — the whole frame may be looked at).
+            Some(q) => EntropyModel::layer(
+                self.native_px,
+                frame.content_detail,
+                super::motion_index(&frame.delta),
+                1.0,
+                0.0,
+            )
+            .frame_bytes(q),
+            None => config.size_model.frame_bytes(
+                self.native_px.round() as u64,
+                frame.content_detail,
+                1.0,
+            ),
+        } * config.stereo_stream_factor;
         let chain = rig.remote_chain("remote", render_ms, bytes, self.native_px * 2.0, &[send]);
+        if rc_quality.is_some() {
+            let target = RateController::target_bytes(
+                rig.channel.allocated_download_mbps(),
+                config.target_fps,
+            );
+            self.rc.observe(bytes, target);
+        }
 
         let atw_ms = rig.stereo_pass_ms(&self.profile, config.atw_cycles_per_px);
         let atw = rig
@@ -64,6 +92,7 @@ impl Stepper for RemoteStepper {
             mtp_ms: rig.path_mtp_ms(config.cl_ms, send_ms + t_remote, atw_ms),
             frame_interval_ms: 0.0,
             tx_bytes: chain.bytes,
+            quality: rc_quality,
             resolution_reduction: 0.0,
             misprediction: false,
         });

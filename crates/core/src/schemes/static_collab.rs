@@ -180,6 +180,7 @@ impl Stepper for StaticStepper {
             ),
             frame_interval_ms: 0.0,
             tx_bytes,
+            quality: None,
             resolution_reduction: 0.0,
             misprediction,
         });

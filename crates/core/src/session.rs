@@ -107,6 +107,7 @@ impl Session {
             end_ms: self.rig.last_display_end(),
             mtp_ms: record.mtp_ms,
             tx_bytes: record.tx_bytes,
+            quality: record.quality,
             server_render_ms,
             server_encode_ms,
             radio_ms,

@@ -132,6 +132,9 @@ pub struct FrameEvent {
     pub mtp_ms: f64,
     /// Downlink bytes the frame shipped.
     pub tx_bytes: f64,
+    /// Codec quality the tenant's rate controller chose for the frame;
+    /// `None` when rate control is off or the scheme never transmits.
+    pub quality: Option<f64>,
     /// Server GPU render time this frame submitted, ms (0 for local-only
     /// work; includes prefetch chains submitted on this frame's behalf).
     pub server_render_ms: f64,
@@ -998,6 +1001,7 @@ mod tests {
             end_ms: end,
             mtp_ms: mtp,
             tx_bytes: 1_000.0,
+            quality: None,
             server_render_ms: 2.0,
             server_encode_ms: 0.5,
             radio_ms: 1.5,
@@ -1140,6 +1144,7 @@ mod tests {
             end_ms: end,
             mtp_ms: mtp,
             tx_bytes: 500.0,
+            quality: None,
             server_render_ms: render,
             server_encode_ms: encode,
             radio_ms: radio,

@@ -80,7 +80,10 @@ pub use qvr_sim as sim;
 
 /// The items most programs need, in one import.
 pub mod prelude {
-    pub use qvr_codec::{CodecLatencyModel, SizeModel, TransformCodec};
+    pub use qvr_codec::{
+        CodecLatencyModel, EntropyModel, RateControlConfig, RateController, SizeModel,
+        TransformCodec,
+    };
     pub use qvr_core::admission::{AdmissionController, AdmissionDecision, AdmissionPolicy};
     pub use qvr_core::churn::{
         ChurnConfig, ChurnEvent, ChurnEventKind, ChurnFleet, ChurnSummary, ChurnTrace, TenantRecord,

@@ -77,6 +77,12 @@ const MAX_ALLOCS_PER_FRAME_TRACED: f64 = 4.0;
 /// frame over the measured window. Serialized with a mutex — the counting
 /// allocator's tallies are process-global.
 fn measured_per_frame(telemetry: TelemetryConfig) -> f64 {
+    measured_per_frame_with(SystemConfig::default(), telemetry)
+}
+
+/// [`measured_per_frame`] under an explicit system config (the rate-control
+/// gate runs the same window with the controller active).
+fn measured_per_frame_with(system: SystemConfig, telemetry: TelemetryConfig) -> f64 {
     static GATE: Mutex<()> = Mutex::new(());
     let _serial = GATE
         .lock()
@@ -85,7 +91,7 @@ fn measured_per_frame(telemetry: TelemetryConfig) -> f64 {
     let warmup_rounds = 24;
     let measured_rounds = 32;
     let mut config = FleetConfig::uniform(
-        SystemConfig::default(),
+        system,
         SchemeKind::Qvr,
         Benchmark::Hl2H.profile(),
         sessions,
@@ -121,6 +127,22 @@ fn steady_state_fleet_round_is_allocation_free() {
     assert!(
         per_frame <= MAX_ALLOCS_PER_FRAME,
         "steady-state hot path regressed: {per_frame:.2} allocations/frame \
+         (limit {MAX_ALLOCS_PER_FRAME})"
+    );
+}
+
+#[test]
+fn rate_controlled_fleet_round_is_allocation_free() {
+    // The closed-loop rate path (entropy-model evaluation, controller
+    // observe/step, quality telemetry) is pure arithmetic on stepper-owned
+    // state — turning it on must not add a single per-frame allocation.
+    let per_frame = measured_per_frame_with(
+        SystemConfig::default().with_rate_control(RateControlConfig::on()),
+        TelemetryConfig::default(),
+    );
+    assert!(
+        per_frame <= MAX_ALLOCS_PER_FRAME,
+        "rate-controlled hot path allocates: {per_frame:.2} allocations/frame \
          (limit {MAX_ALLOCS_PER_FRAME})"
     );
 }

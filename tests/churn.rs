@@ -202,6 +202,57 @@ fn churn_traces_are_deterministic_under_a_fixed_seed() {
     assert!(!a.is_empty());
 }
 
+#[test]
+fn recycled_slot_gets_a_fresh_rate_controller() {
+    // Tenant 0 leaves at 500 ms; a new tenant joins at 600 ms and recycles
+    // the slot. With rate control on, the controllers live inside each
+    // session's stepper, so the joiner must open at exactly the configured
+    // initial quality — fresh loop state, nothing inherited from the
+    // departed tenant — while a resident tenant has long stepped away from
+    // that initial point.
+    let rc = RateControlConfig::on();
+    let spec = || SessionSpec::new(SchemeKind::Qvr, Benchmark::Hl2H.profile());
+    let trace = ChurnTrace::script(vec![
+        ChurnEvent::leave(500.0, 0),
+        ChurnEvent::join(600.0, spec()),
+    ]);
+    let summary = ChurnFleet::run(
+        ChurnConfig::new(
+            SystemConfig::default(),
+            vec![spec(), spec()],
+            trace,
+            1_200.0,
+            11,
+        )
+        .with_rate_control(rc),
+    );
+    let tenant = |ordinal: usize| {
+        summary
+            .tenants
+            .iter()
+            .find(|t| t.ordinal == ordinal)
+            .expect("every ordinal leaves a record")
+    };
+    let joiner = tenant(2);
+    assert!(!joiner.summary.is_empty(), "the joiner stepped frames");
+    assert_eq!(
+        joiner.summary.frames[0].quality,
+        Some(rc.initial_quality),
+        "a recycled slot must start from a fresh controller"
+    );
+    let resident = tenant(1);
+    let settled = resident
+        .summary
+        .frames
+        .last()
+        .and_then(|f| f.quality)
+        .expect("rate control on: every frame carries its quality");
+    assert_ne!(
+        settled, rc.initial_quality,
+        "the resident controller should have stepped off its initial point"
+    );
+}
+
 /// The retirement window for the bounded-memory smoke, ms. The CI job sets
 /// `QVR_RETIRE_WINDOW`; locally the default keeps the test meaningful.
 fn retire_window_ms() -> f64 {

@@ -40,3 +40,31 @@ fn shard_digest_is_worker_count_independent() {
          outside the telemetry seam"
     );
 }
+
+/// The closed-loop rate controller adds per-tenant state to the hot path;
+/// it must stay a pure function of (config, roster, seed) — double runs
+/// of the rate-controlled shard shape agree bit for bit.
+#[test]
+fn rate_controlled_digest_is_stable_across_invocations() {
+    let first = qvr_bench::fig_rate::determinism_digest(CELLS, PER_CELL, FRAMES, 1);
+    let second = qvr_bench::fig_rate::determinism_digest(CELLS, PER_CELL, FRAMES, 1);
+    assert_eq!(
+        first, second,
+        "re-running the rate-controlled shard shape changed its digest — \
+         ambient state leaked into the controller loop"
+    );
+}
+
+/// Controller state lives inside each session's stepper, so it is
+/// slot-namespaced by construction and worker scheduling can never
+/// reorder its observations: 1-worker and 4-worker runs merge identically.
+#[test]
+fn rate_controlled_digest_is_worker_count_independent() {
+    let serial = qvr_bench::fig_rate::determinism_digest(CELLS, PER_CELL, FRAMES, 1);
+    let parallel = qvr_bench::fig_rate::determinism_digest(CELLS, PER_CELL, FRAMES, 4);
+    assert_eq!(
+        serial, parallel,
+        "worker count changed the rate-controlled summary — controller \
+         state leaked outside its cell"
+    );
+}

@@ -72,6 +72,30 @@ fn one_cell_shard_is_bit_identical_to_the_fleet() {
 }
 
 #[test]
+fn one_cell_shard_matches_fleet_with_rate_control_on() {
+    // The same degeneracy contract with the closed-loop rate controller
+    // active: controller state lives inside each session's stepper, so a
+    // 1-cell shard's per-slot controllers see exactly the fleet's frame
+    // order and the merged summary still compares with `==`.
+    let mut fleet_config = template(30, 42).with_rate_control(RateControlConfig::on());
+    fleet_config.sessions = (0..6).map(mixed_spec).collect();
+    fleet_config.telemetry = fleet_config.telemetry.with_window_ms(150.0);
+    let fleet = Fleet::run(fleet_config.clone());
+
+    let shard = Shard::run(ShardConfig::new(
+        fleet_config.clone(),
+        1,
+        6,
+        fleet_config.sessions.clone(),
+    ));
+    assert!(
+        shard.matches_fleet(&fleet),
+        "rate-controlled 1-cell shard must still degenerate to the fleet"
+    );
+    assert_eq!(shard.windows, fleet.windows, "windowed timelines match");
+}
+
+#[test]
 fn shard_summary_is_identical_across_worker_counts() {
     // The determinism contract that replaces wall-clock scaling curves on
     // 1-CPU CI: cells only talk through the telemetry seam and the merge

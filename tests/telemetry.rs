@@ -246,6 +246,7 @@ fn windowed_sink_reproduces_churn_windowed_p95_on_a_recorded_trace() {
             end_ms: *t,
             mtp_ms: *mtp,
             tx_bytes: 0.0,
+            quality: None,
             server_render_ms: 0.0,
             server_encode_ms: 0.0,
             radio_ms: 0.0,
